@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * ordering source — the cluster's first matrix (CINC) versus the union
+//!   matrix `A_∪` (CLUDE) at the same α;
+//! * storage — dynamic adjacency lists with insertion-on-demand (CINC)
+//!   versus the static USSP structure (CLUDE);
+//! * clustering — no clustering at all (INC) versus α-clustering.
+//!
+//! Comparing `cinc/0.95` with `clude/0.95` isolates the combined effect of
+//! the union ordering + static structure; comparing either with `inc`
+//! isolates the effect of clustering.
+
+use clude::{Clude, ClusterIncremental, Incremental, LudemSolver, SolverConfig};
+use clude_bench::{BenchScale, Datasets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems = data.wiki_ems();
+    let config = SolverConfig::timing_only();
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("no_clustering_inc", |b| {
+        b.iter(|| Incremental.solve(&ems, &config).unwrap())
+    });
+    {
+        let alpha = 0.95f64;
+        group.bench_with_input(
+            BenchmarkId::new("clustering_first_ordering_dynamic_cinc", alpha),
+            &alpha,
+            |b, &a| b.iter(|| ClusterIncremental::new(a).solve(&ems, &config).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clustering_union_ordering_static_clude", alpha),
+            &alpha,
+            |b, &a| b.iter(|| Clude::new(a).solve(&ems, &config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

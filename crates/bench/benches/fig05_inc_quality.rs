@@ -1,0 +1,34 @@
+//! Criterion bench behind Figure 5: the cost of running INC (whose ordering
+//! quality the figure plots) and of evaluating its quality-loss series on the
+//! tiny Wiki-like sequence.
+
+use clude::{EvolvingMatrixSequence, Incremental, LudemSolver, MarkowitzReference, SolverConfig};
+use clude_bench::{inc_quality_series, BenchScale, Datasets};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig05(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems: EvolvingMatrixSequence = data.wiki_ems();
+    let reference = MarkowitzReference::compute(&ems);
+
+    let mut group = c.benchmark_group("fig05_inc_quality");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("inc_decompose_wiki_tiny", |b| {
+        b.iter(|| {
+            Incremental
+                .solve(&ems, &SolverConfig::timing_only())
+                .unwrap()
+        })
+    });
+    group.bench_function("inc_quality_series_wiki_tiny", |b| {
+        b.iter(|| inc_quality_series(&ems, &reference))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig05);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Figures 6 and 7: BF, INC, CINC and CLUDE on the
+//! tiny Wiki-like sequence (the speed-ups of Figure 7 are the ratios of these
+//! timings; the quality side of Figure 6 is covered by the figure binary).
+
+use clude::{
+    BruteForce, Clude, ClusterIncremental, Incremental, LudemSolver, SolverConfig,
+};
+use clude_bench::{BenchScale, Datasets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems = data.wiki_ems();
+    let config = SolverConfig::timing_only();
+
+    let mut group = c.benchmark_group("fig07_speedup_components");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("bf_wiki_tiny", |b| {
+        b.iter(|| BruteForce.solve(&ems, &config).unwrap())
+    });
+    group.bench_function("inc_wiki_tiny", |b| {
+        b.iter(|| Incremental.solve(&ems, &config).unwrap())
+    });
+    for alpha in [0.92f64, 0.95, 0.98] {
+        group.bench_with_input(BenchmarkId::new("cinc_wiki_tiny", alpha), &alpha, |b, &a| {
+            b.iter(|| ClusterIncremental::new(a).solve(&ems, &config).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("clude_wiki_tiny", alpha), &alpha, |b, &a| {
+            b.iter(|| Clude::new(a).solve(&ems, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

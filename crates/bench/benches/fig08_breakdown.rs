@@ -1,0 +1,62 @@
+//! Criterion bench behind Figure 8: the components of CLUDE's running time —
+//! clustering, Markowitz ordering of `A_∪`, symbolic decomposition / structure
+//! building, one full numeric LU, and a Bennett update step — measured
+//! separately on the tiny Wiki-like sequence.
+
+use clude::cluster::{alpha_clustering, cluster_union_pattern, Cluster};
+use clude::EvolvingMatrixSequence;
+use clude_bench::{BenchScale, Datasets};
+use clude_lu::{
+    apply_delta, markowitz_ordering, reorder_pattern, symbolic_decomposition, LuFactors,
+    LuStructure,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems: EvolvingMatrixSequence = data.wiki_ems();
+    let whole = Cluster {
+        start: 0,
+        end: ems.len(),
+    };
+    let union = cluster_union_pattern(&ems, &whole);
+    let ordering = markowitz_ordering(&union).ordering;
+    let ussp = symbolic_decomposition(&reorder_pattern(&union, &ordering)).pattern;
+    let structure = LuStructure::from_closed_pattern_unchecked(&ussp).into_shared();
+    let a0 = ems.matrix(0).reorder(&ordering).unwrap();
+    let a1 = ems.matrix(1).reorder(&ordering).unwrap();
+    let delta = a0.delta_to(&a1, 0.0).unwrap();
+    let base_factors = LuFactors::factorize(structure.clone(), &a0).unwrap();
+
+    let mut group = c.benchmark_group("fig08_clude_phases");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("clustering_alpha_0.95", |b| {
+        b.iter(|| alpha_clustering(&ems, 0.95))
+    });
+    group.bench_function("markowitz_of_union", |b| {
+        b.iter(|| markowitz_ordering(&union))
+    });
+    group.bench_function("symbolic_ussp_and_structure", |b| {
+        b.iter(|| {
+            let p = symbolic_decomposition(&reorder_pattern(&union, &ordering)).pattern;
+            LuStructure::from_closed_pattern_unchecked(&p)
+        })
+    });
+    group.bench_function("full_numeric_lu", |b| {
+        b.iter(|| LuFactors::factorize(structure.clone(), &a0).unwrap())
+    });
+    group.bench_function("bennett_one_snapshot_step", |b| {
+        b.iter(|| {
+            let mut f = base_factors.clone();
+            apply_delta(&mut f, &delta).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

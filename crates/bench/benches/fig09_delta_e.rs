@@ -1,0 +1,32 @@
+//! Criterion bench behind Figure 9: the algorithms on the synthetic EMS at
+//! the two ends of the ΔE range (the per-snapshot change volume).
+
+use clude::{Clude, Incremental, LudemSolver, SolverConfig};
+use clude_bench::{BenchScale, Datasets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_delta_e(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let config = SolverConfig::timing_only();
+    let mut group = c.benchmark_group("fig09_delta_e");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    for delta_e in [300usize, 700] {
+        let ems = data.synthetic_ems(delta_e);
+        group.bench_with_input(BenchmarkId::new("inc_synthetic", delta_e), &ems, |b, ems| {
+            b.iter(|| Incremental.solve(ems, &config).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("clude_synthetic", delta_e),
+            &ems,
+            |b, ems| b.iter(|| Clude::new(0.95).solve(ems, &config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_e);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Figure 10: the LUDEM-QC solvers on the symmetric
+//! DBLP-like sequence at a tight and a loose quality requirement β.
+
+use clude::{CincQc, CludeQc, LudemSolver, SolverConfig};
+use clude_bench::{BenchScale, Datasets};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_qc(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems = data.dblp_symmetric_ems();
+    let config = SolverConfig::timing_only();
+    let mut group = c.benchmark_group("fig10_qc");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+    for beta in [0.05f64, 0.3] {
+        group.bench_with_input(BenchmarkId::new("cinc_qc_dblp", beta), &beta, |b, &beta| {
+            b.iter(|| CincQc::new(beta).solve(&ems, &config).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("clude_qc_dblp", beta), &beta, |b, &beta| {
+            b.iter(|| CludeQc::new(beta).solve(&ems, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qc);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the LU engine kernels: symbolic decomposition,
+//! Markowitz ordering, numeric factorization, triangular solve and a Bennett
+//! rank-one update, on one Wiki-like snapshot matrix.
+
+use clude_bench::{BenchScale, Datasets};
+use clude_lu::{
+    factorize_fresh, markowitz_ordering, rank_one_update, symbolic_decomposition, LuFactors,
+    LuStructure,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let ems = data.wiki_ems();
+    let a = ems.matrix(ems.len() - 1).clone();
+    let pattern = a.pattern();
+    let ordering = markowitz_ordering(&pattern).ordering;
+    let reordered = a.reorder(&ordering).unwrap();
+    let structure = LuStructure::from_pattern(&reordered.pattern())
+        .unwrap()
+        .into_shared();
+    let factors = LuFactors::factorize(structure.clone(), &reordered).unwrap();
+    let b = vec![1.0; a.n_rows()];
+
+    let mut group = c.benchmark_group("lu_kernels");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("symbolic_decomposition", |bench| {
+        bench.iter(|| symbolic_decomposition(&pattern))
+    });
+    group.bench_function("markowitz_ordering", |bench| {
+        bench.iter(|| markowitz_ordering(&pattern))
+    });
+    group.bench_function("numeric_factorization_natural_order", |bench| {
+        bench.iter(|| factorize_fresh(&a).unwrap())
+    });
+    group.bench_function("numeric_factorization_markowitz_order", |bench| {
+        bench.iter(|| LuFactors::factorize(structure.clone(), &reordered).unwrap())
+    });
+    group.bench_function("triangular_solve", |bench| {
+        bench.iter(|| factors.solve(&b).unwrap())
+    });
+    group.bench_function("bennett_rank_one_update", |bench| {
+        bench.iter(|| {
+            let mut f = factors.clone();
+            // Perturb an existing entry so no fill outside the structure is
+            // required.
+            let (cols, vals) = reordered.row(0);
+            let (j, v) = (cols[0], vals[0]);
+            rank_one_update(&mut f, &[(0, 0.01 * v.abs().max(0.1))], &[(j, 1.0)], 1.0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

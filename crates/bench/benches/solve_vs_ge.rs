@@ -1,0 +1,51 @@
+//! Criterion bench behind the §1 and §8 cost claims: answering one query
+//! from the LU factors versus one dense Gaussian elimination, one power
+//! iteration run and one Monte-Carlo run.
+
+use clude::{BruteForce, EvolvingMatrixSequence, LudemSolver, SolverConfig};
+use clude_bench::{BenchScale, Datasets};
+use clude_graph::{EvolvingGraphSequence, MatrixKind};
+use clude_measures::{rwr_monte_carlo, rwr_power_iteration};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_solve_vs_ge(c: &mut Criterion) {
+    let data = Datasets::new(BenchScale::Tiny, 42);
+    let damping = clude_bench::datasets::DAMPING;
+    let egs = data.wiki_egs();
+    let graph = egs.snapshot(egs.len() - 1);
+    let ems = EvolvingMatrixSequence::from_egs(
+        &EvolvingGraphSequence::from_base(graph.clone()),
+        MatrixKind::RandomWalk { damping },
+    );
+    let n = ems.order();
+    let solution = BruteForce.solve(&ems, &SolverConfig::default()).unwrap();
+    let dense = ems.matrix(0).to_dense();
+    let mut b = vec![0.0; n];
+    b[0] = 1.0 - damping;
+
+    let mut group = c.benchmark_group("solve_vs_ge");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("lu_query", |bench| {
+        bench.iter(|| solution.solve(0, &b).unwrap())
+    });
+    group.bench_function("gaussian_elimination_per_query", |bench| {
+        bench.iter(|| dense.solve_gaussian(&b).unwrap())
+    });
+    group.bench_function("power_iteration_per_query", |bench| {
+        bench.iter(|| rwr_power_iteration(&graph, 0, damping, 1000, 1e-12))
+    });
+    group.bench_function("monte_carlo_per_query", |bench| {
+        let mut rng = StdRng::seed_from_u64(7);
+        bench.iter(|| rwr_monte_carlo(&graph, 0, damping, 500, 80, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve_vs_ge);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figures 6, 7 and 8: the α-sweep on the Wiki-like and DBLP-like sequences.
+//!
+//! * Figure 6 — average quality-loss of CINC and CLUDE vs α;
+//! * Figure 7 — speed-up over BF of INC, CINC and CLUDE vs α;
+//! * Figure 8 — CLUDE's execution-time breakdown and the Bennett-time
+//!   comparison between CINC and CLUDE.
+//!
+//! Usage: `cargo run -p clude-bench --release --bin fig06_07_08_alpha_sweep [tiny|default|large] [seed]`
+
+use clude_bench::experiments::{alpha_sweep, secs, sweep_baselines};
+use clude_bench::{BenchScale, Datasets};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| BenchScale::parse(s))
+        .unwrap_or(BenchScale::Default);
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let data = Datasets::new(scale, seed);
+    let alphas = [0.90, 0.92, 0.94, 0.95, 0.96, 0.98, 1.0];
+
+    for (name, ems) in [
+        ("wiki", data.wiki_ems()),
+        ("dblp", data.dblp_random_walk_ems()),
+    ] {
+        eprintln!("# running BF / INC baselines for {name} …");
+        let (baselines, reference) = sweep_baselines(&ems);
+        eprintln!("# sweeping alpha for {name} …");
+        let points = alpha_sweep(&ems, &alphas, &baselines, &reference);
+
+        println!("# Figure 6 ({name}): average quality-loss vs alpha");
+        println!("alpha\tcinc_quality\tclude_quality\t(inc_quality={:.3})", baselines.inc_quality);
+        for p in &points {
+            println!("{:.2}\t{:.4}\t{:.4}", p.alpha, p.cinc_quality, p.clude_quality);
+        }
+        println!("# paper shape: loss drops as alpha grows; CLUDE well below CINC (e.g. 0.13 vs 0.53 at alpha=0.95 on Wiki)");
+
+        println!("# Figure 7 ({name}): speedup over BF vs alpha");
+        println!("alpha\tinc_speedup\tcinc_speedup\tclude_speedup");
+        for p in &points {
+            println!(
+                "{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                p.alpha, baselines.inc_speedup, p.cinc_speedup, p.clude_speedup
+            );
+        }
+        println!("# paper shape: CLUDE fastest (≈20x on Wiki), CINC >5x, INC slowest (≈2.6x); all drop as alpha -> 1");
+
+        println!("# Figure 8a ({name}): CLUDE execution-time breakdown vs alpha (seconds)");
+        println!("alpha\tclustering\tmarkowitz\tsymbolic\tfull_lu\tbennett\ttotal\tclusters");
+        for p in &points {
+            let b = &p.clude_breakdown;
+            println!(
+                "{:.2}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}",
+                p.alpha,
+                secs(b.clustering),
+                secs(b.ordering),
+                secs(b.symbolic),
+                secs(b.full_decomposition),
+                secs(b.incremental),
+                secs(b.total()),
+                p.clude_clusters
+            );
+        }
+        println!("# paper shape: Bennett time dominates and falls with alpha; Markowitz/full-LU time rises with alpha");
+
+        println!("# Figure 8b ({name}): Bennett time, CINC vs CLUDE (seconds)");
+        println!("alpha\tcinc_bennett\tclude_bennett");
+        for p in &points {
+            println!(
+                "{:.2}\t{:.3}\t{:.3}",
+                p.alpha,
+                secs(p.cinc_bennett),
+                secs(p.clude_breakdown.incremental)
+            );
+        }
+        println!("# paper shape: CLUDE's Bennett time is several times smaller than CINC's at every alpha");
+        println!("# BF total = {:.3}s", secs(baselines.bf_total));
+    }
+}

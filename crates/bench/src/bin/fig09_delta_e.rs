@@ -1,0 +1,39 @@
+//! Figure 9: quality-loss and speed-up versus ΔE on the synthetic EMS.
+//!
+//! Usage: `cargo run -p clude-bench --release --bin fig09_delta_e [tiny|default|large] [seed]`
+
+use clude_bench::{delta_e_sweep, BenchScale, Datasets};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| BenchScale::parse(s))
+        .unwrap_or(BenchScale::Default);
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let data = Datasets::new(scale, seed);
+    let delta_es = [300usize, 400, 500, 600, 700];
+
+    eprintln!("# sweeping delta_e on the synthetic EMS ({scale:?}, seed {seed}) …");
+    let points = delta_e_sweep(&delta_es, 0.95, |de| data.synthetic_ems(de));
+
+    println!("# Figure 9a: average quality-loss vs delta_e (paper axis: 300–700)");
+    println!("delta_e\tinc_quality\tcinc_quality\tclude_quality");
+    for p in &points {
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.3}",
+            p.delta_e, p.inc_quality, p.cinc_quality, p.clude_quality
+        );
+    }
+    println!("# paper shape: INC's loss grows sharply with delta_e (up to ~7); CINC and CLUDE stay flat and small");
+
+    println!("# Figure 9b: speedup over BF vs delta_e");
+    println!("delta_e\tinc_speedup\tcinc_speedup\tclude_speedup");
+    for p in &points {
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}",
+            p.delta_e, p.inc_speedup, p.cinc_speedup, p.clude_speedup
+        );
+    }
+    println!("# paper shape: CLUDE 10–20x, CINC in between, INC lowest; all speedups shrink as delta_e grows");
+}

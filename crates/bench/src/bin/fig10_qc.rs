@@ -1,0 +1,41 @@
+//! Figure 10: the LUDEM-QC experiment — quality-loss and speed-up versus the
+//! quality requirement β on the symmetric DBLP-like EMS.
+//!
+//! Usage: `cargo run -p clude-bench --release --bin fig10_qc [tiny|default|large] [seed]`
+
+use clude_bench::{beta_sweep, BenchScale, Datasets};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| BenchScale::parse(s))
+        .unwrap_or(BenchScale::Default);
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42u64);
+    let data = Datasets::new(scale, seed);
+    let betas = [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+
+    eprintln!("# sweeping beta on the symmetric DBLP-like EMS ({scale:?}, seed {seed}) …");
+    let ems = data.dblp_symmetric_ems();
+    let points = beta_sweep(&ems, &betas);
+
+    println!("# Figure 10a: average quality-loss vs beta (constraint: max loss <= beta)");
+    println!("beta\tcinc_quality\tclude_quality\tclude_max_quality");
+    for p in &points {
+        println!(
+            "{:.2}\t{:.4}\t{:.4}\t{:.4}",
+            p.beta, p.cinc_quality, p.clude_quality, p.clude_max_quality
+        );
+    }
+    println!("# paper shape: both stay well within beta; CLUDE's loss below CINC's; loss grows with beta");
+
+    println!("# Figure 10b: speedup over BF vs beta");
+    println!("beta\tinc_speedup\tcinc_speedup\tclude_speedup");
+    for p in &points {
+        println!(
+            "{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            p.beta, p.inc_speedup, p.cinc_speedup, p.clude_speedup
+        );
+    }
+    println!("# paper shape: speedup grows with beta (bigger clusters); CLUDE >10x and above CINC throughout");
+}

@@ -1,0 +1,240 @@
+//! Bench-scale dataset configurations.
+//!
+//! The paper's datasets have 20 000–98 000 nodes and 500–1000 snapshots; the
+//! harness defaults to a laptop-scale rendition of each (same density, drift
+//! and growth *shape*, smaller node count and snapshot count) so the whole
+//! reproduction runs in minutes.  `BenchScale::Tiny` is used by the Criterion
+//! benches and unit tests; `BenchScale::Default` by the figure binaries;
+//! `BenchScale::Large` approaches the paper's scale for users with time to
+//! spare.
+
+use clude::EvolvingMatrixSequence;
+use clude_graph::generators::{
+    dblp_like, patent_like, synthetic, wiki_like, DblpLikeConfig, PatentEgs, PatentLikeConfig,
+    SyntheticConfig, WikiLikeConfig,
+};
+use clude_graph::{EvolvingGraphSequence, MatrixKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The damping factor used by all random-walk matrices in the harness.
+pub const DAMPING: f64 = 0.85;
+
+/// How large the generated datasets should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// Very small: Criterion benches and smoke tests (seconds).
+    Tiny,
+    /// Default figure-binary scale (a few minutes for the full suite).
+    Default,
+    /// Closer to the paper's scale (tens of minutes to hours).
+    Large,
+}
+
+impl BenchScale {
+    /// Parses `tiny` / `default` / `large` (used by the binaries' CLI).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(BenchScale::Tiny),
+            "default" => Some(BenchScale::Default),
+            "large" => Some(BenchScale::Large),
+            _ => None,
+        }
+    }
+}
+
+/// Factory for the bench datasets at a chosen scale.
+#[derive(Debug, Clone, Copy)]
+pub struct Datasets {
+    scale: BenchScale,
+    seed: u64,
+}
+
+impl Datasets {
+    /// Creates a factory with the given scale and RNG seed.
+    pub fn new(scale: BenchScale, seed: u64) -> Self {
+        Datasets { scale, seed }
+    }
+
+    /// The scale of this factory.
+    pub fn scale(&self) -> BenchScale {
+        self.scale
+    }
+
+    /// The Wiki-like configuration at this scale.
+    pub fn wiki_config(&self) -> WikiLikeConfig {
+        match self.scale {
+            BenchScale::Tiny => WikiLikeConfig {
+                n_pages: 250,
+                initial_links: 750,
+                final_links: 1_000,
+                n_snapshots: 24,
+                removals_per_snapshot: 2,
+                burst_probability: 0.08,
+                burst_size: 8,
+            },
+            BenchScale::Default => WikiLikeConfig {
+                n_pages: 900,
+                initial_links: 2_700,
+                final_links: 4_300,
+                n_snapshots: 150,
+                removals_per_snapshot: 2,
+                burst_probability: 0.04,
+                burst_size: 12,
+            },
+            BenchScale::Large => WikiLikeConfig::paper_scale(),
+        }
+    }
+
+    /// The DBLP-like configuration at this scale.
+    pub fn dblp_config(&self) -> DblpLikeConfig {
+        match self.scale {
+            BenchScale::Tiny => DblpLikeConfig {
+                n_authors: 250,
+                initial_papers: 300,
+                papers_per_snapshot: 3,
+                max_authors_per_paper: 4,
+                n_snapshots: 24,
+            },
+            BenchScale::Default => DblpLikeConfig {
+                n_authors: 900,
+                initial_papers: 1_100,
+                papers_per_snapshot: 3,
+                max_authors_per_paper: 4,
+                n_snapshots: 150,
+            },
+            BenchScale::Large => DblpLikeConfig::paper_scale(),
+        }
+    }
+
+    /// The synthetic configuration at this scale with the given `ΔE`.
+    pub fn synthetic_config(&self, delta_e: usize) -> SyntheticConfig {
+        match self.scale {
+            BenchScale::Tiny => SyntheticConfig {
+                n_vertices: 250,
+                edge_pool_size: 2_250,
+                initial_degree: 5,
+                add_remove_ratio: 4,
+                delta_e: (delta_e / 60).max(2),
+                n_snapshots: 20,
+            },
+            BenchScale::Default => SyntheticConfig {
+                n_vertices: 900,
+                edge_pool_size: 8_100,
+                initial_degree: 5,
+                add_remove_ratio: 4,
+                delta_e: (delta_e / 50).max(3),
+                n_snapshots: 100,
+            },
+            BenchScale::Large => SyntheticConfig {
+                delta_e,
+                ..SyntheticConfig::paper_scale()
+            },
+        }
+    }
+
+    /// The patent-citation configuration at this scale.
+    pub fn patent_config(&self) -> PatentLikeConfig {
+        match self.scale {
+            BenchScale::Tiny => PatentLikeConfig {
+                n_companies: 6,
+                initial_patents: 150,
+                final_patents: 450,
+                n_snapshots: 10,
+                citations_per_patent: 4,
+                subject_company: 0,
+                rising_company: 1,
+            },
+            BenchScale::Default => PatentLikeConfig {
+                n_companies: 8,
+                initial_patents: 400,
+                final_patents: 1_400,
+                n_snapshots: 21,
+                citations_per_patent: 4,
+                subject_company: 0,
+                rising_company: 1,
+            },
+            BenchScale::Large => PatentLikeConfig {
+                n_companies: 10,
+                initial_patents: 4_000,
+                final_patents: 16_000,
+                n_snapshots: 25,
+                citations_per_patent: 5,
+                subject_company: 0,
+                rising_company: 1,
+            },
+        }
+    }
+
+    /// The Wiki-like EGS.
+    pub fn wiki_egs(&self) -> EvolvingGraphSequence {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        wiki_like::generate(&self.wiki_config(), &mut rng)
+    }
+
+    /// The Wiki-like EMS (`A = I − dW`).
+    pub fn wiki_ems(&self) -> EvolvingMatrixSequence {
+        EvolvingMatrixSequence::from_egs(&self.wiki_egs(), MatrixKind::RandomWalk { damping: DAMPING })
+    }
+
+    /// The DBLP-like EGS (symmetric co-authorship).
+    pub fn dblp_egs(&self) -> EvolvingGraphSequence {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        dblp_like::generate(&self.dblp_config(), &mut rng)
+    }
+
+    /// The DBLP-like EMS with the symmetric composition (for LUDEM-QC).
+    pub fn dblp_symmetric_ems(&self) -> EvolvingMatrixSequence {
+        EvolvingMatrixSequence::from_egs(
+            &self.dblp_egs(),
+            MatrixKind::SymmetricLaplacian { shift: 1.0 },
+        )
+    }
+
+    /// The DBLP-like EMS with the random-walk composition (for the quality /
+    /// speed figures).
+    pub fn dblp_random_walk_ems(&self) -> EvolvingMatrixSequence {
+        EvolvingMatrixSequence::from_egs(&self.dblp_egs(), MatrixKind::RandomWalk { damping: DAMPING })
+    }
+
+    /// A synthetic EMS for the given `ΔE`.
+    pub fn synthetic_ems(&self, delta_e: usize) -> EvolvingMatrixSequence {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));
+        let egs = synthetic::generate(&self.synthetic_config(delta_e), &mut rng);
+        EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping: DAMPING })
+    }
+
+    /// The patent-citation EGS with company labels.
+    pub fn patent_egs(&self) -> PatentEgs {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(3));
+        patent_like::generate(&self.patent_config(), &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(BenchScale::parse("tiny"), Some(BenchScale::Tiny));
+        assert_eq!(BenchScale::parse("DEFAULT"), Some(BenchScale::Default));
+        assert_eq!(BenchScale::parse("large"), Some(BenchScale::Large));
+        assert_eq!(BenchScale::parse("paper"), None);
+    }
+
+    #[test]
+    fn tiny_datasets_are_well_formed() {
+        let d = Datasets::new(BenchScale::Tiny, 7);
+        let wiki = d.wiki_ems();
+        assert_eq!(wiki.order(), 250);
+        assert!(wiki.average_successive_similarity() > 0.9);
+        let dblp = d.dblp_symmetric_ems();
+        assert!(dblp.is_symmetric());
+        let synth = d.synthetic_ems(500);
+        assert_eq!(synth.len(), 20);
+        let patent = d.patent_egs();
+        assert_eq!(patent.egs.len(), 10);
+        assert_eq!(d.scale(), BenchScale::Tiny);
+    }
+}

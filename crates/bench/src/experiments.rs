@@ -1,0 +1,255 @@
+//! Experiment drivers behind the figure binaries and Criterion benches.
+//!
+//! Each driver reproduces the measurement protocol of one (or a pair of)
+//! figures: it runs the relevant algorithms, expresses times as speed-ups
+//! over BF and quality as quality-loss against the Markowitz reference, and
+//! returns plain structs that the binaries print.
+
+use clude::{
+    evaluate_orderings, BruteForce, CincQc, Clude, CludeQc, ClusterIncremental,
+    EvolvingMatrixSequence, Incremental, LudemSolver, MarkowitzReference, SolverConfig,
+    TimingBreakdown,
+};
+use std::time::Duration;
+
+/// One row of the α-sweep (Figures 6, 7 and 8 share it).
+#[derive(Debug, Clone)]
+pub struct AlphaPoint {
+    /// The similarity threshold α.
+    pub alpha: f64,
+    /// Average quality-loss of CINC's orderings.
+    pub cinc_quality: f64,
+    /// Average quality-loss of CLUDE's orderings.
+    pub clude_quality: f64,
+    /// Speed-up of CINC over BF.
+    pub cinc_speedup: f64,
+    /// Speed-up of CLUDE over BF.
+    pub clude_speedup: f64,
+    /// Number of clusters CLUDE used.
+    pub clude_clusters: usize,
+    /// CLUDE's timing breakdown (Figure 8a).
+    pub clude_breakdown: TimingBreakdown,
+    /// CINC's Bennett (incremental) time, for the Figure 8b comparison.
+    pub cinc_bennett: Duration,
+}
+
+/// The α-independent measurements of the same experiment.
+#[derive(Debug, Clone)]
+pub struct SweepBaselines {
+    /// Total BF time (the speed-up denominator).
+    pub bf_total: Duration,
+    /// Average quality-loss of INC (α-independent).
+    pub inc_quality: f64,
+    /// Per-matrix quality-loss of INC (Figure 5).
+    pub inc_quality_series: Vec<f64>,
+    /// Speed-up of INC over BF.
+    pub inc_speedup: f64,
+}
+
+/// Figure 5: the per-matrix quality-loss of INC's single ordering.
+pub fn inc_quality_series(
+    ems: &EvolvingMatrixSequence,
+    reference: &MarkowitzReference,
+) -> Vec<f64> {
+    let inc = Incremental
+        .solve(ems, &SolverConfig::timing_only())
+        .expect("INC decomposition succeeds");
+    evaluate_orderings(ems, &inc.report.orderings, reference).per_matrix
+}
+
+/// Runs BF and INC once (the α-independent parts of Figures 5–8).
+pub fn sweep_baselines(ems: &EvolvingMatrixSequence) -> (SweepBaselines, MarkowitzReference) {
+    let (bf, reference) = BruteForce
+        .solve_with_reference(ems, &SolverConfig::timing_only())
+        .expect("BF decomposition succeeds");
+    let bf_total = bf.report.timings.total();
+    let inc = Incremental
+        .solve(ems, &SolverConfig::timing_only())
+        .expect("INC decomposition succeeds");
+    let inc_eval = evaluate_orderings(ems, &inc.report.orderings, &reference);
+    let baselines = SweepBaselines {
+        bf_total,
+        inc_quality: inc_eval.average(),
+        inc_quality_series: inc_eval.per_matrix,
+        inc_speedup: inc.report.speedup_over(bf_total),
+    };
+    (baselines, reference)
+}
+
+/// Figures 6–8: sweeps α for CINC and CLUDE.
+pub fn alpha_sweep(
+    ems: &EvolvingMatrixSequence,
+    alphas: &[f64],
+    baselines: &SweepBaselines,
+    reference: &MarkowitzReference,
+) -> Vec<AlphaPoint> {
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        let cinc = ClusterIncremental::new(alpha)
+            .solve(ems, &SolverConfig::timing_only())
+            .expect("CINC decomposition succeeds");
+        let clude = Clude::new(alpha)
+            .solve(ems, &SolverConfig::timing_only())
+            .expect("CLUDE decomposition succeeds");
+        let cinc_quality = evaluate_orderings(ems, &cinc.report.orderings, reference).average();
+        let clude_quality = evaluate_orderings(ems, &clude.report.orderings, reference).average();
+        points.push(AlphaPoint {
+            alpha,
+            cinc_quality,
+            clude_quality,
+            cinc_speedup: cinc.report.speedup_over(baselines.bf_total),
+            clude_speedup: clude.report.speedup_over(baselines.bf_total),
+            clude_clusters: clude.report.cluster_count(),
+            clude_breakdown: clude.report.timings,
+            cinc_bennett: cinc.report.timings.incremental,
+        });
+    }
+    points
+}
+
+/// One row of the ΔE sweep (Figure 9).
+#[derive(Debug, Clone)]
+pub struct DeltaEPoint {
+    /// The ΔE parameter of the synthetic generator.
+    pub delta_e: usize,
+    /// Average quality-losses.
+    pub inc_quality: f64,
+    /// Average quality-loss of CINC.
+    pub cinc_quality: f64,
+    /// Average quality-loss of CLUDE.
+    pub clude_quality: f64,
+    /// Speed-ups over BF.
+    pub inc_speedup: f64,
+    /// Speed-up of CINC over BF.
+    pub cinc_speedup: f64,
+    /// Speed-up of CLUDE over BF.
+    pub clude_speedup: f64,
+}
+
+/// Figure 9: varies the per-snapshot change volume ΔE on the synthetic EMS.
+pub fn delta_e_sweep<F>(delta_es: &[usize], alpha: f64, mut make_ems: F) -> Vec<DeltaEPoint>
+where
+    F: FnMut(usize) -> EvolvingMatrixSequence,
+{
+    let mut points = Vec::with_capacity(delta_es.len());
+    for &delta_e in delta_es {
+        let ems = make_ems(delta_e);
+        let (baselines, reference) = sweep_baselines(&ems);
+        let sweep = alpha_sweep(&ems, &[alpha], &baselines, &reference);
+        let point = &sweep[0];
+        points.push(DeltaEPoint {
+            delta_e,
+            inc_quality: baselines.inc_quality,
+            cinc_quality: point.cinc_quality,
+            clude_quality: point.clude_quality,
+            inc_speedup: baselines.inc_speedup,
+            cinc_speedup: point.cinc_speedup,
+            clude_speedup: point.clude_speedup,
+        });
+    }
+    points
+}
+
+/// One row of the β sweep (Figure 10, LUDEM-QC).
+#[derive(Debug, Clone)]
+pub struct BetaPoint {
+    /// The quality requirement β.
+    pub beta: f64,
+    /// Average quality-loss of CINC-QC (always ≤ β).
+    pub cinc_quality: f64,
+    /// Average quality-loss of CLUDE-QC (always ≤ β).
+    pub clude_quality: f64,
+    /// Maximum per-matrix quality-loss of CLUDE-QC (constraint check).
+    pub clude_max_quality: f64,
+    /// Speed-up of CINC-QC over BF.
+    pub cinc_speedup: f64,
+    /// Speed-up of CLUDE-QC over BF.
+    pub clude_speedup: f64,
+    /// Speed-up of plain INC over BF (shown as the flat reference line).
+    pub inc_speedup: f64,
+}
+
+/// Figure 10: sweeps the quality requirement β on a symmetric EMS.
+pub fn beta_sweep(ems: &EvolvingMatrixSequence, betas: &[f64]) -> Vec<BetaPoint> {
+    let (baselines, reference) = sweep_baselines(ems);
+    let mut points = Vec::with_capacity(betas.len());
+    for &beta in betas {
+        let cinc = CincQc::new(beta)
+            .solve(ems, &SolverConfig::timing_only())
+            .expect("CINC-QC decomposition succeeds");
+        let clude = CludeQc::new(beta)
+            .solve(ems, &SolverConfig::timing_only())
+            .expect("CLUDE-QC decomposition succeeds");
+        let cinc_eval = evaluate_orderings(ems, &cinc.report.orderings, &reference);
+        let clude_eval = evaluate_orderings(ems, &clude.report.orderings, &reference);
+        points.push(BetaPoint {
+            beta,
+            cinc_quality: cinc_eval.average(),
+            clude_quality: clude_eval.average(),
+            clude_max_quality: clude_eval.max(),
+            cinc_speedup: cinc.report.speedup_over(baselines.bf_total),
+            clude_speedup: clude.report.speedup_over(baselines.bf_total),
+            inc_speedup: baselines.inc_speedup,
+        });
+    }
+    points
+}
+
+/// Pretty-prints a duration in seconds with three decimals.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{BenchScale, Datasets};
+
+    #[test]
+    fn alpha_sweep_shapes_match_the_paper() {
+        let data = Datasets::new(BenchScale::Tiny, 3);
+        let ems = data.wiki_ems();
+        let (baselines, reference) = sweep_baselines(&ems);
+        let points = alpha_sweep(&ems, &[0.90, 0.98], &baselines, &reference);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // Cluster-based orderings beat (or match) INC's single ordering.
+            assert!(p.clude_quality <= baselines.inc_quality + 1e-9);
+            assert!(p.cinc_quality <= baselines.inc_quality + 1e-9);
+            // CLUDE's ordering is at least as good as CINC's.
+            assert!(p.clude_quality <= p.cinc_quality + 1e-9);
+            assert!(p.clude_speedup > 0.0 && p.cinc_speedup > 0.0);
+        }
+        // Tighter alpha => quality no worse.
+        assert!(points[1].clude_quality <= points[0].clude_quality + 1e-9);
+        // INC quality series is non-decreasing in the large (first vs last).
+        let series = &baselines.inc_quality_series;
+        assert!(series.last().unwrap() >= series.first().unwrap());
+    }
+
+    #[test]
+    fn beta_sweep_respects_the_constraint() {
+        let data = Datasets::new(BenchScale::Tiny, 5);
+        let ems = data.dblp_symmetric_ems();
+        let points = beta_sweep(&ems, &[0.0, 0.2]);
+        for p in &points {
+            assert!(p.clude_max_quality <= p.beta + 1e-9);
+            assert!(p.clude_quality <= p.cinc_quality + 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_e_sweep_runs_end_to_end() {
+        let data = Datasets::new(BenchScale::Tiny, 11);
+        let points = delta_e_sweep(&[300, 700], 0.95, |de| data.synthetic_ems(de));
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // At the tiny scale the drift is so small that INC's ordering is
+            // already near-optimal; allow a small tolerance instead of a
+            // strict ordering.
+            assert!(p.clude_quality <= p.inc_quality + 0.05);
+            assert!(p.clude_quality >= 0.0 && p.cinc_quality >= 0.0);
+            assert!(p.clude_speedup > 0.0);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! α-clustering of an evolving matrix sequence (Algorithm 1).
+//!
+//! CLUDE's cluster-based algorithms group *consecutive* matrices of an EMS
+//! into clusters so that one ordering (and, for CLUDE, one static structure)
+//! can serve every matrix in a cluster.  A cluster `C` is summarised by the
+//! bounding matrices `A_∩` and `A_∪` (Definition 7) and is *α-bounded* when
+//! `mes(A_∩, A_∪) ≥ α` (Definition 8).  Because snapshots evolve gradually,
+//! the paper partitions the sequence greedily from left to right; this module
+//! implements that segmentation.
+
+use crate::ems::EvolvingMatrixSequence;
+use clude_sparse::SparsityPattern;
+use std::ops::Range;
+
+/// A contiguous cluster of matrix indices `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Index of the first matrix of the cluster.
+    pub start: usize,
+    /// One past the index of the last matrix of the cluster.
+    pub end: usize,
+}
+
+impl Cluster {
+    /// The indices covered by this cluster.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of matrices in the cluster.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a degenerate empty cluster (never produced by the
+    /// clustering routines).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// A partition of an EMS into consecutive clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    clusters: Vec<Cluster>,
+}
+
+impl Clustering {
+    /// Builds a clustering from explicit clusters (they must tile `0..T`).
+    pub fn new(clusters: Vec<Cluster>) -> Self {
+        debug_assert!(!clusters.is_empty());
+        debug_assert!(clusters[0].start == 0);
+        debug_assert!(clusters.windows(2).all(|w| w[0].end == w[1].start));
+        Clustering { clusters }
+    }
+
+    /// The clusters, in sequence order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Always `false`: a clustering covers at least one matrix.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sizes of all clusters.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(Cluster::len).collect()
+    }
+
+    /// Average cluster size.
+    pub fn average_size(&self) -> f64 {
+        let total: usize = self.sizes().iter().sum();
+        total as f64 / self.clusters.len() as f64
+    }
+}
+
+/// Incrementally maintained cluster bounds `A_∩` / `A_∪` (patterns only).
+///
+/// The clustering algorithms repeatedly ask "would adding the next matrix
+/// keep the cluster α-bounded?", so the bounds are maintained incrementally
+/// rather than recomputed from scratch.
+#[derive(Debug, Clone)]
+pub struct ClusterBounds {
+    intersection: SparsityPattern,
+    union: SparsityPattern,
+}
+
+impl ClusterBounds {
+    /// Starts a cluster containing a single pattern.
+    pub fn new(first: SparsityPattern) -> Self {
+        ClusterBounds {
+            intersection: first.clone(),
+            union: first,
+        }
+    }
+
+    /// The pattern of `A_∩`.
+    pub fn intersection(&self) -> &SparsityPattern {
+        &self.intersection
+    }
+
+    /// The pattern of `A_∪`.
+    pub fn union(&self) -> &SparsityPattern {
+        &self.union
+    }
+
+    /// The bounds that would result from adding `pattern` to the cluster.
+    pub fn with(&self, pattern: &SparsityPattern) -> ClusterBounds {
+        ClusterBounds {
+            intersection: self
+                .intersection
+                .intersection(pattern)
+                .expect("patterns share a shape"),
+            union: self.union.union(pattern).expect("patterns share a shape"),
+        }
+    }
+
+    /// `mes(A_∩, A_∪)` — the compactness of the cluster.
+    pub fn compactness(&self) -> f64 {
+        self.intersection
+            .mes(&self.union)
+            .expect("bounds share a shape")
+    }
+
+    /// Returns `true` when the cluster is α-bounded (Definition 8).
+    pub fn is_alpha_bounded(&self, alpha: f64) -> bool {
+        self.compactness() >= alpha
+    }
+}
+
+/// Algorithm 1: greedy α-clustering of the sequence.
+///
+/// # Panics
+/// Panics when `alpha` is not in `[0, 1]`.
+pub fn alpha_clustering(ems: &EvolvingMatrixSequence, alpha: f64) -> Clustering {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1]");
+    let mut clusters = Vec::new();
+    let mut start = 0usize;
+    let mut bounds = ClusterBounds::new(ems.pattern(0));
+    for i in 1..ems.len() {
+        let candidate = bounds.with(&ems.pattern(i));
+        if candidate.is_alpha_bounded(alpha) {
+            bounds = candidate;
+        } else {
+            clusters.push(Cluster { start, end: i });
+            start = i;
+            bounds = ClusterBounds::new(ems.pattern(i));
+        }
+    }
+    clusters.push(Cluster {
+        start,
+        end: ems.len(),
+    });
+    Clustering::new(clusters)
+}
+
+/// The union pattern `sp(A_∪)` of a cluster of matrices — the input of
+/// CLUDE's universal symbolic sparsity pattern (Theorem 1).
+pub fn cluster_union_pattern(ems: &EvolvingMatrixSequence, cluster: &Cluster) -> SparsityPattern {
+    let mut union = ems.pattern(cluster.start);
+    for i in cluster.start + 1..cluster.end {
+        union = union
+            .union(&ems.pattern(i))
+            .expect("matrices of an EMS share a shape");
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_sparse::{CooMatrix, CsrMatrix};
+
+    /// Builds a sequence whose patterns drift: each matrix adds one new
+    /// off-diagonal entry and keeps the previous ones.
+    fn drifting_ems(t: usize, n: usize) -> EvolvingMatrixSequence {
+        let mut matrices = Vec::new();
+        let mut extra: Vec<(usize, usize)> = Vec::new();
+        for step in 0..t {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 3.0).unwrap();
+            }
+            extra.push(((step + 1) % n, (step * 2 + 3) % n));
+            for &(i, j) in &extra {
+                if i != j {
+                    coo.push(i, j, -1.0).unwrap();
+                }
+            }
+            matrices.push(CsrMatrix::from_coo(&coo));
+        }
+        EvolvingMatrixSequence::new(matrices).unwrap()
+    }
+
+    #[test]
+    fn alpha_one_makes_singleton_clusters_under_drift() {
+        let ems = drifting_ems(6, 10);
+        let clustering = alpha_clustering(&ems, 1.0);
+        // Every addition changes the pattern, so mes(A∩,A∪) < 1 as soon as a
+        // second distinct matrix joins.
+        assert_eq!(clustering.len(), 6);
+        assert!(clustering.sizes().iter().all(|&s| s == 1));
+        assert_eq!(clustering.average_size(), 1.0);
+    }
+
+    #[test]
+    fn alpha_zero_yields_single_cluster() {
+        let ems = drifting_ems(6, 10);
+        let clustering = alpha_clustering(&ems, 0.0);
+        assert_eq!(clustering.len(), 1);
+        assert_eq!(clustering.clusters()[0], Cluster { start: 0, end: 6 });
+        assert!(!clustering.is_empty());
+    }
+
+    #[test]
+    fn intermediate_alpha_produces_contiguous_tiling() {
+        let ems = drifting_ems(12, 10);
+        let clustering = alpha_clustering(&ems, 0.93);
+        let clusters = clustering.clusters();
+        assert!(clusters.len() >= 2, "expected some segmentation");
+        assert_eq!(clusters[0].start, 0);
+        assert_eq!(clusters.last().unwrap().end, 12);
+        for w in clusters.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Every cluster is alpha-bounded by construction.
+        for c in clusters {
+            let mut bounds = ClusterBounds::new(ems.pattern(c.start));
+            for i in c.start + 1..c.end {
+                bounds = bounds.with(&ems.pattern(i));
+            }
+            assert!(bounds.is_alpha_bounded(0.93));
+        }
+    }
+
+    #[test]
+    fn larger_alpha_never_produces_fewer_clusters() {
+        let ems = drifting_ems(15, 12);
+        let loose = alpha_clustering(&ems, 0.90).len();
+        let tight = alpha_clustering(&ems, 0.97).len();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn cluster_union_pattern_covers_members() {
+        let ems = drifting_ems(5, 8);
+        let cluster = Cluster { start: 1, end: 4 };
+        let union = cluster_union_pattern(&ems, &cluster);
+        for i in cluster.range() {
+            assert!(ems.pattern(i).is_subset_of(&union));
+        }
+        assert_eq!(cluster.len(), 3);
+        assert!(!cluster.is_empty());
+    }
+
+    #[test]
+    fn bounds_track_intersection_and_union() {
+        let ems = drifting_ems(3, 6);
+        let bounds = ClusterBounds::new(ems.pattern(0)).with(&ems.pattern(1)).with(&ems.pattern(2));
+        assert!(bounds.intersection().is_subset_of(bounds.union()));
+        assert!(bounds.compactness() <= 1.0);
+        assert!(bounds.compactness() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let ems = drifting_ems(2, 4);
+        alpha_clustering(&ems, 1.5);
+    }
+}

@@ -1,0 +1,228 @@
+//! Evolving matrix sequences (EMS).
+//!
+//! An [`EvolvingMatrixSequence`] is the paper's `M = {A_1, …, A_T}`: one
+//! square sparse matrix per graph snapshot, all of the same order.  It is the
+//! input of the LUDEM and LUDEM-QC problems (Definitions 3 and 5).
+
+use clude_graph::{evolving_matrix_sequence, EvolvingGraphSequence, MatrixKind};
+use clude_sparse::{CsrMatrix, SparsityPattern};
+use std::fmt;
+
+/// Errors raised when assembling an EMS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmsError {
+    /// The sequence contained no matrices.
+    Empty,
+    /// A matrix was not square.
+    NotSquare {
+        /// Index of the offending matrix.
+        index: usize,
+    },
+    /// A matrix had a different order than the first one.
+    OrderMismatch {
+        /// Index of the offending matrix.
+        index: usize,
+        /// Expected order (that of the first matrix).
+        expected: usize,
+        /// Actual order.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for EmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmsError::Empty => write!(f, "an evolving matrix sequence needs at least one matrix"),
+            EmsError::NotSquare { index } => write!(f, "matrix {index} is not square"),
+            EmsError::OrderMismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "matrix {index} has order {actual}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmsError {}
+
+/// The sequence of matrices derived from an evolving graph sequence.
+#[derive(Debug, Clone)]
+pub struct EvolvingMatrixSequence {
+    matrices: Vec<CsrMatrix>,
+}
+
+impl EvolvingMatrixSequence {
+    /// Builds an EMS from explicit matrices, validating shape uniformity.
+    pub fn new(matrices: Vec<CsrMatrix>) -> Result<Self, EmsError> {
+        if matrices.is_empty() {
+            return Err(EmsError::Empty);
+        }
+        let n = matrices[0].n_rows();
+        for (index, m) in matrices.iter().enumerate() {
+            if !m.is_square() {
+                return Err(EmsError::NotSquare { index });
+            }
+            if m.n_rows() != n {
+                return Err(EmsError::OrderMismatch {
+                    index,
+                    expected: n,
+                    actual: m.n_rows(),
+                });
+            }
+        }
+        Ok(EvolvingMatrixSequence { matrices })
+    }
+
+    /// Derives the EMS of a graph sequence for the given matrix composition.
+    pub fn from_egs(egs: &EvolvingGraphSequence, kind: MatrixKind) -> Self {
+        let matrices = evolving_matrix_sequence(egs, kind);
+        EvolvingMatrixSequence { matrices }
+    }
+
+    /// Matrix order `n` (number of graph nodes).
+    pub fn order(&self) -> usize {
+        self.matrices[0].n_rows()
+    }
+
+    /// Sequence length `T`.
+    pub fn len(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Always `false` (construction rejects empty sequences).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th matrix (0-based).
+    pub fn matrix(&self, i: usize) -> &CsrMatrix {
+        &self.matrices[i]
+    }
+
+    /// All matrices as a slice.
+    pub fn matrices(&self) -> &[CsrMatrix] {
+        &self.matrices
+    }
+
+    /// Iterator over the matrices.
+    pub fn iter(&self) -> impl Iterator<Item = &CsrMatrix> {
+        self.matrices.iter()
+    }
+
+    /// The sparsity pattern of the `i`-th matrix.
+    pub fn pattern(&self, i: usize) -> SparsityPattern {
+        self.matrices[i].pattern()
+    }
+
+    /// Average `mes` similarity between successive matrices (the statistic
+    /// the paper reports as >99 % on its datasets).
+    pub fn average_successive_similarity(&self) -> f64 {
+        if self.matrices.len() < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for w in self.matrices.windows(2) {
+            total += w[0]
+                .pattern()
+                .mes(&w[1].pattern())
+                .expect("matrices share a shape");
+        }
+        total / (self.matrices.len() - 1) as f64
+    }
+
+    /// Returns `true` when every matrix of the sequence is structurally and
+    /// numerically symmetric (the precondition of LUDEM-QC).
+    pub fn is_symmetric(&self) -> bool {
+        self.matrices.iter().all(|m| {
+            let p = m.pattern();
+            p.is_symmetric() && p.iter().all(|(i, j)| (m.get(i, j) - m.get(j, i)).abs() < 1e-12)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_graph::{DiGraph, EvolvingGraphSequence};
+    use clude_sparse::CooMatrix;
+
+    fn small_matrix(n: usize, extra: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+        }
+        for &(i, j, v) in extra {
+            coo.push(i, j, v).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert_eq!(EvolvingMatrixSequence::new(vec![]).unwrap_err(), EmsError::Empty);
+        let rect = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
+        assert!(matches!(
+            EvolvingMatrixSequence::new(vec![rect]).unwrap_err(),
+            EmsError::NotSquare { index: 0 }
+        ));
+        let a = small_matrix(3, &[]);
+        let b = small_matrix(4, &[]);
+        assert!(matches!(
+            EvolvingMatrixSequence::new(vec![a.clone(), b]).unwrap_err(),
+            EmsError::OrderMismatch { index: 1, .. }
+        ));
+        let ok = EvolvingMatrixSequence::new(vec![a.clone(), a]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.order(), 3);
+        assert!(!ok.is_empty());
+    }
+
+    #[test]
+    fn from_egs_produces_one_matrix_per_snapshot() {
+        let g1 = DiGraph::from_edges(4, vec![(0, 1), (1, 2)]);
+        let mut g2 = g1.clone();
+        g2.add_edge(2, 3);
+        let egs = EvolvingGraphSequence::from_snapshots(vec![g1, g2]);
+        let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::random_walk_default());
+        assert_eq!(ems.len(), 2);
+        assert_eq!(ems.order(), 4);
+        assert!(ems.matrix(1).get(3, 2) < 0.0);
+        assert_eq!(ems.matrix(0).get(3, 2), 0.0);
+        assert_eq!(ems.iter().count(), 2);
+        assert_eq!(ems.matrices().len(), 2);
+    }
+
+    #[test]
+    fn similarity_and_symmetry_checks() {
+        let a = small_matrix(3, &[(0, 1, -1.0), (1, 0, -1.0)]);
+        let b = small_matrix(3, &[(0, 1, -1.0), (1, 0, -1.0), (1, 2, -1.0), (2, 1, -1.0)]);
+        let ems = EvolvingMatrixSequence::new(vec![a.clone(), b]).unwrap();
+        assert!(ems.average_successive_similarity() > 0.7);
+        assert!(ems.is_symmetric());
+        let single = EvolvingMatrixSequence::new(vec![a]).unwrap();
+        assert_eq!(single.average_successive_similarity(), 1.0);
+        // Non-symmetric sequence detected.
+        let c = small_matrix(3, &[(0, 1, -1.0)]);
+        let ems2 = EvolvingMatrixSequence::new(vec![c]).unwrap();
+        assert!(!ems2.is_symmetric());
+        // Structurally symmetric but numerically asymmetric.
+        let d = small_matrix(3, &[(0, 1, -1.0), (1, 0, -0.5)]);
+        assert!(!EvolvingMatrixSequence::new(vec![d]).unwrap().is_symmetric());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EmsError::Empty.to_string().contains("at least one"));
+        assert!(EmsError::NotSquare { index: 2 }.to_string().contains("matrix 2"));
+        assert!(EmsError::OrderMismatch {
+            index: 1,
+            expected: 3,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 3"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Small EMS generators used by this crate's unit tests.
+//!
+//! These build tiny but non-trivial evolving matrix sequences quickly, so the
+//! algorithm tests exercise realistic drift without pulling in the full
+//! dataset simulators of `clude-graph::generators` (which the integration
+//! tests and benches use instead).
+
+use crate::ems::EvolvingMatrixSequence;
+use clude_graph::{DiGraph, EvolvingGraphSequence, MatrixKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A small random-walk (`A = I − dW`) EMS over a drifting directed graph.
+pub fn small_random_walk_ems(n_nodes: usize, n_snapshots: usize, seed: u64) -> EvolvingMatrixSequence {
+    let egs = small_directed_egs(n_nodes, n_snapshots, seed);
+    EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping: 0.85 })
+}
+
+/// A small symmetric (shifted-Laplacian) EMS over a growing undirected graph,
+/// suitable for the LUDEM-QC tests.
+pub fn small_symmetric_ems(n_nodes: usize, n_snapshots: usize, seed: u64) -> EvolvingMatrixSequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n_nodes);
+    // Sparse random undirected base graph.
+    for _ in 0..(2 * n_nodes) {
+        let u = rng.gen_range(0..n_nodes);
+        let v = rng.gen_range(0..n_nodes);
+        if u != v {
+            g.add_undirected_edge(u, v);
+        }
+    }
+    let mut snapshots = vec![g.clone()];
+    for _ in 1..n_snapshots {
+        // Growing co-authorship-like drift: only additions.
+        for _ in 0..3 {
+            let u = rng.gen_range(0..n_nodes);
+            let v = rng.gen_range(0..n_nodes);
+            if u != v {
+                g.add_undirected_edge(u, v);
+            }
+        }
+        snapshots.push(g.clone());
+    }
+    let egs = EvolvingGraphSequence::from_snapshots(snapshots);
+    EvolvingMatrixSequence::from_egs(&egs, MatrixKind::SymmetricLaplacian { shift: 1.0 })
+}
+
+/// A small drifting directed EGS (additions dominate, a few removals).
+pub fn small_directed_egs(n_nodes: usize, n_snapshots: usize, seed: u64) -> EvolvingGraphSequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n_nodes);
+    for _ in 0..(3 * n_nodes) {
+        let u = rng.gen_range(0..n_nodes);
+        let v = rng.gen_range(0..n_nodes);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    let mut snapshots = vec![g.clone()];
+    for _ in 1..n_snapshots {
+        // A few removals...
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        for _ in 0..2 {
+            if let Some(&(u, v)) = edges.get(rng.gen_range(0..edges.len())) {
+                g.remove_edge(u, v);
+            }
+        }
+        // ...and a few more additions.
+        for _ in 0..5 {
+            let u = rng.gen_range(0..n_nodes);
+            let v = rng.gen_range(0..n_nodes);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        snapshots.push(g.clone());
+    }
+    EvolvingGraphSequence::from_snapshots(snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_walk_ems_is_well_formed() {
+        let ems = small_random_walk_ems(20, 5, 1);
+        assert_eq!(ems.len(), 5);
+        assert_eq!(ems.order(), 20);
+        assert!(ems.average_successive_similarity() > 0.8);
+    }
+
+    #[test]
+    fn symmetric_ems_is_symmetric() {
+        let ems = small_symmetric_ems(15, 4, 2);
+        assert!(ems.is_symmetric());
+        assert_eq!(ems.len(), 4);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = small_random_walk_ems(10, 3, 9);
+        let b = small_random_walk_ems(10, 3, 9);
+        assert_eq!(a.matrix(2), b.matrix(2));
+    }
+}

@@ -1,0 +1,129 @@
+//! Universal symbolic sparsity patterns (Definition 9, Lemma 1, Theorem 1).
+//!
+//! A USSP of a cluster is any index set that contains the symbolic sparsity
+//! pattern of *every* matrix in the cluster.  Theorem 1 shows that
+//! `s̃p(A_∪)` — the symbolic pattern of the cluster's union matrix — is such a
+//! set, which is what lets CLUDE build one static factor structure per
+//! cluster.  This module computes that pattern and offers a checker used by
+//! tests and by the verification examples.
+
+use crate::cluster::{cluster_union_pattern, Cluster};
+use crate::ems::EvolvingMatrixSequence;
+use clude_lu::symbolic_decomposition;
+use clude_lu::{reorder_pattern, LuStructure};
+use clude_sparse::{Ordering, SparsityPattern};
+
+/// Computes the USSP of a cluster under a shared ordering `O`:
+/// `s̃p(A_∪^{O})`, as used in Algorithm 3 (lines 1–3).
+pub fn universal_pattern(
+    ems: &EvolvingMatrixSequence,
+    cluster: &Cluster,
+    ordering: &Ordering,
+) -> SparsityPattern {
+    let union = cluster_union_pattern(ems, cluster);
+    let reordered = reorder_pattern(&union, ordering);
+    symbolic_decomposition(&reordered).pattern
+}
+
+/// Builds the static LU structure shared by every matrix of the cluster.
+pub fn universal_structure(
+    ems: &EvolvingMatrixSequence,
+    cluster: &Cluster,
+    ordering: &Ordering,
+) -> LuStructure {
+    let pattern = universal_pattern(ems, cluster, ordering);
+    LuStructure::from_closed_pattern_unchecked(&pattern)
+}
+
+/// Checks Definition 9 directly: `s̃p(A_i^O) ⊆ S` for every cluster member.
+/// Returns the first violating matrix index, or `None` when `candidate` is a
+/// genuine USSP.
+pub fn verify_ussp(
+    ems: &EvolvingMatrixSequence,
+    cluster: &Cluster,
+    ordering: &Ordering,
+    candidate: &SparsityPattern,
+) -> Option<usize> {
+    for i in cluster.range() {
+        let member = symbolic_decomposition(&reorder_pattern(&ems.pattern(i), ordering)).pattern;
+        if !member.is_subset_of(candidate) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_lu::markowitz_ordering;
+    use clude_sparse::{CooMatrix, CsrMatrix};
+
+    fn drifting_ems() -> EvolvingMatrixSequence {
+        let n = 9;
+        let mut matrices = Vec::new();
+        let mut extra: Vec<(usize, usize)> = vec![(0, 3), (4, 1), (7, 2)];
+        for step in 0..5usize {
+            let mut coo = CooMatrix::new(n, n);
+            for i in 0..n {
+                coo.push(i, i, 5.0).unwrap();
+            }
+            extra.push(((3 * step + 2) % n, (5 * step + 1) % n));
+            for &(i, j) in &extra {
+                if i != j {
+                    coo.push(i, j, -1.0).unwrap();
+                }
+            }
+            matrices.push(CsrMatrix::from_coo(&coo));
+        }
+        EvolvingMatrixSequence::new(matrices).unwrap()
+    }
+
+    #[test]
+    fn union_symbolic_pattern_is_a_ussp() {
+        // Theorem 1: s̃p(A_∪) covers every member's s̃p, under any shared
+        // ordering.
+        let ems = drifting_ems();
+        let cluster = Cluster { start: 0, end: ems.len() };
+        let union = cluster_union_pattern(&ems, &cluster);
+        let ordering = markowitz_ordering(&union).ordering;
+        let ussp = universal_pattern(&ems, &cluster, &ordering);
+        assert_eq!(verify_ussp(&ems, &cluster, &ordering, &ussp), None);
+    }
+
+    #[test]
+    fn identity_ordering_ussp_also_valid() {
+        let ems = drifting_ems();
+        let cluster = Cluster { start: 1, end: 4 };
+        let ordering = Ordering::identity(ems.order());
+        let ussp = universal_pattern(&ems, &cluster, &ordering);
+        assert_eq!(verify_ussp(&ems, &cluster, &ordering, &ussp), None);
+    }
+
+    #[test]
+    fn too_small_candidate_is_rejected() {
+        let ems = drifting_ems();
+        let cluster = Cluster { start: 0, end: ems.len() };
+        let ordering = Ordering::identity(ems.order());
+        // A single member's symbolic pattern is generally NOT a USSP for the
+        // whole cluster (later matrices add entries).
+        let small = symbolic_decomposition(&ems.pattern(0)).pattern;
+        let violation = verify_ussp(&ems, &cluster, &ordering, &small);
+        assert!(violation.is_some());
+    }
+
+    #[test]
+    fn universal_structure_covers_every_member_matrix() {
+        let ems = drifting_ems();
+        let cluster = Cluster { start: 0, end: ems.len() };
+        let union = cluster_union_pattern(&ems, &cluster);
+        let ordering = markowitz_ordering(&union).ordering;
+        let structure = universal_structure(&ems, &cluster, &ordering);
+        for i in cluster.range() {
+            let reordered = ems.matrix(i).reorder(&ordering).unwrap();
+            for (r, c, _) in reordered.iter() {
+                assert!(structure.contains(r, c), "missing slot ({r},{c}) for matrix {i}");
+            }
+        }
+    }
+}

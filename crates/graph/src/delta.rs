@@ -1,0 +1,116 @@
+//! Edge deltas between successive graph snapshots.
+//!
+//! An evolving graph sequence stores its first snapshot in full and every
+//! later snapshot as a [`GraphDelta`] against its predecessor, reflecting the
+//! paper's observation that successive snapshots share more than 99 % of
+//! their edges.
+
+use crate::digraph::DiGraph;
+
+/// The set of edge insertions and deletions turning one snapshot into the next.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Directed edges added in the newer snapshot.
+    pub added: Vec<(usize, usize)>,
+    /// Directed edges removed in the newer snapshot.
+    pub removed: Vec<(usize, usize)>,
+}
+
+impl GraphDelta {
+    /// An empty delta (snapshot identical to its predecessor).
+    pub fn empty() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Builds the delta turning `from` into `to`.
+    ///
+    /// # Panics
+    /// Panics when the two graphs have different node counts (snapshots of an
+    /// EGS share a fixed node universe).
+    pub fn between(from: &DiGraph, to: &DiGraph) -> Self {
+        assert_eq!(
+            from.n_nodes(),
+            to.n_nodes(),
+            "snapshots must share a node universe"
+        );
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for (u, v) in to.edges() {
+            if !from.has_edge(u, v) {
+                added.push((u, v));
+            }
+        }
+        for (u, v) in from.edges() {
+            if !to.has_edge(u, v) {
+                removed.push((u, v));
+            }
+        }
+        GraphDelta { added, removed }
+    }
+
+    /// Total number of edge changes, `|ΔE⁺| + |ΔE⁻|` in the paper's notation.
+    pub fn size(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Returns `true` when the delta contains no changes.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Applies the delta to a graph in place (removals first, then additions).
+    pub fn apply(&self, graph: &mut DiGraph) {
+        for &(u, v) in &self.removed {
+            graph.remove_edge(u, v);
+        }
+        for &(u, v) in &self.added {
+            graph.add_edge(u, v);
+        }
+    }
+
+    /// The inverse delta (applying it undoes `self`).
+    pub fn inverse(&self) -> GraphDelta {
+        GraphDelta {
+            added: self.removed.clone(),
+            removed: self.added.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_and_apply_roundtrip() {
+        let a = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let b = DiGraph::from_edges(4, vec![(0, 1), (2, 3), (3, 0), (1, 3)]);
+        let d = GraphDelta::between(&a, &b);
+        assert_eq!(d.size(), 3); // removed (1,2); added (3,0),(1,3)
+        assert_eq!(d.removed, vec![(1, 2)]);
+        let mut a2 = a.clone();
+        d.apply(&mut a2);
+        assert_eq!(a2, b);
+        // Inverse restores the original.
+        let mut b2 = b.clone();
+        d.inverse().apply(&mut b2);
+        assert_eq!(b2, a);
+    }
+
+    #[test]
+    fn empty_delta() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let d = GraphDelta::between(&g, &g);
+        assert!(d.is_empty());
+        assert_eq!(d, GraphDelta::empty());
+        assert_eq!(d.size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node universe")]
+    fn between_requires_same_node_count() {
+        let a = DiGraph::new(2);
+        let b = DiGraph::new(3);
+        GraphDelta::between(&a, &b);
+    }
+}

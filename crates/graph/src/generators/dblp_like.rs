@@ -1,0 +1,211 @@
+//! DBLP-like evolving co-authorship graph simulator.
+//!
+//! The paper's DBLP dataset is a sequence of *co-authorship* snapshots: the
+//! snapshot of a date contains an (undirected) edge between two authors if
+//! they co-authored any paper published before that date.  Edges are
+//! therefore only ever added, the matrices derived from the snapshots are
+//! symmetric, and successive snapshots are ~99.86 % similar.
+//!
+//! This simulator reproduces those characteristics: at every snapshot a
+//! number of "papers" are published; each paper has a small author list drawn
+//! with preferential attachment (prolific authors keep publishing) plus
+//! occasional newcomers, and contributes a clique among its authors.
+
+use crate::delta::GraphDelta;
+use crate::digraph::DiGraph;
+use crate::egs::EvolvingGraphSequence;
+use rand::Rng;
+
+/// Parameters of the DBLP-like co-authorship EGS simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DblpLikeConfig {
+    /// Number of authors (nodes).
+    pub n_authors: usize,
+    /// Number of papers "published" before the first snapshot.
+    pub initial_papers: usize,
+    /// Number of papers published between successive snapshots.
+    pub papers_per_snapshot: usize,
+    /// Maximum number of authors per paper (uniform in `2..=max`).
+    pub max_authors_per_paper: usize,
+    /// Number of snapshots.
+    pub n_snapshots: usize,
+}
+
+impl Default for DblpLikeConfig {
+    /// Laptop-scale configuration with the paper's qualitative shape.
+    fn default() -> Self {
+        DblpLikeConfig {
+            n_authors: 1_500,
+            initial_papers: 1_800,
+            papers_per_snapshot: 12,
+            max_authors_per_paper: 4,
+            n_snapshots: 80,
+        }
+    }
+}
+
+impl DblpLikeConfig {
+    /// A very small configuration for unit tests.
+    pub fn tiny() -> Self {
+        DblpLikeConfig {
+            n_authors: 150,
+            initial_papers: 180,
+            papers_per_snapshot: 5,
+            max_authors_per_paper: 4,
+            n_snapshots: 15,
+        }
+    }
+
+    /// The paper-scale configuration (≈98 000 authors, 1000 snapshots).
+    pub fn paper_scale() -> Self {
+        DblpLikeConfig {
+            n_authors: 97_931,
+            initial_papers: 150_000,
+            papers_per_snapshot: 70,
+            max_authors_per_paper: 5,
+            n_snapshots: 1_000,
+        }
+    }
+}
+
+/// Generates a DBLP-like (symmetric, growing) co-authorship EGS.
+pub fn generate<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> EvolvingGraphSequence {
+    assert!(config.n_authors > 3, "need at least four authors");
+    assert!(config.max_authors_per_paper >= 2, "papers need at least two authors");
+    let mut productivity: Vec<usize> = vec![1; config.n_authors];
+    let mut current = DiGraph::new(config.n_authors);
+    // Papers before the first snapshot.
+    for _ in 0..config.initial_papers {
+        publish_paper(config, &mut current, &mut productivity, rng, None);
+    }
+    let mut egs = EvolvingGraphSequence::from_base(current.clone());
+    for _ in 1..config.n_snapshots {
+        let mut delta = GraphDelta::empty();
+        for _ in 0..config.papers_per_snapshot {
+            publish_paper(config, &mut current, &mut productivity, rng, Some(&mut delta));
+        }
+        egs.push_delta(delta);
+    }
+    egs
+}
+
+/// Samples an author list and adds the paper's co-authorship clique.
+fn publish_paper<R: Rng>(
+    config: &DblpLikeConfig,
+    graph: &mut DiGraph,
+    productivity: &mut [usize],
+    rng: &mut R,
+    mut delta: Option<&mut GraphDelta>,
+) {
+    let n_authors = rng.gen_range(2..=config.max_authors_per_paper);
+    let mut authors = Vec::with_capacity(n_authors);
+    let mut guard = 0usize;
+    while authors.len() < n_authors && guard < 100 {
+        guard += 1;
+        // 20% newcomers drawn uniformly, 80% preferential by productivity.
+        let candidate = if rng.gen_bool(0.2) {
+            rng.gen_range(0..config.n_authors)
+        } else {
+            sample_weighted(productivity, rng)
+        };
+        if !authors.contains(&candidate) {
+            authors.push(candidate);
+        }
+    }
+    for &a in &authors {
+        productivity[a] += 1;
+    }
+    for i in 0..authors.len() {
+        for j in i + 1..authors.len() {
+            let (u, v) = (authors[i], authors[j]);
+            let added_uv = graph.add_edge(u, v);
+            let added_vu = graph.add_edge(v, u);
+            if let Some(d) = delta.as_deref_mut() {
+                if added_uv {
+                    d.added.push((u, v));
+                }
+                if added_vu {
+                    d.added.push((v, u));
+                }
+            }
+        }
+    }
+}
+
+fn sample_weighted<R: Rng>(weights: &[usize], rng: &mut R) -> usize {
+    let total: usize = weights.iter().sum();
+    if total == 0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshots_are_symmetric_and_growing() {
+        let cfg = DblpLikeConfig::tiny();
+        let egs = generate(&cfg, &mut StdRng::seed_from_u64(4));
+        assert_eq!(egs.len(), cfg.n_snapshots);
+        let first = egs.snapshot(0);
+        let last = egs.snapshot(cfg.n_snapshots - 1);
+        assert!(first.is_symmetric());
+        assert!(last.is_symmetric());
+        assert!(last.n_edges() > first.n_edges());
+    }
+
+    #[test]
+    fn edges_are_never_removed() {
+        let cfg = DblpLikeConfig::tiny();
+        let egs = generate(&cfg, &mut StdRng::seed_from_u64(19));
+        for i in 0..egs.len() - 1 {
+            assert!(egs.delta(i).removed.is_empty());
+        }
+    }
+
+    #[test]
+    fn successive_snapshots_are_similar() {
+        let cfg = DblpLikeConfig::tiny();
+        let egs = generate(&cfg, &mut StdRng::seed_from_u64(7));
+        assert!(egs.average_successive_similarity() > 0.95);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = DblpLikeConfig::tiny();
+        let a = generate(&cfg, &mut StdRng::seed_from_u64(31));
+        let b = generate(&cfg, &mut StdRng::seed_from_u64(31));
+        assert_eq!(a.snapshot(5), b.snapshot(5));
+    }
+
+    #[test]
+    fn prolific_authors_emerge() {
+        let cfg = DblpLikeConfig::tiny();
+        let egs = generate(&cfg, &mut StdRng::seed_from_u64(2));
+        let last = egs.snapshot(cfg.n_snapshots - 1);
+        let max_deg = (0..last.n_nodes()).map(|u| last.out_degree(u)).max().unwrap();
+        let avg = last.average_out_degree();
+        assert!(max_deg as f64 > 2.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two authors")]
+    fn rejects_single_author_papers() {
+        let cfg = DblpLikeConfig {
+            max_authors_per_paper: 1,
+            ..DblpLikeConfig::tiny()
+        };
+        generate(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

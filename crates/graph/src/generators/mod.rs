@@ -1,0 +1,20 @@
+//! Dataset generators.
+//!
+//! The paper evaluates on two real EGS's (Wiki hyperlinks, DBLP
+//! co-authorship), one synthetic EGS family, and a patent-citation dataset
+//! for the case study.  The real datasets are not redistributable, so each is
+//! replaced by a simulator that reproduces the statistics the algorithms are
+//! sensitive to; the synthetic family follows the paper's own generator.  See
+//! `DESIGN.md` for the substitution rationale.
+
+pub mod ba;
+pub mod dblp_like;
+pub mod patent_like;
+pub mod synthetic;
+pub mod wiki_like;
+
+pub use ba::{estimate_power_law_exponent, BaConfig};
+pub use dblp_like::DblpLikeConfig;
+pub use patent_like::{PatentEgs, PatentLikeConfig};
+pub use synthetic::SyntheticConfig;
+pub use wiki_like::WikiLikeConfig;

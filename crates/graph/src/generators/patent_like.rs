@@ -1,0 +1,310 @@
+//! Patent-citation-like EGS simulator for the paper's §7 case study.
+//!
+//! The paper analyses the NBER patent citation data: yearly snapshots of a
+//! growing citation graph in which every patent belongs to a company.  The
+//! case study seeds personalised PageRank at one subject company's patents
+//! ("IBM") and tracks the proximity *rank* of other companies over the years;
+//! one company ("HARRIS") rises steadily because its patents become ever more
+//! entangled with the subject's.
+//!
+//! The NBER file is not bundled, so this simulator produces a growing
+//! citation DAG with labelled companies and a configurable "rising" company
+//! whose new patents increasingly cite (and are cited by patents close to)
+//! the subject company.  The shape of Figure 11 — stable ranks for most
+//! companies, a steady climb for the rising one — is therefore reproducible.
+
+use crate::delta::GraphDelta;
+use crate::digraph::DiGraph;
+use crate::egs::EvolvingGraphSequence;
+use rand::Rng;
+
+/// Parameters of the patent-citation-like EGS simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatentLikeConfig {
+    /// Number of companies (including the subject and the rising company).
+    pub n_companies: usize,
+    /// Number of patents present in the first snapshot.
+    pub initial_patents: usize,
+    /// Total number of patents after the last snapshot (grows linearly).
+    pub final_patents: usize,
+    /// Number of yearly snapshots.
+    pub n_snapshots: usize,
+    /// Citations made by each newly granted patent.
+    pub citations_per_patent: usize,
+    /// Index of the subject company ("IBM" in the paper).
+    pub subject_company: usize,
+    /// Index of the rising company ("HARRIS" in the paper).
+    pub rising_company: usize,
+}
+
+impl Default for PatentLikeConfig {
+    fn default() -> Self {
+        PatentLikeConfig {
+            n_companies: 8,
+            initial_patents: 400,
+            final_patents: 1_600,
+            n_snapshots: 21,
+            citations_per_patent: 4,
+            subject_company: 0,
+            rising_company: 1,
+        }
+    }
+}
+
+impl PatentLikeConfig {
+    /// A very small configuration for unit tests.
+    pub fn tiny() -> Self {
+        PatentLikeConfig {
+            n_companies: 5,
+            initial_patents: 80,
+            final_patents: 300,
+            n_snapshots: 8,
+            citations_per_patent: 3,
+            subject_company: 0,
+            rising_company: 1,
+        }
+    }
+}
+
+/// A generated patent-citation EGS together with its company labelling.
+#[derive(Debug, Clone)]
+pub struct PatentEgs {
+    /// The evolving citation graph; node = patent, edge = citation
+    /// (citing → cited).
+    pub egs: EvolvingGraphSequence,
+    /// For every patent node, the company owning it.
+    pub company_of_patent: Vec<usize>,
+    /// Human-readable company names (`company 0`, `company 1`, …) with the
+    /// subject and rising companies called out.
+    pub company_names: Vec<String>,
+    /// How many patents exist at each snapshot (earlier nodes are isolated
+    /// until "granted").
+    pub patents_at_snapshot: Vec<usize>,
+}
+
+impl PatentEgs {
+    /// All patent nodes owned by `company` that exist at snapshot `t`.
+    pub fn patents_of(&self, company: usize, snapshot: usize) -> Vec<usize> {
+        let limit = self.patents_at_snapshot[snapshot];
+        (0..limit)
+            .filter(|&p| self.company_of_patent[p] == company)
+            .collect()
+    }
+}
+
+/// Generates a patent-citation-like EGS with company labels.
+pub fn generate<R: Rng>(config: &PatentLikeConfig, rng: &mut R) -> PatentEgs {
+    assert!(config.n_companies >= 3, "need at least three companies");
+    assert!(config.subject_company < config.n_companies);
+    assert!(config.rising_company < config.n_companies);
+    assert_ne!(config.subject_company, config.rising_company);
+    assert!(config.final_patents > config.initial_patents);
+    assert!(config.n_snapshots >= 2);
+
+    let n = config.final_patents;
+    // Assign companies: the subject company owns a healthy share of patents so
+    // PPR mass concentrates around it, the rest are spread evenly.
+    let mut company_of_patent = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = if i % 4 == 0 {
+            config.subject_company
+        } else {
+            i % config.n_companies
+        };
+        company_of_patent.push(c);
+    }
+
+    let growth_per_step = (config.final_patents - config.initial_patents) / (config.n_snapshots - 1);
+    let mut current = DiGraph::new(n);
+    let mut granted = config.initial_patents;
+    // Citations of the initial patent stock.
+    for p in 1..granted {
+        add_citations(config, &company_of_patent, &mut current, p, granted, 0.0, rng, None);
+    }
+    let mut patents_at_snapshot = vec![granted];
+    let mut egs = EvolvingGraphSequence::from_base(current.clone());
+
+    for step in 1..config.n_snapshots {
+        let mut delta = GraphDelta::empty();
+        // The rising company's affinity for the subject grows with time.
+        let rising_affinity = step as f64 / config.n_snapshots as f64;
+        // Grant the remaining patents on the final snapshot so the sequence
+        // ends with exactly `final_patents` patents despite integer division.
+        let new_until = if step == config.n_snapshots - 1 {
+            n
+        } else {
+            (granted + growth_per_step).min(n)
+        };
+        for p in granted..new_until {
+            add_citations(
+                config,
+                &company_of_patent,
+                &mut current,
+                p,
+                granted.max(1),
+                rising_affinity,
+                rng,
+                Some(&mut delta),
+            );
+        }
+        granted = new_until;
+        patents_at_snapshot.push(granted);
+        egs.push_delta(delta);
+    }
+
+    let company_names = (0..config.n_companies)
+        .map(|c| {
+            if c == config.subject_company {
+                "SUBJECT".to_string()
+            } else if c == config.rising_company {
+                "RISING".to_string()
+            } else {
+                format!("COMPANY-{c}")
+            }
+        })
+        .collect();
+
+    PatentEgs {
+        egs,
+        company_of_patent,
+        company_names,
+        patents_at_snapshot,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_citations<R: Rng>(
+    config: &PatentLikeConfig,
+    company_of_patent: &[usize],
+    graph: &mut DiGraph,
+    patent: usize,
+    citable: usize,
+    rising_affinity: f64,
+    rng: &mut R,
+    mut delta: Option<&mut GraphDelta>,
+) {
+    if citable == 0 {
+        return;
+    }
+    let company = company_of_patent[patent];
+    for _ in 0..config.citations_per_patent {
+        // A patent of the rising company cites the subject company's patents
+        // with probability growing over time; everyone has some home bias.
+        let target_company = if company == config.rising_company && rng.gen_bool(0.3 + 0.6 * rising_affinity)
+        {
+            Some(config.subject_company)
+        } else if rng.gen_bool(0.4) {
+            Some(company)
+        } else {
+            None
+        };
+        let cited = match target_company {
+            Some(tc) => {
+                // Rejection-sample a patent of the target company among
+                // already-citable patents.
+                let mut choice = None;
+                for _ in 0..20 {
+                    let cand = rng.gen_range(0..citable);
+                    if company_of_patent[cand] == tc {
+                        choice = Some(cand);
+                        break;
+                    }
+                }
+                choice.unwrap_or_else(|| rng.gen_range(0..citable))
+            }
+            None => rng.gen_range(0..citable),
+        };
+        if cited != patent && graph.add_edge(patent, cited) {
+            if let Some(d) = delta.as_deref_mut() {
+                d.added.push((patent, cited));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_growing_citation_graph() {
+        let cfg = PatentLikeConfig::tiny();
+        let p = generate(&cfg, &mut StdRng::seed_from_u64(6));
+        assert_eq!(p.egs.len(), cfg.n_snapshots);
+        let (first, last) = p.egs.first_last_edge_counts();
+        assert!(last > first);
+        assert_eq!(p.patents_at_snapshot.len(), cfg.n_snapshots);
+        assert_eq!(*p.patents_at_snapshot.last().unwrap() , cfg.final_patents);
+    }
+
+    #[test]
+    fn company_labels_cover_all_patents() {
+        let cfg = PatentLikeConfig::tiny();
+        let p = generate(&cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(p.company_of_patent.len(), cfg.final_patents);
+        assert!(p.company_of_patent.iter().all(|&c| c < cfg.n_companies));
+        assert_eq!(p.company_names.len(), cfg.n_companies);
+        assert_eq!(p.company_names[cfg.subject_company], "SUBJECT");
+        assert_eq!(p.company_names[cfg.rising_company], "RISING");
+    }
+
+    #[test]
+    fn patents_of_respects_snapshot_limit() {
+        let cfg = PatentLikeConfig::tiny();
+        let p = generate(&cfg, &mut StdRng::seed_from_u64(9));
+        let early = p.patents_of(cfg.subject_company, 0);
+        let late = p.patents_of(cfg.subject_company, cfg.n_snapshots - 1);
+        assert!(late.len() > early.len());
+        assert!(early.iter().all(|&x| x < p.patents_at_snapshot[0]));
+    }
+
+    #[test]
+    fn rising_company_cites_subject_more_over_time() {
+        let cfg = PatentLikeConfig::tiny();
+        let p = generate(&cfg, &mut StdRng::seed_from_u64(15));
+        let last = p.egs.snapshot(cfg.n_snapshots - 1);
+        // Count citations from RISING patents into SUBJECT patents among the
+        // later half vs the earlier half of RISING's patents.
+        let rising: Vec<usize> = (0..cfg.final_patents)
+            .filter(|&i| p.company_of_patent[i] == cfg.rising_company)
+            .collect();
+        let half = rising.len() / 2;
+        let count_into_subject = |patents: &[usize]| -> usize {
+            patents
+                .iter()
+                .flat_map(|&u| last.successors(u).collect::<Vec<_>>())
+                .filter(|&v| p.company_of_patent[v] == cfg.subject_company)
+                .count()
+        };
+        let early_citations = count_into_subject(&rising[..half]);
+        let late_citations = count_into_subject(&rising[half..]);
+        assert!(
+            late_citations >= early_citations,
+            "late {late_citations} vs early {early_citations}"
+        );
+    }
+
+    #[test]
+    fn citations_only_point_to_existing_patents() {
+        let cfg = PatentLikeConfig::tiny();
+        let p = generate(&cfg, &mut StdRng::seed_from_u64(2));
+        // In snapshot 0, no edge may touch a patent granted later.
+        let g0 = p.egs.snapshot(0);
+        let limit = p.patents_at_snapshot[0];
+        for (u, v) in g0.edges() {
+            assert!(u < limit && v < limit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "three companies")]
+    fn rejects_too_few_companies() {
+        let cfg = PatentLikeConfig {
+            n_companies: 2,
+            ..PatentLikeConfig::tiny()
+        };
+        generate(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

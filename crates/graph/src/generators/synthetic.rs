@@ -1,0 +1,232 @@
+//! The paper's synthetic EGS generator (§6, "Synthetic").
+//!
+//! The generator takes the five parameters the paper lists (plus the node
+//! count) and produces an evolving graph sequence:
+//!
+//! 1. Build a scale-free *base graph* with `V` vertices and `|EP|` edges
+//!    using the BA model; its edges form the edge pool `EP`.
+//! 2. The first snapshot's edge set `E` is a random sample of `d·V` edges
+//!    from `EP`.
+//! 3. Every subsequent snapshot removes `ΔE⁻ = ΔE/(k+1)` random edges from
+//!    `E` and adds `ΔE⁺ = k·ΔE/(k+1)` random edges from `EP − E`.
+//!
+//! Paper defaults: `V = 50 000`, `|EP| = 450 000`, `d = 5`, `k = 4`,
+//! `ΔE = 500`, `T = 500`.  The defaults here are scaled down (see
+//! `DESIGN.md`) so the full reproduction runs quickly; the paper-scale values
+//! can be requested explicitly.
+
+use super::ba::{self, BaConfig};
+use crate::delta::GraphDelta;
+use crate::digraph::DiGraph;
+use crate::egs::EvolvingGraphSequence;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of the synthetic EGS generator (names follow the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// `V`: number of vertices.
+    pub n_vertices: usize,
+    /// `|EP|`: number of edges in the edge pool.
+    pub edge_pool_size: usize,
+    /// `d`: average vertex degree of the first snapshot.
+    pub initial_degree: usize,
+    /// `k`: ratio `ΔE⁺ / ΔE⁻` between added and removed edges per step.
+    pub add_remove_ratio: usize,
+    /// `ΔE = ΔE⁺ + ΔE⁻`: number of edge changes per step.
+    pub delta_e: usize,
+    /// `T`: number of snapshots.
+    pub n_snapshots: usize,
+}
+
+impl Default for SyntheticConfig {
+    /// A laptop-scale configuration preserving the paper's ratios:
+    /// pool is 9× the vertex count, initial degree 5, `k = 4`.
+    fn default() -> Self {
+        SyntheticConfig {
+            n_vertices: 1_000,
+            edge_pool_size: 9_000,
+            initial_degree: 5,
+            add_remove_ratio: 4,
+            delta_e: 50,
+            n_snapshots: 60,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The exact parameter values used in the paper (§6).
+    pub fn paper_scale() -> Self {
+        SyntheticConfig {
+            n_vertices: 50_000,
+            edge_pool_size: 450_000,
+            initial_degree: 5,
+            add_remove_ratio: 4,
+            delta_e: 500,
+            n_snapshots: 500,
+        }
+    }
+
+    /// Number of edges removed per step, `ΔE⁻ = ΔE/(k+1)`.
+    pub fn edges_removed_per_step(&self) -> usize {
+        self.delta_e / (self.add_remove_ratio + 1)
+    }
+
+    /// Number of edges added per step, `ΔE⁺ = k·ΔE/(k+1)`.
+    pub fn edges_added_per_step(&self) -> usize {
+        (self.add_remove_ratio * self.delta_e) / (self.add_remove_ratio + 1)
+    }
+}
+
+/// Generates a synthetic EGS following the paper's procedure.
+pub fn generate<R: Rng>(config: &SyntheticConfig, rng: &mut R) -> EvolvingGraphSequence {
+    assert!(config.n_vertices > 1, "need at least two vertices");
+    assert!(config.n_snapshots >= 1, "need at least one snapshot");
+    assert!(
+        config.initial_degree * config.n_vertices <= config.edge_pool_size,
+        "the edge pool must be at least as large as the first snapshot"
+    );
+    // Step 1: scale-free base graph; its edges are the pool EP.
+    let base = ba::generate(
+        BaConfig::with_target_edges(config.n_vertices, config.edge_pool_size),
+        rng,
+    );
+    let mut pool: Vec<(usize, usize)> = base.edges().collect();
+    // Top up the pool with random edges if BA produced fewer than |EP|.
+    let mut guard = 0usize;
+    while pool.len() < config.edge_pool_size && guard < 20 * config.edge_pool_size {
+        let u = rng.gen_range(0..config.n_vertices);
+        let v = rng.gen_range(0..config.n_vertices);
+        guard += 1;
+        if u != v && !base.has_edge(u, v) && !pool[base.n_edges()..].contains(&(u, v)) {
+            pool.push((u, v));
+        }
+    }
+    pool.shuffle(rng);
+
+    // Step 2: first snapshot = random d·V edges from EP.
+    let first_size = (config.initial_degree * config.n_vertices).min(pool.len());
+    let mut in_e: Vec<bool> = vec![false; pool.len()];
+    for flag in in_e.iter_mut().take(first_size) {
+        *flag = true;
+    }
+    let first = DiGraph::from_edges(
+        config.n_vertices,
+        pool.iter()
+            .zip(in_e.iter())
+            .filter(|(_, &f)| f)
+            .map(|(&e, _)| e),
+    );
+    let mut egs = EvolvingGraphSequence::from_base(first);
+
+    // Step 3: evolve by random removals from E and additions from EP − E.
+    let remove_per_step = config.edges_removed_per_step();
+    let add_per_step = config.edges_added_per_step();
+    let mut current_members: Vec<usize> = (0..first_size).collect();
+    let mut non_members: Vec<usize> = (first_size..pool.len()).collect();
+    for _ in 1..config.n_snapshots {
+        let mut delta = GraphDelta::empty();
+        // Removals.
+        for _ in 0..remove_per_step.min(current_members.len().saturating_sub(1)) {
+            let idx = rng.gen_range(0..current_members.len());
+            let pool_idx = current_members.swap_remove(idx);
+            in_e[pool_idx] = false;
+            non_members.push(pool_idx);
+            delta.removed.push(pool[pool_idx]);
+        }
+        // Additions.
+        for _ in 0..add_per_step.min(non_members.len()) {
+            let idx = rng.gen_range(0..non_members.len());
+            let pool_idx = non_members.swap_remove(idx);
+            in_e[pool_idx] = true;
+            current_members.push(pool_idx);
+            delta.added.push(pool[pool_idx]);
+        }
+        egs.push_delta(delta);
+    }
+    egs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            n_vertices: 120,
+            edge_pool_size: 1_000,
+            initial_degree: 4,
+            add_remove_ratio: 4,
+            delta_e: 30,
+            n_snapshots: 12,
+        }
+    }
+
+    #[test]
+    fn respects_snapshot_count_and_node_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let egs = generate(&small_config(), &mut rng);
+        assert_eq!(egs.len(), 12);
+        assert_eq!(egs.n_nodes(), 120);
+    }
+
+    #[test]
+    fn first_snapshot_has_requested_density() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = small_config();
+        let egs = generate(&cfg, &mut rng);
+        let first = egs.snapshot(0);
+        assert_eq!(first.n_edges(), cfg.initial_degree * cfg.n_vertices);
+    }
+
+    #[test]
+    fn net_growth_follows_k_ratio() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let cfg = small_config();
+        let egs = generate(&cfg, &mut rng);
+        let (first, last) = egs.first_last_edge_counts();
+        // Each step adds 24 and removes 6 edges (k = 4, ΔE = 30): net +18.
+        let expected_growth = (cfg.n_snapshots - 1) * (cfg.edges_added_per_step() - cfg.edges_removed_per_step());
+        let actual_growth = last as i64 - first as i64;
+        // Additions may occasionally collide with existing edges; allow slack.
+        assert!(actual_growth > 0);
+        assert!(actual_growth <= expected_growth as i64);
+        assert!(actual_growth >= (expected_growth as i64) / 2);
+    }
+
+    #[test]
+    fn successive_snapshots_are_similar() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let egs = generate(&small_config(), &mut rng);
+        let sim = egs.average_successive_similarity();
+        assert!(sim > 0.9, "similarity {sim} too low");
+    }
+
+    #[test]
+    fn per_step_change_counts() {
+        let cfg = small_config();
+        assert_eq!(cfg.edges_removed_per_step(), 6);
+        assert_eq!(cfg.edges_added_per_step(), 24);
+        let paper = SyntheticConfig::paper_scale();
+        assert_eq!(paper.edges_removed_per_step(), 100);
+        assert_eq!(paper.edges_added_per_step(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge pool")]
+    fn rejects_pool_smaller_than_first_snapshot() {
+        let mut cfg = small_config();
+        cfg.edge_pool_size = 10;
+        generate(&cfg, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = small_config();
+        let a = generate(&cfg, &mut StdRng::seed_from_u64(77));
+        let b = generate(&cfg, &mut StdRng::seed_from_u64(77));
+        assert_eq!(a.snapshot(11), b.snapshot(11));
+    }
+}

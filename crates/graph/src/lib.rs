@@ -1,0 +1,27 @@
+//! # clude-graph
+//!
+//! Evolving graph sequences (EGS) and dataset generators for the CLUDE
+//! (EDBT 2014) reproduction.
+//!
+//! * [`digraph::DiGraph`] — one snapshot graph.
+//! * [`delta::GraphDelta`] — edge changes between successive snapshots.
+//! * [`egs::EvolvingGraphSequence`] — the archived sequence `{G_1, …, G_T}`.
+//! * [`matrix`] — graph → matrix composition (`A = I − dW`, symmetric
+//!   Laplacian) producing the evolving matrix sequence the LU machinery
+//!   consumes.
+//! * [`generators`] — the paper's synthetic generator plus Wiki-like,
+//!   DBLP-like and patent-citation-like dataset simulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod digraph;
+pub mod egs;
+pub mod generators;
+pub mod matrix;
+
+pub use delta::GraphDelta;
+pub use digraph::DiGraph;
+pub use egs::EvolvingGraphSequence;
+pub use matrix::{evolving_matrix_sequence, measure_matrix, MatrixKind};

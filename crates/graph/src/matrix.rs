@@ -1,0 +1,239 @@
+//! Graph → matrix composition.
+//!
+//! The paper derives, from each snapshot graph `G_i` and a chosen measure, a
+//! matrix `A_i` such that the measure is obtained by solving `A_i x = b`
+//! (§1).  This module provides the two compositions used throughout the
+//! reproduction:
+//!
+//! * [`MatrixKind::RandomWalk`] — `A = I − d·W`, where `W` is the
+//!   column-normalised adjacency matrix (`W(j, i) = 1/λ(i)` for each edge
+//!   `(i, j)`, with `λ(i)` the out-degree).  This is the matrix behind
+//!   PageRank, personalised PageRank, RWR and discounted hitting time.
+//! * [`MatrixKind::SymmetricLaplacian`] — `A = σ·I + D − Adj` for undirected
+//!   graphs, the symmetric positive-definite composition used for the
+//!   LUDEM-QC experiments (the paper's DBLP matrices are symmetric).
+
+use crate::digraph::DiGraph;
+use crate::egs::EvolvingGraphSequence;
+use clude_sparse::{CooMatrix, CsrMatrix};
+
+/// Which matrix to derive from a snapshot graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatrixKind {
+    /// `A = I − d·W` with damping factor `d` and `W` the column-normalised
+    /// adjacency matrix of the snapshot.
+    RandomWalk {
+        /// Damping factor `d ∈ (0, 1)`, typically 0.85.
+        damping: f64,
+    },
+    /// `A = σ·I + D − Adj` (shifted combinatorial Laplacian) for undirected
+    /// snapshots; symmetric and positive definite for `σ > 0`.
+    SymmetricLaplacian {
+        /// Diagonal shift `σ > 0`.
+        shift: f64,
+    },
+}
+
+impl MatrixKind {
+    /// The conventional PageRank/RWR composition with damping 0.85.
+    pub fn random_walk_default() -> Self {
+        MatrixKind::RandomWalk { damping: 0.85 }
+    }
+
+    /// A well-conditioned symmetric composition (`σ = 1`).
+    pub fn symmetric_default() -> Self {
+        MatrixKind::SymmetricLaplacian { shift: 1.0 }
+    }
+
+    /// Returns `true` when matrices of this kind are symmetric by
+    /// construction (given a symmetric input graph).
+    pub fn produces_symmetric(&self) -> bool {
+        matches!(self, MatrixKind::SymmetricLaplacian { .. })
+    }
+}
+
+/// The column-normalised adjacency matrix `W` of a snapshot:
+/// `W(j, i) = 1 / out_degree(i)` for every edge `(i, j)`.
+pub fn column_normalized_adjacency(graph: &DiGraph) -> CsrMatrix {
+    let n = graph.n_nodes();
+    let mut coo = CooMatrix::with_capacity(n, n, graph.n_edges());
+    for u in 0..n {
+        let deg = graph.out_degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let w = 1.0 / deg as f64;
+        for v in graph.successors(u) {
+            coo.push(v, u, w).expect("edge endpoints are in bounds");
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Derives the measure matrix `A` of the requested kind from a snapshot.
+pub fn measure_matrix(graph: &DiGraph, kind: MatrixKind) -> CsrMatrix {
+    let n = graph.n_nodes();
+    match kind {
+        MatrixKind::RandomWalk { damping } => {
+            assert!(
+                (0.0..1.0).contains(&damping),
+                "damping factor must lie in [0, 1)"
+            );
+            let mut coo = CooMatrix::with_capacity(n, n, graph.n_edges() + n);
+            for i in 0..n {
+                coo.push(i, i, 1.0).expect("diagonal in bounds");
+            }
+            for u in 0..n {
+                let deg = graph.out_degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let w = damping / deg as f64;
+                for v in graph.successors(u) {
+                    // Entry (v, u) of W contributes -d*W to A = I - dW.
+                    coo.push(v, u, -w).expect("edge endpoints in bounds");
+                }
+            }
+            CsrMatrix::from_coo(&coo)
+        }
+        MatrixKind::SymmetricLaplacian { shift } => {
+            assert!(shift > 0.0, "the diagonal shift must be positive");
+            let mut coo = CooMatrix::with_capacity(n, n, 2 * graph.n_edges() + n);
+            for i in 0..n {
+                // D(i,i) counts undirected neighbours; for a symmetric DiGraph
+                // that is the out-degree.
+                let deg = graph.out_degree(i) as f64;
+                coo.push(i, i, shift + deg).expect("diagonal in bounds");
+            }
+            for (u, v) in graph.edges() {
+                coo.push(u, v, -1.0).expect("edge endpoints in bounds");
+            }
+            CsrMatrix::from_coo(&coo)
+        }
+    }
+}
+
+/// Derives the evolving matrix sequence `M = {A_1, …, A_T}` from an EGS.
+pub fn evolving_matrix_sequence(egs: &EvolvingGraphSequence, kind: MatrixKind) -> Vec<CsrMatrix> {
+    egs.snapshots().map(|g| measure_matrix(&g, kind)).collect()
+}
+
+/// The right-hand side for a single-seed random-walk measure (RWR / PPR):
+/// `b_u = (1 − d)·q_u` where `q_u` is the indicator vector of the seed.
+pub fn rwr_rhs(n: usize, seed: usize, damping: f64) -> Vec<f64> {
+    assert!(seed < n, "seed node out of range");
+    let mut b = vec![0.0; n];
+    b[seed] = 1.0 - damping;
+    b
+}
+
+/// The right-hand side for global PageRank: `b = ((1 − d)/n)·1`.
+pub fn pagerank_rhs(n: usize, damping: f64) -> Vec<f64> {
+    vec![(1.0 - damping) / n as f64; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> DiGraph {
+        // 0 -> 1 -> 2, 0 -> 2
+        DiGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn column_normalized_adjacency_columns_sum_to_one() {
+        let g = chain_graph();
+        let w = column_normalized_adjacency(&g);
+        // Column u sums to 1 when out_degree(u) > 0.
+        for u in 0..3 {
+            let col_sum: f64 = (0..3).map(|v| w.get(v, u)).sum();
+            if g.out_degree(u) > 0 {
+                assert!((col_sum - 1.0).abs() < 1e-12);
+            } else {
+                assert_eq!(col_sum, 0.0);
+            }
+        }
+        assert_eq!(w.get(1, 0), 0.5);
+        assert_eq!(w.get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn random_walk_matrix_is_i_minus_dw() {
+        let g = chain_graph();
+        let d = 0.85;
+        let a = measure_matrix(&g, MatrixKind::RandomWalk { damping: d });
+        let w = column_normalized_adjacency(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 } - d * w.get(i, j);
+                assert!((a.get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "damping factor")]
+    fn random_walk_rejects_bad_damping() {
+        measure_matrix(&chain_graph(), MatrixKind::RandomWalk { damping: 1.5 });
+    }
+
+    #[test]
+    fn symmetric_laplacian_is_symmetric() {
+        let mut g = DiGraph::new(4);
+        g.add_undirected_edge(0, 1);
+        g.add_undirected_edge(1, 2);
+        g.add_undirected_edge(2, 3);
+        let a = measure_matrix(&g, MatrixKind::SymmetricLaplacian { shift: 0.5 });
+        assert!(a.pattern().is_symmetric());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a.get(i, j), a.get(j, i));
+            }
+        }
+        // Diagonal = shift + degree.
+        assert_eq!(a.get(1, 1), 0.5 + 2.0);
+        assert_eq!(a.get(0, 0), 0.5 + 1.0);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn symmetric_laplacian_rejects_zero_shift() {
+        measure_matrix(&chain_graph(), MatrixKind::SymmetricLaplacian { shift: 0.0 });
+    }
+
+    #[test]
+    fn evolving_matrix_sequence_has_one_matrix_per_snapshot() {
+        let g1 = chain_graph();
+        let mut g2 = chain_graph();
+        g2.add_edge(2, 0);
+        let egs = crate::egs::EvolvingGraphSequence::from_snapshots(vec![g1, g2]);
+        let ems = evolving_matrix_sequence(&egs, MatrixKind::random_walk_default());
+        assert_eq!(ems.len(), 2);
+        assert_eq!(ems[0].n_rows(), 3);
+        // Second snapshot has the extra edge reflected.
+        assert!(ems[1].get(0, 2) < 0.0);
+        assert_eq!(ems[0].get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn rhs_constructors() {
+        let b = rwr_rhs(4, 2, 0.85);
+        assert_eq!(b, vec![0.0, 0.0, 0.15000000000000002, 0.0]);
+        let p = pagerank_rhs(4, 0.85);
+        assert!((p.iter().sum::<f64>() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed node")]
+    fn rwr_rhs_rejects_bad_seed() {
+        rwr_rhs(3, 7, 0.85);
+    }
+
+    #[test]
+    fn matrix_kind_helpers() {
+        assert!(MatrixKind::symmetric_default().produces_symmetric());
+        assert!(!MatrixKind::random_walk_default().produces_symmetric());
+    }
+}

@@ -1,0 +1,428 @@
+//! Numeric LU factors over a static structure (the ND-phase of §2.3).
+//!
+//! [`LuFactors`] stores the combined factors `Â = L + U` of one matrix in the
+//! slot layout of a shared [`LuStructure`].  `L` is unit lower triangular
+//! (its implicit diagonal is not stored); the diagonal slots hold the pivots
+//! of `U`.  The numeric phase is a row-wise sparse Gaussian elimination
+//! (equivalent to Crout/Doolittle) that scatters each row into a dense
+//! workspace, eliminates against the previously computed rows of `U`, and
+//! gathers the result back into the slots — no structural work happens here,
+//! by construction.
+
+use crate::error::{LuError, LuResult};
+use crate::structure::LuStructure;
+use clude_sparse::{CooMatrix, CsrMatrix};
+use std::sync::Arc;
+
+/// Pivot magnitudes below this threshold are treated as singular.
+pub const SINGULAR_TOL: f64 = 1e-300;
+
+/// The numeric LU factors of one matrix, laid out over a shared structure.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    structure: Arc<LuStructure>,
+    values: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorizes `a` over the given structure.
+    ///
+    /// Every structural entry of `a` must be covered by the structure; the
+    /// structure may cover more (those slots simply hold zeros, which is how
+    /// CLUDE shares one universal structure across a whole cluster).
+    pub fn factorize(structure: Arc<LuStructure>, a: &CsrMatrix) -> LuResult<Self> {
+        if !a.is_square() {
+            return Err(LuError::NotSquare {
+                n_rows: a.n_rows(),
+                n_cols: a.n_cols(),
+            });
+        }
+        if a.n_rows() != structure.n() {
+            return Err(LuError::DimensionMismatch {
+                expected: structure.n(),
+                actual: a.n_rows(),
+            });
+        }
+        let n = structure.n();
+        let mut values = vec![0.0; structure.nnz()];
+        let mut work = vec![0.0; n];
+        for i in 0..n {
+            // Scatter row i of A into the workspace over the structure's row.
+            for slot in structure.row_range(i) {
+                work[structure.col_of_slot(slot)] = 0.0;
+            }
+            let (cols, vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                if !structure.contains(i, j) {
+                    return Err(LuError::EntryOutsideStructure { row: i, col: j });
+                }
+                work[j] = v;
+            }
+            // Eliminate with previously computed rows of U.
+            for slot in structure.lower_row_slots(i) {
+                let k = structure.col_of_slot(slot);
+                let pivot = values[structure.diag_slot(k)];
+                let lik = work[k] / pivot;
+                work[k] = lik;
+                if lik != 0.0 {
+                    for uslot in structure.upper_row_slots(k).skip(1) {
+                        let j = structure.col_of_slot(uslot);
+                        work[j] -= lik * values[uslot];
+                    }
+                }
+            }
+            // Check the pivot and gather the row back into the slots.
+            let pivot = work[i];
+            if !pivot.is_finite() || pivot.abs() < SINGULAR_TOL {
+                return Err(LuError::SingularPivot {
+                    index: i,
+                    value: pivot,
+                });
+            }
+            for slot in structure.row_range(i) {
+                values[slot] = work[structure.col_of_slot(slot)];
+            }
+        }
+        Ok(LuFactors { structure, values })
+    }
+
+    /// The shared structure underlying these factors.
+    pub fn structure(&self) -> &Arc<LuStructure> {
+        &self.structure
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        self.structure.n()
+    }
+
+    /// Number of slots (`|s̃p|` of the structure), i.e. the size of the
+    /// decomposed representation `Â`.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of slots holding a numerically non-zero value.  With a
+    /// structure tailored to the matrix this approximates `|sp(Â)|`; with a
+    /// universal structure it shows how much of the slack is actually used.
+    pub fn numeric_nnz(&self) -> usize {
+        self.values.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// The value of `L(i, j)` (`i > j`); the implicit unit diagonal and zeros
+    /// outside the structure are returned as such.
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        if j > i {
+            return 0.0;
+        }
+        self.structure
+            .slot(i, j)
+            .map_or(0.0, |slot| self.values[slot])
+    }
+
+    /// The value of `U(i, j)` (`j ≥ i`); zeros outside the structure are
+    /// returned as such.
+    pub fn u(&self, i: usize, j: usize) -> f64 {
+        if j < i {
+            return 0.0;
+        }
+        self.structure
+            .slot(i, j)
+            .map_or(0.0, |slot| self.values[slot])
+    }
+
+    /// Raw slot value access (shared with the Bennett update code).
+    pub(crate) fn value(&self, slot: usize) -> f64 {
+        self.values[slot]
+    }
+
+    /// Raw mutable slot value access (shared with the Bennett update code).
+    pub(crate) fn value_mut(&mut self, slot: usize) -> &mut f64 {
+        &mut self.values[slot]
+    }
+
+    /// Solves `L U x = b` by forward then backward substitution.
+    pub fn solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LuError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let mut x = b.to_vec();
+        // Forward: L y = b (unit diagonal).
+        for i in 0..n {
+            let mut acc = x[i];
+            for slot in self.structure.lower_row_slots(i) {
+                let k = self.structure.col_of_slot(slot);
+                acc -= self.values[slot] * x[k];
+            }
+            x[i] = acc;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            let mut upper = self.structure.upper_row_slots(i);
+            let diag_slot = upper.next().expect("diagonal always present");
+            for slot in upper {
+                let j = self.structure.col_of_slot(slot);
+                acc -= self.values[slot] * x[j];
+            }
+            let pivot = self.values[diag_slot];
+            if !pivot.is_finite() || pivot.abs() < SINGULAR_TOL {
+                return Err(LuError::SingularPivot {
+                    index: i,
+                    value: pivot,
+                });
+            }
+            x[i] = acc / pivot;
+        }
+        Ok(x)
+    }
+
+    /// The lower factor `L` (with its unit diagonal) as a CSR matrix.
+    pub fn l_matrix(&self) -> CsrMatrix {
+        let n = self.n();
+        let mut coo = CooMatrix::with_capacity(n, n, self.nnz());
+        for i in 0..n {
+            for slot in self.structure.lower_row_slots(i) {
+                let j = self.structure.col_of_slot(slot);
+                let v = self.values[slot];
+                if v != 0.0 {
+                    coo.push(i, j, v).expect("in bounds");
+                }
+            }
+            coo.push(i, i, 1.0).expect("in bounds");
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// The upper factor `U` as a CSR matrix.
+    pub fn u_matrix(&self) -> CsrMatrix {
+        let n = self.n();
+        let mut coo = CooMatrix::with_capacity(n, n, self.nnz());
+        for i in 0..n {
+            for slot in self.structure.upper_row_slots(i) {
+                let j = self.structure.col_of_slot(slot);
+                let v = self.values[slot];
+                if v != 0.0 || j == i {
+                    coo.push(i, j, v).expect("in bounds");
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Recomputes `L·U`, which should reproduce the factorized matrix.  Used
+    /// by tests and by the verification examples.
+    pub fn reconstruct(&self) -> CsrMatrix {
+        let n = self.n();
+        let u = self.u_matrix();
+        let mut coo = CooMatrix::with_capacity(n, n, self.nnz() * 4);
+        for i in 0..n {
+            // Row i of L (including implicit diagonal) times U.
+            let mut l_entries: Vec<(usize, f64)> = self
+                .structure
+                .lower_row_slots(i)
+                .filter_map(|slot| {
+                    let v = self.values[slot];
+                    (v != 0.0).then(|| (self.structure.col_of_slot(slot), v))
+                })
+                .collect();
+            l_entries.push((i, 1.0));
+            for (k, lv) in l_entries {
+                let (cols, vals) = u.row(k);
+                for (&j, &uv) in cols.iter().zip(vals.iter()) {
+                    coo.push(i, j, lv * uv).expect("in bounds");
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+}
+
+/// Convenience: factorizes a matrix over a structure built from its own
+/// symbolic sparsity pattern (the per-matrix workflow of BF).
+pub fn factorize_fresh(a: &CsrMatrix) -> LuResult<LuFactors> {
+    let structure = LuStructure::from_pattern(&a.pattern())?.into_shared();
+    LuFactors::factorize(structure, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_sparse::{CooMatrix, DenseMatrix};
+
+    fn sample_matrix() -> CsrMatrix {
+        // Diagonally dominant, with some sparsity and a fill-in-producing
+        // pattern.
+        let mut coo = CooMatrix::new(4, 4);
+        let entries = [
+            (0, 0, 4.0),
+            (0, 2, 1.0),
+            (1, 0, -1.0),
+            (1, 1, 5.0),
+            (2, 1, -2.0),
+            (2, 2, 6.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (3, 3, 3.0),
+        ];
+        for &(i, j, v) in &entries {
+            coo.push(i, j, v).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn factorization_reconstructs_matrix() {
+        let a = sample_matrix();
+        let f = factorize_fresh(&a).unwrap();
+        let back = f.reconstruct();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn factorization_matches_dense_oracle() {
+        let a = sample_matrix();
+        let f = factorize_fresh(&a).unwrap();
+        let (dl, du) = a.to_dense().lu_no_pivoting().unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((f.l(i, j) - dl.get(i, j)).abs() < 1e-12, "L({i},{j})");
+                assert!((f.u(i, j) - du.get(i, j)).abs() < 1e-12, "U({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_dense_solution() {
+        let a = sample_matrix();
+        let f = factorize_fresh(&a).unwrap();
+        let b = vec![1.0, 2.0, -1.0, 0.5];
+        let x = f.solve(&b).unwrap();
+        let x_dense = a.to_dense().solve_gaussian(&b).unwrap();
+        for (u, v) in x.iter().zip(x_dense.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+        // And A x = b indeed.
+        let ax = a.mul_vec(&x).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn l_and_u_are_triangular() {
+        let f = factorize_fresh(&sample_matrix()).unwrap();
+        let l = f.l_matrix();
+        let u = f.u_matrix();
+        for (i, j, _) in l.iter() {
+            assert!(i >= j);
+        }
+        for (i, j, _) in u.iter() {
+            assert!(j >= i);
+        }
+        for i in 0..4 {
+            assert_eq!(l.get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn universal_structure_accepts_sub_pattern_matrices() {
+        // A structure built for a superset pattern factorizes a matrix whose
+        // pattern is a subset (this is the USSP mechanism).
+        let a = sample_matrix();
+        let mut bigger = a.pattern();
+        bigger.insert(3, 1);
+        bigger.insert(0, 3);
+        let structure = LuStructure::from_pattern(&bigger).unwrap().into_shared();
+        let f = LuFactors::factorize(structure, &a).unwrap();
+        assert!(f.reconstruct().max_abs_diff(&a).unwrap() < 1e-12);
+        assert!(f.nnz() >= factorize_fresh(&a).unwrap().nnz());
+        assert!(f.numeric_nnz() <= f.nnz());
+    }
+
+    #[test]
+    fn entry_outside_structure_is_rejected() {
+        let a = sample_matrix();
+        // Structure built from a *smaller* pattern must reject the matrix.
+        let small = CsrMatrix::identity(4).pattern();
+        let structure = LuStructure::from_pattern(&small).unwrap().into_shared();
+        let err = LuFactors::factorize(structure, &a).unwrap_err();
+        assert!(matches!(err, LuError::EntryOutsideStructure { .. }));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 0, 1.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap();
+        let a = CsrMatrix::from_coo(&coo);
+        let err = factorize_fresh(&a).unwrap_err();
+        assert!(matches!(err, LuError::SingularPivot { index: 1, .. }));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = sample_matrix();
+        let structure = LuStructure::from_pattern(&CsrMatrix::identity(3).pattern())
+            .unwrap()
+            .into_shared();
+        assert!(matches!(
+            LuFactors::factorize(structure, &a).unwrap_err(),
+            LuError::DimensionMismatch { .. }
+        ));
+        let f = factorize_fresh(&a).unwrap();
+        assert!(matches!(
+            f.solve(&[1.0, 2.0]).unwrap_err(),
+            LuError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn solve_identity_is_identity() {
+        let a = CsrMatrix::identity(5);
+        let f = factorize_fresh(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(f.solve(&b).unwrap(), b);
+        assert_eq!(f.numeric_nnz(), 5);
+    }
+
+    #[test]
+    fn larger_random_like_matrix_roundtrip() {
+        // A 20x20 diagonally dominant banded matrix.
+        let n = 20;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 10.0 + i as f64).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -2.0).unwrap();
+            }
+            if i + 5 < n {
+                coo.push(i, i + 5, -0.5).unwrap();
+            }
+        }
+        let a = CsrMatrix::from_coo(&coo);
+        let f = factorize_fresh(&a).unwrap();
+        assert!(f.reconstruct().max_abs_diff(&a).unwrap() < 1e-10);
+        let d = DenseMatrix::from_rows(
+            (0..n)
+                .map(|i| (0..n).map(|j| a.get(i, j)).collect())
+                .collect(),
+        );
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = f.solve(&b).unwrap();
+        let xd = d.solve_gaussian(&b).unwrap();
+        for (u, v) in x.iter().zip(xd.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # clude-lu
+//!
+//! The sparse LU engine of the CLUDE (EDBT 2014) reproduction.
+//!
+//! The paper decomposes every matrix of an evolving matrix sequence into
+//! triangular factors so that arbitrarily many linear-system queries can be
+//! answered by cheap substitutions.  This crate provides every piece of that
+//! pipeline for a single matrix (the sequence-level orchestration lives in the
+//! `clude` crate):
+//!
+//! * [`symbolic`] — the SD-phase: fill-in pattern `fp(A)` and symbolic
+//!   sparsity pattern `s̃p(A)` (Eq. 2–3 of the paper).
+//! * [`ordering`] — fill-reducing Markowitz / minimum-degree orderings and
+//!   the `|s̃p(A^O)|` accounting used by the quality-loss metric.
+//! * [`structure`] — static slot layouts (`LuStructure`), including the
+//!   universal structures CLUDE shares across a cluster.
+//! * [`factors`] — the ND-phase: numeric factorization over a static
+//!   structure, plus triangular solves.
+//! * [`dynamic`] — adjacency-list factors with insertion-on-demand, the
+//!   storage model of the straightforward incremental algorithms.
+//! * [`bennett`] — Bennett's incremental factor update, generic over the two
+//!   storage back-ends, plus sparse-delta application.
+//! * [`solve`] — answering queries on the *original* matrix through the
+//!   reordered factors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bennett;
+pub mod dynamic;
+pub mod error;
+pub mod factors;
+pub mod ordering;
+pub mod solve;
+pub mod structure;
+pub mod symbolic;
+
+pub use bennett::{apply_delta, rank_one_update, BennettStats, LuStorage};
+pub use dynamic::DynamicLuFactors;
+pub use error::{LuError, LuResult};
+pub use factors::{factorize_fresh, LuFactors};
+pub use ordering::{markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under, OrderingResult};
+pub use solve::{solve_original, TriangularSolve};
+pub use structure::LuStructure;
+pub use symbolic::{fill_in_pattern, symbolic_decomposition, symbolic_size, SymbolicDecomposition};

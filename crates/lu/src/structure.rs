@@ -1,0 +1,288 @@
+//! Static LU storage structures.
+//!
+//! A [`LuStructure`] is the "universal adjacency-lists structure" idea of the
+//! paper made concrete: it fixes, ahead of any numeric work, every position
+//! that the combined factors `Â = L + U` may occupy.  CLUDE builds one such
+//! structure per cluster from the universal symbolic sparsity pattern
+//! `s̃p(A_∪^{O_∪})`; the baseline algorithms build one per matrix from that
+//! matrix's own `s̃p`.  Because the structure is immutable, the numeric phase
+//! and the Bennett updates never perform structural maintenance — which is
+//! precisely where CLUDE gets its speed.
+
+use crate::error::{LuError, LuResult};
+use crate::symbolic::symbolic_decomposition;
+use clude_sparse::SparsityPattern;
+use std::sync::Arc;
+
+/// An immutable slot layout for the combined LU factors of one (or many)
+/// matrices sharing a symbolic sparsity pattern.
+///
+/// Rows are stored contiguously with sorted column indices; the strictly
+/// lower part of every column is additionally indexed so Bennett's algorithm
+/// can walk "column `k` of `L`" directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuStructure {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// Slot of the diagonal entry of each row.
+    diag_slot: Vec<usize>,
+    /// CSC-like view of the strictly lower triangle: for every column `j`,
+    /// the rows `i > j` with a structural entry, and the row-major slot of
+    /// each such entry.
+    lower_col_ptr: Vec<usize>,
+    lower_rows: Vec<usize>,
+    lower_slots: Vec<usize>,
+}
+
+impl LuStructure {
+    /// Builds a structure from an arbitrary square pattern.
+    ///
+    /// The pattern is first closed under symbolic elimination (and the
+    /// diagonal added), so the resulting structure can hold the factors of
+    /// any matrix whose sparsity pattern is a subset of `pattern`.
+    pub fn from_pattern(pattern: &SparsityPattern) -> LuResult<Self> {
+        if pattern.n_rows() != pattern.n_cols() {
+            return Err(LuError::NotSquare {
+                n_rows: pattern.n_rows(),
+                n_cols: pattern.n_cols(),
+            });
+        }
+        let closed = symbolic_decomposition(pattern).pattern;
+        Ok(Self::from_closed_pattern_unchecked(&closed))
+    }
+
+    /// Builds a structure from a pattern that is already a symbolic sparsity
+    /// pattern (i.e. closed under elimination and containing the diagonal).
+    ///
+    /// This is the entry point CLUDE uses after performing the symbolic
+    /// decomposition of `A_∪^{O_∪}` explicitly (Algorithm 3, line 3); it does
+    /// not repeat the closure.
+    pub fn from_closed_pattern_unchecked(closed: &SparsityPattern) -> Self {
+        debug_assert_eq!(closed.n_rows(), closed.n_cols());
+        let n = closed.n_rows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(closed.nnz());
+        let mut diag_slot = vec![usize::MAX; n];
+        row_ptr.push(0);
+        for i in 0..n {
+            for &j in closed.row(i) {
+                if j == i {
+                    diag_slot[i] = col_idx.len();
+                }
+                col_idx.push(j);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        debug_assert!(
+            diag_slot.iter().all(|&s| s != usize::MAX),
+            "a closed pattern always contains the diagonal"
+        );
+        // Strictly-lower column index.
+        let mut lower_counts = vec![0usize; n];
+        for i in 0..n {
+            for slot in row_ptr[i]..row_ptr[i + 1] {
+                let j = col_idx[slot];
+                if j < i {
+                    lower_counts[j] += 1;
+                }
+            }
+        }
+        let mut lower_col_ptr = Vec::with_capacity(n + 1);
+        lower_col_ptr.push(0);
+        for j in 0..n {
+            lower_col_ptr.push(lower_col_ptr[j] + lower_counts[j]);
+        }
+        let total_lower = lower_col_ptr[n];
+        let mut lower_rows = vec![0usize; total_lower];
+        let mut lower_slots = vec![0usize; total_lower];
+        let mut next = lower_col_ptr.clone();
+        for i in 0..n {
+            for slot in row_ptr[i]..row_ptr[i + 1] {
+                let j = col_idx[slot];
+                if j < i {
+                    let pos = next[j];
+                    lower_rows[pos] = i;
+                    lower_slots[pos] = slot;
+                    next[j] += 1;
+                }
+            }
+        }
+        LuStructure {
+            n,
+            row_ptr,
+            col_idx,
+            diag_slot,
+            lower_col_ptr,
+            lower_rows,
+            lower_slots,
+        }
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of slots, i.e. `|s̃p|` of the underlying pattern.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The slot range of row `i`.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// The column index stored at `slot`.
+    #[inline]
+    pub fn col_of_slot(&self, slot: usize) -> usize {
+        self.col_idx[slot]
+    }
+
+    /// Columns of row `i`, ascending.
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Slot of the diagonal entry of row `i`.
+    #[inline]
+    pub fn diag_slot(&self, i: usize) -> usize {
+        self.diag_slot[i]
+    }
+
+    /// The slot of position `(i, j)`, or `None` when the structure does not
+    /// cover it.
+    pub fn slot(&self, i: usize, j: usize) -> Option<usize> {
+        if i >= self.n || j >= self.n {
+            return None;
+        }
+        let range = self.row_range(i);
+        let row = &self.col_idx[range.clone()];
+        row.binary_search(&j).ok().map(|pos| range.start + pos)
+    }
+
+    /// Returns `true` when the structure covers `(i, j)`.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.slot(i, j).is_some()
+    }
+
+    /// Slots of the upper-triangular (including diagonal) part of row `i`,
+    /// i.e. the `U` entries of that row in ascending column order.
+    pub fn upper_row_slots(&self, i: usize) -> std::ops::Range<usize> {
+        self.diag_slot[i]..self.row_ptr[i + 1]
+    }
+
+    /// Slots of the strictly-lower part of row `i` (its `L` entries),
+    /// ascending column order.
+    pub fn lower_row_slots(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.diag_slot[i]
+    }
+
+    /// The strictly-lower entries of column `j`: parallel slices of row
+    /// indices (`i > j`, ascending) and their row-major slots.
+    pub fn lower_col(&self, j: usize) -> (&[usize], &[usize]) {
+        let range = self.lower_col_ptr[j]..self.lower_col_ptr[j + 1];
+        (&self.lower_rows[range.clone()], &self.lower_slots[range])
+    }
+
+    /// The pattern covered by this structure.
+    pub fn pattern(&self) -> SparsityPattern {
+        let rows = (0..self.n)
+            .map(|i| self.row_cols(i).to_vec())
+            .collect::<Vec<_>>();
+        SparsityPattern::from_sorted_rows(self.n, rows)
+    }
+
+    /// Wraps the structure in an [`Arc`] so many factor sets (one per matrix
+    /// of a cluster) can share it without copying.
+    pub fn into_shared(self) -> Arc<LuStructure> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_sparse::SparsityPattern;
+
+    fn sample_structure() -> LuStructure {
+        // Pattern with one fill-in: (1,0),(0,2) present => fill at (1,2).
+        let sp = SparsityPattern::from_entries(
+            3,
+            3,
+            vec![(0, 0), (1, 1), (2, 2), (1, 0), (0, 2)],
+        )
+        .unwrap();
+        LuStructure::from_pattern(&sp).unwrap()
+    }
+
+    #[test]
+    fn closure_adds_fill_slots() {
+        let s = sample_structure();
+        assert_eq!(s.n(), 3);
+        // 5 original (incl. diag) + 1 fill at (1,2).
+        assert_eq!(s.nnz(), 6);
+        assert!(s.contains(1, 2));
+        assert!(!s.contains(2, 0));
+    }
+
+    #[test]
+    fn diag_and_row_partitions() {
+        let s = sample_structure();
+        for i in 0..3 {
+            assert_eq!(s.col_of_slot(s.diag_slot(i)), i);
+            let lower: Vec<usize> = s.lower_row_slots(i).map(|sl| s.col_of_slot(sl)).collect();
+            assert!(lower.iter().all(|&c| c < i));
+            let upper: Vec<usize> = s.upper_row_slots(i).map(|sl| s.col_of_slot(sl)).collect();
+            assert!(upper.iter().all(|&c| c >= i));
+            assert_eq!(upper[0], i);
+        }
+    }
+
+    #[test]
+    fn lower_col_lists_match_row_slots() {
+        let s = sample_structure();
+        let (rows, slots) = s.lower_col(0);
+        assert_eq!(rows, &[1]);
+        assert_eq!(s.col_of_slot(slots[0]), 0);
+        let (rows2, _) = s.lower_col(2);
+        assert!(rows2.is_empty());
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let s = sample_structure();
+        assert!(s.slot(0, 2).is_some());
+        assert!(s.slot(2, 0).is_none());
+        assert!(s.slot(5, 0).is_none());
+        assert_eq!(s.slot(1, 1), Some(s.diag_slot(1)));
+    }
+
+    #[test]
+    fn pattern_roundtrip_is_closed() {
+        let s = sample_structure();
+        let p = s.pattern();
+        assert_eq!(p.nnz(), s.nnz());
+        // Closed pattern: building again from it changes nothing.
+        let s2 = LuStructure::from_pattern(&p).unwrap();
+        assert_eq!(s2.nnz(), s.nnz());
+        let s3 = LuStructure::from_closed_pattern_unchecked(&p);
+        assert_eq!(s3, s2);
+    }
+
+    #[test]
+    fn rejects_rectangular_pattern() {
+        let err = LuStructure::from_pattern(&SparsityPattern::empty(2, 3)).unwrap_err();
+        assert!(matches!(err, LuError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn shared_structure_is_cheap_to_clone() {
+        let s = sample_structure().into_shared();
+        let s2 = Arc::clone(&s);
+        assert_eq!(s.nnz(), s2.nnz());
+        assert_eq!(Arc::strong_count(&s), 2);
+    }
+}

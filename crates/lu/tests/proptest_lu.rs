@@ -1,0 +1,127 @@
+//! Property-based tests for the LU engine: factorization against the dense
+//! oracle, reordered solves, symbolic coverage and the structural behaviour
+//! of the two storage back-ends.
+
+use clude_lu::{
+    apply_delta, factorize_fresh, markowitz_ordering, solve_original, symbolic_decomposition,
+    DynamicLuFactors, LuFactors, LuStructure,
+};
+use clude_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+fn diag_dominant(n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..extra.max(1)).prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        let mut row_sums = vec![0.0; n];
+        let mut offdiag = Vec::new();
+        for (i, j, v) in entries {
+            if i != j {
+                row_sums[i] += v.abs();
+                offdiag.push((i, j, v));
+            }
+        }
+        for (i, sum) in row_sums.iter().enumerate() {
+            coo.push(i, i, sum + 1.0).unwrap();
+        }
+        for (i, j, v) in offdiag {
+            coo.push(i, j, v).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_lu_matches_dense_oracle(a in diag_dominant(10, 28)) {
+        let f = factorize_fresh(&a).unwrap();
+        let (dl, du) = a.to_dense().lu_no_pivoting().unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert!((f.l(i, j) - dl.get(i, j)).abs() < 1e-9);
+                prop_assert!((f.u(i, j) - du.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_solve_equals_dense_solve(a in diag_dominant(10, 30), rhs in proptest::collection::vec(-2.0f64..2.0, 10)) {
+        let result = markowitz_ordering(&a.pattern());
+        let reordered = a.reorder(&result.ordering).unwrap();
+        let structure = LuStructure::from_pattern(&reordered.pattern()).unwrap().into_shared();
+        let factors = LuFactors::factorize(structure, &reordered).unwrap();
+        let x = solve_original(&factors, &result.ordering, &rhs).unwrap();
+        let dense = a.to_dense().solve_gaussian(&rhs).unwrap();
+        for (u, v) in x.iter().zip(dense.iter()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn markowitz_symbolic_size_never_exceeds_natural(a in diag_dominant(12, 40)) {
+        let pattern = a.pattern();
+        let natural = symbolic_decomposition(&pattern).size();
+        let ordered = markowitz_ordering(&pattern).symbolic_size;
+        prop_assert!(ordered <= natural);
+        // And the size is at least n (the diagonal is always present).
+        prop_assert!(ordered >= 12);
+    }
+
+    #[test]
+    fn dynamic_and_static_storage_agree_after_updates(
+        a in diag_dominant(9, 22),
+        changes in proptest::collection::vec((0usize..9, 0usize..9, -0.3f64..0.3), 1..5),
+    ) {
+        let delta: Vec<(usize, usize, f64, f64)> = changes
+            .into_iter()
+            .filter(|&(i, j, _)| i != j)
+            .map(|(i, j, v)| (i, j, a.get(i, j), a.get(i, j) + v))
+            .collect();
+        prop_assume!(!delta.is_empty());
+        // Dynamic path.
+        let mut dynamic = DynamicLuFactors::factorize(&a).unwrap();
+        apply_delta(&mut dynamic, &delta).unwrap();
+        // Static path over the union pattern.
+        let mut coo = CooMatrix::new(9, 9);
+        for (i, j, v) in a.iter() {
+            coo.push(i, j, v).unwrap();
+        }
+        for &(i, j, old, new) in &delta {
+            coo.push(i, j, new - old).unwrap();
+        }
+        let a_new = CsrMatrix::from_coo(&coo);
+        let union = a.pattern().union(&a_new.pattern()).unwrap();
+        let structure = LuStructure::from_pattern(&union).unwrap().into_shared();
+        let mut fixed = LuFactors::factorize(structure, &a).unwrap();
+        apply_delta(&mut fixed, &delta).unwrap();
+        // Both agree on every solve.
+        let b: Vec<f64> = (0..9).map(|i| 1.0 + i as f64 * 0.1).collect();
+        let x1 = dynamic.solve(&b).unwrap();
+        let x2 = fixed.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn structure_covers_matrices_with_sub_patterns(a in diag_dominant(10, 30)) {
+        // Build a structure from the matrix's pattern plus extra entries; the
+        // factorization of the original matrix through that larger structure
+        // must still be exact.
+        let mut pattern = a.pattern();
+        for k in 0..5usize {
+            pattern.insert((k * 3) % 10, (k * 7 + 1) % 10);
+        }
+        let structure = LuStructure::from_pattern(&pattern).unwrap().into_shared();
+        let loose = LuFactors::factorize(structure, &a).unwrap();
+        let tight = factorize_fresh(&a).unwrap();
+        prop_assert!(loose.nnz() >= tight.nnz());
+        let b = vec![1.0; 10];
+        let x1 = loose.solve(&b).unwrap();
+        let x2 = tight.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

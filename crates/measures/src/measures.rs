@@ -1,0 +1,290 @@
+//! Graph structural measures answered through decomposed factors.
+//!
+//! All measures here reduce to solving `(I − d·W) x = b` for a suitable `b`
+//! (§1 of the paper):
+//!
+//! * **PageRank** — `b = ((1 − d)/n)·1`;
+//! * **RWR / personalised PageRank** — `b = (1 − d)·q_u` (or a uniform
+//!   distribution over a seed set);
+//! * **SALSA (damped)** — PageRank-style scores on the co-citation /
+//!   bibliographic-coupling structure, obtained by two solves;
+//! * **Discounted hitting time** — expected discounted path length to a
+//!   target, via a per-target linear system.
+//!
+//! The functions take a [`clude::DecomposedMatrix`] (one snapshot's factors,
+//! produced by any LUDEM solver), so a whole time series costs one cheap
+//! substitution per snapshot once the sequence has been decomposed.
+
+use crate::linear_system::{group_score, normalize_scores, pagerank_rhs, ppr_rhs, rwr_rhs};
+use clude::DecomposedMatrix;
+use clude_graph::{DiGraph, MatrixKind};
+use clude_lu::{factorize_fresh, LuResult};
+use clude_sparse::{CooMatrix, CsrMatrix};
+
+/// Global PageRank scores of a snapshot, from its decomposed measure matrix.
+pub fn pagerank(decomposed: &DecomposedMatrix, n: usize, damping: f64) -> LuResult<Vec<f64>> {
+    let b = pagerank_rhs(n, damping);
+    let raw = decomposed.solve(&b)?;
+    Ok(normalize_scores(raw))
+}
+
+/// Random walk with restart (single-seed personalised PageRank) scores.
+pub fn rwr(decomposed: &DecomposedMatrix, n: usize, seed: usize, damping: f64) -> LuResult<Vec<f64>> {
+    let b = rwr_rhs(n, seed, damping);
+    let raw = decomposed.solve(&b)?;
+    Ok(normalize_scores(raw))
+}
+
+/// Personalised PageRank with a uniform restart over a seed set.
+pub fn personalized_pagerank(
+    decomposed: &DecomposedMatrix,
+    n: usize,
+    seeds: &[usize],
+    damping: f64,
+) -> LuResult<Vec<f64>> {
+    let b = ppr_rhs(n, seeds, damping);
+    let raw = decomposed.solve(&b)?;
+    Ok(normalize_scores(raw))
+}
+
+/// Proximity of a group of nodes (e.g. one company's patents) from a seed
+/// set, as used in the paper's §7 case study: the sum of the group's PPR
+/// scores.
+pub fn group_proximity(
+    decomposed: &DecomposedMatrix,
+    n: usize,
+    seeds: &[usize],
+    group: &[usize],
+    damping: f64,
+) -> LuResult<f64> {
+    let scores = personalized_pagerank(decomposed, n, seeds, damping)?;
+    Ok(group_score(&scores, group))
+}
+
+/// Hub and authority scores in the spirit of SALSA [18].
+///
+/// SALSA's authority chain walks "backwards then forwards" along links; its
+/// damped variant solves a PageRank system on that two-step chain.  The
+/// matrices of the two-step chains are snapshot-specific, so this measure
+/// factorizes them directly (it does not reuse the EMS factors); it exists to
+/// exercise the full measure suite of §1 on single snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalsaScores {
+    /// Authority scores per node.
+    pub authorities: Vec<f64>,
+    /// Hub scores per node.
+    pub hubs: Vec<f64>,
+}
+
+/// Computes damped SALSA scores for a snapshot graph.
+pub fn salsa(graph: &DiGraph, damping: f64) -> LuResult<SalsaScores> {
+    // Row-stochastic matrices of the backward (authority) and forward (hub)
+    // two-step chains, built on the fly.
+    let authority_chain = two_step_chain(graph, true);
+    let hub_chain = two_step_chain(graph, false);
+    let authorities = damped_stationary(&authority_chain, damping)?;
+    let hubs = damped_stationary(&hub_chain, damping)?;
+    Ok(SalsaScores { authorities, hubs })
+}
+
+/// Builds the column-normalised two-step chain matrix of SALSA:
+/// authority chain = step backwards then forwards, hub chain = the reverse.
+fn two_step_chain(graph: &DiGraph, authority: bool) -> CsrMatrix {
+    let n = graph.n_nodes();
+    let mut coo = CooMatrix::new(n, n);
+    for u in 0..n {
+        // Authority chain from authority u: pick a citing page w (predecessor),
+        // then one of w's cited pages v; transition u -> v.
+        let first_hop: Vec<usize> = if authority {
+            graph.predecessors(u).collect()
+        } else {
+            graph.successors(u).collect()
+        };
+        if first_hop.is_empty() {
+            continue;
+        }
+        let p_first = 1.0 / first_hop.len() as f64;
+        for w in first_hop {
+            let second_hop: Vec<usize> = if authority {
+                graph.successors(w).collect()
+            } else {
+                graph.predecessors(w).collect()
+            };
+            if second_hop.is_empty() {
+                continue;
+            }
+            let p_second = p_first / second_hop.len() as f64;
+            for v in second_hop {
+                // Column-normalised convention: entry (v, u) is P(u -> v).
+                coo.push(v, u, p_second).expect("indices in bounds");
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Solves `(I − d·P) x = ((1 − d)/n)·1` for a column-stochastic `P`.
+fn damped_stationary(p: &CsrMatrix, damping: f64) -> LuResult<Vec<f64>> {
+    let n = p.n_rows();
+    let identity = CsrMatrix::identity(n);
+    let a = identity
+        .add_scaled(1.0, p, -damping)
+        .expect("shapes agree");
+    let factors = factorize_fresh(&a)?;
+    let x = factors.solve(&pagerank_rhs(n, damping))?;
+    Ok(normalize_scores(x))
+}
+
+/// Discounted hitting time [14] from every node to a target node.
+///
+/// `h(target) = 0` and for `u ≠ target`:
+/// `h(u) = 1 + d·Σ_w P(u, w)·h(w)` with the walk restarted at absorption —
+/// equivalently `(I − d·P̃) h = 1` off the target, where `P̃` zeroes the
+/// target's outgoing transitions.  Smaller values mean the target is closer.
+pub fn discounted_hitting_time(graph: &DiGraph, target: usize, damping: f64) -> LuResult<Vec<f64>> {
+    let n = graph.n_nodes();
+    assert!(target < n, "target node out of range");
+    // Row-normalised transition matrix with the target made absorbing.
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 1.0).expect("diagonal in bounds");
+        if i == target {
+            continue;
+        }
+        let deg = graph.out_degree(i);
+        if deg == 0 {
+            continue;
+        }
+        let w = damping / deg as f64;
+        for v in graph.successors(i) {
+            coo.push(i, v, -w).expect("edge in bounds");
+        }
+    }
+    let a = CsrMatrix::from_coo(&coo);
+    let factors = factorize_fresh(&a)?;
+    let mut b = vec![1.0; n];
+    b[target] = 0.0;
+    factors.solve(&b)
+}
+
+/// The matrix kind a measure needs its EMS to be built with.
+pub fn required_matrix_kind(damping: f64) -> MatrixKind {
+    MatrixKind::RandomWalk { damping }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude::{BruteForce, EvolvingMatrixSequence, LudemSolver, SolverConfig};
+    use clude_graph::EvolvingGraphSequence;
+
+    fn ring_with_chord() -> DiGraph {
+        // A 6-node ring plus extra links into node 0.
+        let mut g = DiGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
+        g.add_edge(2, 0);
+        g.add_edge(4, 0);
+        g
+    }
+
+    fn decomposed_single(graph: &DiGraph, damping: f64) -> (clude::LudemSolution, usize) {
+        let egs = EvolvingGraphSequence::from_base(graph.clone());
+        let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping });
+        let solution = BruteForce.solve(&ems, &SolverConfig::default()).unwrap();
+        let n = ems.order();
+        (solution, n)
+    }
+
+    #[test]
+    fn pagerank_favours_highly_linked_node() {
+        let g = ring_with_chord();
+        let (solution, n) = decomposed_single(&g, 0.85);
+        let pr = pagerank(&solution.decomposed[0], n, 0.85).unwrap();
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Node 0 has three in-links, every other node has one.
+        let best = pr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn pagerank_matches_power_iteration_reference() {
+        let g = ring_with_chord();
+        let (solution, n) = decomposed_single(&g, 0.85);
+        let pr = pagerank(&solution.decomposed[0], n, 0.85).unwrap();
+        let pi = crate::power_iteration::pagerank_power_iteration(&g, 0.85, 2000, 1e-14);
+        for (a, b) in pr.iter().zip(pi.scores.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rwr_mass_concentrates_near_seed() {
+        let g = ring_with_chord();
+        let (solution, n) = decomposed_single(&g, 0.85);
+        let scores = rwr(&solution.decomposed[0], n, 3, 0.85).unwrap();
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 3, "the seed has the largest stationary mass");
+    }
+
+    #[test]
+    fn multi_seed_ppr_and_group_proximity() {
+        let g = ring_with_chord();
+        let (solution, n) = decomposed_single(&g, 0.85);
+        let seeds = [1usize, 2];
+        let scores = personalized_pagerank(&solution.decomposed[0], n, &seeds, 0.85).unwrap();
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let prox = group_proximity(&solution.decomposed[0], n, &seeds, &[3, 4], 0.85).unwrap();
+        assert!(prox > 0.0 && prox < 1.0);
+    }
+
+    #[test]
+    fn salsa_scores_are_distributions() {
+        let g = ring_with_chord();
+        let s = salsa(&g, 0.85).unwrap();
+        assert!((s.authorities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((s.hubs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Node 0 is the strongest authority (three in-links).
+        let best = s
+            .authorities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn hitting_time_is_zero_at_target_and_monotone_with_distance() {
+        // A directed chain 0 -> 1 -> 2 -> 3.
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let h = discounted_hitting_time(&g, 3, 0.9).unwrap();
+        assert_eq!(h[3], 0.0);
+        assert!(h[0] > h[1] && h[1] > h[2] && h[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target node")]
+    fn hitting_time_rejects_bad_target() {
+        let g = DiGraph::new(3);
+        let _ = discounted_hitting_time(&g, 7, 0.9);
+    }
+
+    #[test]
+    fn required_matrix_kind_is_random_walk() {
+        assert_eq!(
+            required_matrix_kind(0.85),
+            MatrixKind::RandomWalk { damping: 0.85 }
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Monte-Carlo baselines (the MC method of §8).
+//!
+//! MC approximates RWR / personalised PageRank by simulating random walks
+//! from the seed and recording where they spend their time.  Like power
+//! iteration, it has to be re-run per query, and its accuracy grows only with
+//! the number of simulated walks; the paper cites it as the other common
+//! alternative to exact linear-system solutions.
+
+use clude_graph::DiGraph;
+use clude_sparse::vector;
+use rand::Rng;
+
+/// Result of a Monte-Carlo estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResult {
+    /// Estimated (normalised) visit distribution.
+    pub scores: Vec<f64>,
+    /// Number of walks simulated.
+    pub walks: usize,
+    /// Total number of steps taken across all walks.
+    pub steps: usize,
+}
+
+/// Estimates RWR scores from `seed` by simulating `walks` restart walks.
+///
+/// Each walk starts at the seed and, at every step, restarts with probability
+/// `1 − damping`, otherwise moves to a uniformly random out-neighbour
+/// (restarting when stuck at a dangling node).  Visits are counted per node
+/// and normalised at the end.
+pub fn rwr_monte_carlo<R: Rng>(
+    graph: &DiGraph,
+    seed: usize,
+    damping: f64,
+    walks: usize,
+    max_walk_length: usize,
+    rng: &mut R,
+) -> MonteCarloResult {
+    let n = graph.n_nodes();
+    assert!(seed < n, "seed node out of range");
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let mut visits = vec![0u64; n];
+    let mut steps = 0usize;
+    for _ in 0..walks {
+        let mut current = seed;
+        for _ in 0..max_walk_length {
+            visits[current] += 1;
+            steps += 1;
+            if rng.gen_bool(1.0 - damping) {
+                current = seed;
+                continue;
+            }
+            let deg = graph.out_degree(current);
+            if deg == 0 {
+                current = seed;
+                continue;
+            }
+            let pick = rng.gen_range(0..deg);
+            current = graph
+                .successors(current)
+                .nth(pick)
+                .expect("pick is within the out-degree");
+        }
+    }
+    let mut scores: Vec<f64> = visits.iter().map(|&v| v as f64).collect();
+    vector::normalize_l1(&mut scores);
+    MonteCarloResult {
+        scores,
+        walks,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_iteration::rwr_power_iteration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_with_chord() -> DiGraph {
+        let mut g = DiGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
+        g.add_edge(2, 0);
+        g.add_edge(4, 0);
+        g
+    }
+
+    #[test]
+    fn monte_carlo_approximates_power_iteration() {
+        let g = ring_with_chord();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mc = rwr_monte_carlo(&g, 1, 0.85, 800, 80, &mut rng);
+        let pi = rwr_power_iteration(&g, 1, 0.85, 2000, 1e-12);
+        // Coarse agreement: same top node and bounded deviation.
+        let top_mc = vector::rank_descending(&mc.scores)[0];
+        let top_pi = vector::rank_descending(&pi.scores)[0];
+        assert_eq!(top_mc, top_pi);
+        assert!(vector::max_abs_diff(&mc.scores, &pi.scores) < 0.08);
+        assert!(mc.steps > 0 && mc.walks == 800);
+    }
+
+    #[test]
+    fn handles_dangling_nodes_by_restarting() {
+        // Node 1 has no out-links.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (2, 0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mc = rwr_monte_carlo(&g, 0, 0.85, 200, 50, &mut rng);
+        assert!((mc.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(mc.scores[0] > 0.0 && mc.scores[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_invalid_damping() {
+        let g = DiGraph::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        rwr_monte_carlo(&g, 0, 1.5, 10, 10, &mut rng);
+    }
+}

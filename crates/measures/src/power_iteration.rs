@@ -1,0 +1,134 @@
+//! Power-iteration baselines (the PI method of §8).
+//!
+//! PI repeatedly applies `x ← d·W·x + b` until convergence.  The paper
+//! contrasts it with the LU approach: PI must be re-run for every input
+//! query, whereas the decomposed factors answer any query with one cheap
+//! substitution.  The benchmark reproducing that claim lives in
+//! `clude-bench`.
+
+use clude_graph::{matrix::column_normalized_adjacency, DiGraph};
+use clude_sparse::vector;
+
+/// Result of a power iteration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIterationResult {
+    /// The converged (normalised) scores.
+    pub scores: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final infinity-norm change between successive iterates.
+    pub residual: f64,
+}
+
+/// Runs the damped power iteration `x ← d·W·x + b` until the change drops
+/// below `tol` or `max_iterations` is reached.
+pub fn solve_power_iteration(
+    w: &clude_sparse::CsrMatrix,
+    b: &[f64],
+    damping: f64,
+    max_iterations: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    let n = b.len();
+    let mut x = b.to_vec();
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < max_iterations && residual > tol {
+        let wx = w.mul_vec(&x).expect("shapes agree");
+        let mut next = b.to_vec();
+        vector::axpy(damping, &wx, &mut next);
+        residual = vector::max_abs_diff(&next, &x);
+        x = next;
+        iterations += 1;
+    }
+    let _ = n;
+    PowerIterationResult {
+        scores: x,
+        iterations,
+        residual,
+    }
+}
+
+/// PageRank by power iteration on a snapshot graph.
+pub fn pagerank_power_iteration(
+    graph: &DiGraph,
+    damping: f64,
+    max_iterations: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    let n = graph.n_nodes();
+    let w = column_normalized_adjacency(graph);
+    let b = vec![(1.0 - damping) / n as f64; n];
+    let mut result = solve_power_iteration(&w, &b, damping, max_iterations, tol);
+    vector::normalize_l1(&mut result.scores);
+    result
+}
+
+/// RWR / personalised PageRank by power iteration on a snapshot graph.
+pub fn rwr_power_iteration(
+    graph: &DiGraph,
+    seed: usize,
+    damping: f64,
+    max_iterations: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    let n = graph.n_nodes();
+    assert!(seed < n, "seed node out of range");
+    let w = column_normalized_adjacency(graph);
+    let mut b = vec![0.0; n];
+    b[seed] = 1.0 - damping;
+    let mut result = solve_power_iteration(&w, &b, damping, max_iterations, tol);
+    vector::normalize_l1(&mut result.scores);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> DiGraph {
+        // Everyone links to node 0; node 0 links back to node 1.
+        let mut g = DiGraph::new(5);
+        for i in 1..5 {
+            g.add_edge(i, 0);
+        }
+        g.add_edge(0, 1);
+        g
+    }
+
+    #[test]
+    fn pagerank_converges_and_ranks_hub_first() {
+        let result = pagerank_power_iteration(&star(), 0.85, 500, 1e-12);
+        assert!(result.iterations < 500);
+        assert!(result.residual <= 1e-12);
+        assert!((result.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let best = result
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn rwr_concentrates_on_seed_neighbourhood() {
+        let result = rwr_power_iteration(&star(), 2, 0.85, 500, 1e-12);
+        assert!(result.scores[2] > result.scores[3]);
+        assert!(result.scores[0] > result.scores[4]);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let result = pagerank_power_iteration(&star(), 0.85, 3, 0.0);
+        assert_eq!(result.iterations, 3);
+        assert!(result.residual > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed node")]
+    fn rwr_rejects_bad_seed() {
+        rwr_power_iteration(&star(), 9, 0.85, 10, 1e-6);
+    }
+}

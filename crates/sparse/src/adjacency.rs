@@ -1,0 +1,351 @@
+//! Dynamic adjacency-list sparse matrices (paper Figure 4).
+//!
+//! The paper stores a matrix and its LU factors as adjacency lists: one list
+//! of `(column, value)` nodes per row and one list of `(row, value)` nodes per
+//! column.  When an incremental algorithm (Bennett) creates a fill-in that is
+//! not yet present, the lists must be *structurally* modified, and the paper
+//! reports that roughly 70 % of the incremental algorithm's time goes into
+//! such structural maintenance.  [`AdjacencyMatrix`] reproduces this data
+//! structure and counts every structural operation so the reproduction can
+//! report the same cost breakdown.
+
+use crate::csr::CsrMatrix;
+use crate::pattern::SparsityPattern;
+
+/// Counters describing how much structural work a dynamic matrix has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructuralStats {
+    /// Number of list nodes inserted (new structural non-zeros).
+    pub inserts: usize,
+    /// Number of list nodes removed.
+    pub removals: usize,
+    /// Number of list traversal steps performed while searching positions.
+    pub probes: usize,
+}
+
+impl StructuralStats {
+    /// Total number of structural list modifications.
+    pub fn modifications(&self) -> usize {
+        self.inserts + self.removals
+    }
+}
+
+/// A mutable sparse matrix stored as row-wise and column-wise adjacency lists.
+#[derive(Debug, Clone)]
+pub struct AdjacencyMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Per row: sorted list of (column, value).
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Per column: sorted list of row indices (structure only; values live in
+    /// `rows`).  Kept so column scans, as required by Crout's method and by
+    /// Markowitz counts, do not need a full matrix sweep.
+    cols: Vec<Vec<usize>>,
+    stats: StructuralStats,
+}
+
+impl AdjacencyMatrix {
+    /// Creates an empty dynamic matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        AdjacencyMatrix {
+            n_rows,
+            n_cols,
+            rows: vec![Vec::new(); n_rows],
+            cols: vec![Vec::new(); n_cols],
+            stats: StructuralStats::default(),
+        }
+    }
+
+    /// Builds a dynamic matrix from a CSR matrix.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let mut m = AdjacencyMatrix::zeros(csr.n_rows(), csr.n_cols());
+        for (i, j, v) in csr.iter() {
+            m.rows[i].push((j, v));
+            m.cols[j].push(i);
+        }
+        // CSR iteration is row-major sorted, so rows are sorted; columns were
+        // pushed with increasing row index, so they are sorted too.
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Structural operation counters accumulated so far.
+    pub fn stats(&self) -> StructuralStats {
+        self.stats
+    }
+
+    /// Resets the structural counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = StructuralStats::default();
+    }
+
+    /// Reads the value at `(i, j)`; absent positions read as `0.0`.
+    pub fn get(&mut self, i: usize, j: usize) -> f64 {
+        let row = &self.rows[i];
+        match row.binary_search_by_key(&j, |&(c, _)| c) {
+            Ok(pos) => {
+                self.stats.probes += 1;
+                row[pos].1
+            }
+            Err(_) => {
+                self.stats.probes += 1;
+                0.0
+            }
+        }
+    }
+
+    /// Reads the value at `(i, j)` without touching the probe counters.
+    pub fn peek(&self, i: usize, j: usize) -> f64 {
+        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
+            Ok(pos) => self.rows[i][pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns `true` when `(i, j)` is structurally present.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.rows[i].binary_search_by_key(&j, |&(c, _)| c).is_ok()
+    }
+
+    /// Sets `(i, j)` to `value`, inserting a node if the position is absent.
+    /// Returns `true` when a structural insert happened.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> bool {
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
+            Ok(pos) => {
+                self.stats.probes += 1;
+                self.rows[i][pos].1 = value;
+                false
+            }
+            Err(pos) => {
+                self.stats.probes += 1;
+                self.stats.inserts += 1;
+                self.rows[i].insert(pos, (j, value));
+                let cpos = self.cols[j].binary_search(&i).unwrap_err();
+                self.cols[j].insert(cpos, i);
+                true
+            }
+        }
+    }
+
+    /// Adds `delta` to `(i, j)`, inserting the position when absent.
+    pub fn add_to(&mut self, i: usize, j: usize, delta: f64) {
+        let current = self.peek(i, j);
+        self.set(i, j, current + delta);
+    }
+
+    /// Structurally removes `(i, j)`; returns `true` when something was
+    /// removed.
+    pub fn remove(&mut self, i: usize, j: usize) -> bool {
+        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
+            Ok(pos) => {
+                self.rows[i].remove(pos);
+                if let Ok(cpos) = self.cols[j].binary_search(&i) {
+                    self.cols[j].remove(cpos);
+                }
+                self.stats.removals += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Sorted `(column, value)` entries of row `i`.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Sorted row indices with a structural entry in column `j`.
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.cols[j]
+    }
+
+    /// The current sparsity pattern.
+    pub fn pattern(&self) -> SparsityPattern {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|&(c, _)| c).collect())
+            .collect();
+        SparsityPattern::from_sorted_rows(self.n_cols, rows)
+    }
+
+    /// Converts to CSR (dropping the structural counters).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        row_ptr.push(0);
+        for row in &self.rows {
+            for &(c, v) in row {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+
+    /// Rebuilds the matrix so its structure exactly matches `pattern`,
+    /// retaining values at retained positions and zero-filling new positions.
+    /// Every inserted or removed node is counted in the structural stats —
+    /// this is the "restructuring" cost that dominates a straightforwardly
+    /// incremental implementation (paper §4, discussion before CLUDE).
+    pub fn restructure_to(&mut self, pattern: &SparsityPattern) {
+        assert_eq!(pattern.n_rows(), self.n_rows);
+        assert_eq!(pattern.n_cols(), self.n_cols);
+        let mut new_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.n_rows);
+        let mut new_cols: Vec<Vec<usize>> = vec![Vec::new(); self.n_cols];
+        for i in 0..self.n_rows {
+            let old = &self.rows[i];
+            let target = pattern.row(i);
+            let mut merged = Vec::with_capacity(target.len());
+            let mut oi = 0;
+            for &j in target {
+                // Advance through old entries, counting removals for entries
+                // that are not retained.
+                while oi < old.len() && old[oi].0 < j {
+                    self.stats.removals += 1;
+                    oi += 1;
+                }
+                self.stats.probes += 1;
+                if oi < old.len() && old[oi].0 == j {
+                    merged.push((j, old[oi].1));
+                    oi += 1;
+                } else {
+                    self.stats.inserts += 1;
+                    merged.push((j, 0.0));
+                }
+                new_cols[j].push(i);
+            }
+            while oi < old.len() {
+                self.stats.removals += 1;
+                oi += 1;
+            }
+            new_rows.push(merged);
+        }
+        self.rows = new_rows;
+        self.cols = new_cols;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0)] {
+            coo.push(i, j, v).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_csr_preserves_entries() {
+        let csr = sample_csr();
+        let mut adj = AdjacencyMatrix::from_csr(&csr);
+        assert_eq!(adj.nnz(), 4);
+        assert_eq!(adj.get(0, 2), 2.0);
+        assert_eq!(adj.get(1, 0), 0.0);
+        assert_eq!(adj.to_csr(), csr);
+    }
+
+    #[test]
+    fn set_inserts_and_updates() {
+        let mut adj = AdjacencyMatrix::zeros(2, 2);
+        assert!(adj.set(0, 1, 5.0));
+        assert!(!adj.set(0, 1, 6.0));
+        assert_eq!(adj.peek(0, 1), 6.0);
+        assert_eq!(adj.stats().inserts, 1);
+        assert!(adj.contains(0, 1));
+        assert!(!adj.contains(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut adj = AdjacencyMatrix::zeros(2, 2);
+        adj.set(5, 0, 1.0);
+    }
+
+    #[test]
+    fn add_to_accumulates() {
+        let mut adj = AdjacencyMatrix::zeros(2, 2);
+        adj.add_to(1, 1, 2.0);
+        adj.add_to(1, 1, 3.0);
+        assert_eq!(adj.peek(1, 1), 5.0);
+        assert_eq!(adj.stats().inserts, 1);
+    }
+
+    #[test]
+    fn remove_deletes_structure() {
+        let mut adj = AdjacencyMatrix::from_csr(&sample_csr());
+        assert!(adj.remove(0, 2));
+        assert!(!adj.remove(0, 2));
+        assert!(!adj.contains(0, 2));
+        assert_eq!(adj.stats().removals, 1);
+        assert_eq!(adj.col_rows(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn column_lists_track_rows() {
+        let adj = AdjacencyMatrix::from_csr(&sample_csr());
+        assert_eq!(adj.col_rows(0), &[0, 2]);
+        assert_eq!(adj.col_rows(1), &[1]);
+    }
+
+    #[test]
+    fn pattern_matches_csr_pattern() {
+        let csr = sample_csr();
+        let adj = AdjacencyMatrix::from_csr(&csr);
+        assert_eq!(adj.pattern(), csr.pattern());
+    }
+
+    #[test]
+    fn restructure_counts_inserts_and_removals() {
+        let csr = sample_csr();
+        let mut adj = AdjacencyMatrix::from_csr(&csr);
+        // Target pattern: keep (0,0), (1,1); drop (0,2),(2,0); add (2,2),(1,2).
+        let target = SparsityPattern::from_entries(
+            3,
+            3,
+            vec![(0, 0), (1, 1), (1, 2), (2, 2)],
+        )
+        .unwrap();
+        adj.restructure_to(&target);
+        assert_eq!(adj.pattern(), target);
+        // Retained values survive, new positions are zero.
+        assert_eq!(adj.peek(0, 0), 1.0);
+        assert_eq!(adj.peek(1, 1), 3.0);
+        assert_eq!(adj.peek(2, 2), 0.0);
+        let stats = adj.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.removals, 2);
+        assert!(stats.modifications() == 4);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut adj = AdjacencyMatrix::zeros(2, 2);
+        adj.set(0, 0, 1.0);
+        assert_ne!(adj.stats(), StructuralStats::default());
+        adj.reset_stats();
+        assert_eq!(adj.stats(), StructuralStats::default());
+    }
+}

@@ -1,0 +1,133 @@
+//! Coordinate (triplet) format sparse matrices.
+//!
+//! [`CooMatrix`] is the assembly format: entries are pushed in any order and
+//! converted to [`crate::csr::CsrMatrix`] for computation.  Duplicate entries
+//! are summed during conversion, which makes incremental graph-to-matrix
+//! assembly straightforward.
+
+use crate::error::{SparseError, SparseResult};
+
+/// A sparse matrix stored as a list of `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty triplet matrix of the given shape.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with a pre-allocated entry capacity.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, capacity: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends a triplet.  Zero values are kept: callers that want to encode
+    /// an explicit structural zero (e.g. a vacated position in a delta) may do
+    /// so; [`crate::csr::CsrMatrix::from_coo`] keeps explicit zeros out of the
+    /// numeric pattern only when asked to prune.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> SparseResult<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Iterates over the stored triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Builds an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CooMatrix::with_capacity(n, n, n);
+        for i in 0..n {
+            m.entries.push((i, i, 1.0));
+        }
+        m
+    }
+
+    /// Consumes the matrix and returns the triplets.
+    pub fn into_entries(self) -> Vec<(usize, usize, f64)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, 2.0).unwrap();
+        m.push(2, 2, -1.5).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v, vec![(0, 1, 2.0), (2, 2, -1.5)]);
+    }
+
+    #[test]
+    fn push_out_of_bounds_errors() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.push(2, 0, 1.0).is_err());
+        assert!(m.push(0, 2, 1.0).is_err());
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn identity_has_n_entries() {
+        let m = CooMatrix::identity(4);
+        assert_eq!(m.nnz(), 4);
+        assert!(m.iter().all(|(i, j, v)| i == j && v == 1.0));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let m = CooMatrix::with_capacity(5, 6, 100);
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.n_cols(), 6);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn into_entries_returns_pushed_triplets() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(1, 1, 2.0).unwrap();
+        assert_eq!(m.into_entries(), vec![(0, 0, 1.0), (1, 1, 2.0)]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Dense matrices and reference algorithms.
+//!
+//! The dense representation exists to *verify* the sparse machinery: dense
+//! Gaussian elimination, dense LU and dense solves are the oracles against
+//! which the sparse LU engine and Bennett updates are tested.  It is also used
+//! by the benchmark that reproduces the paper's §1 claim that a decomposed
+//! solve is orders of magnitude faster than repeated Gaussian elimination.
+
+use crate::error::{SparseError, SparseResult};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major nested vector.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map(Vec::len).unwrap_or(0);
+        assert!(rows.iter().all(|r| r.len() == n_cols), "ragged rows");
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] += v;
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        if x.len() != self.n_cols {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n_rows, self.n_cols),
+                right: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.n_rows];
+        for i in 0..self.n_rows {
+            let mut acc = 0.0;
+            for j in 0..self.n_cols {
+                acc += self.get(i, j) * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn mul(&self, other: &DenseMatrix) -> SparseResult<DenseMatrix> {
+        if self.n_cols != other.n_rows {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n_rows, self.n_cols),
+                right: (other.n_rows, other.n_cols),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.n_rows, other.n_cols);
+        for i in 0..self.n_rows {
+            for k in 0..self.n_cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.n_cols {
+                    out.add_to(i, j, aik * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> SparseResult<f64> {
+        if self.n_rows != other.n_rows || self.n_cols != other.n_cols {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n_rows, self.n_cols),
+                right: (other.n_rows, other.n_cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// This is the reference "GE per query" approach of the paper's §1.
+    pub fn solve_gaussian(&self, b: &[f64]) -> SparseResult<Vec<f64>> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare {
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        if b.len() != self.n_rows {
+            return Err(SparseError::ShapeMismatch {
+                left: (self.n_rows, self.n_cols),
+                right: (b.len(), 1),
+            });
+        }
+        let n = self.n_rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = k;
+            let mut best = a.get(k, k).abs();
+            for i in k + 1..n {
+                let cand = a.get(i, k).abs();
+                if cand > best {
+                    best = cand;
+                    pivot_row = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(SparseError::InvalidPermutation {
+                    len: n,
+                    reason: "matrix is singular to working precision",
+                });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a.get(k, j);
+                    a.set(k, j, a.get(pivot_row, j));
+                    a.set(pivot_row, j, tmp);
+                }
+                x.swap(k, pivot_row);
+            }
+            let pivot = a.get(k, k);
+            for i in k + 1..n {
+                let factor = a.get(i, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in k..n {
+                    a.add_to(i, j, -factor * a.get(k, j));
+                }
+                x[i] -= factor * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = x[k];
+            for j in k + 1..n {
+                acc -= a.get(k, j) * x[j];
+            }
+            x[k] = acc / a.get(k, k);
+        }
+        Ok(x)
+    }
+
+    /// Doolittle LU decomposition without pivoting: `A = L U` with unit lower
+    /// triangular `L` and upper triangular `U`.
+    ///
+    /// Returns an error if a zero pivot is encountered, exactly as the sparse
+    /// engine would.  Used as the dense oracle for the sparse factorization.
+    pub fn lu_no_pivoting(&self) -> SparseResult<(DenseMatrix, DenseMatrix)> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare {
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        let mut l = DenseMatrix::identity(n);
+        let mut u = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            // Row i of U.
+            for j in i..n {
+                let mut sum = self.get(i, j);
+                for k in 0..i {
+                    sum -= l.get(i, k) * u.get(k, j);
+                }
+                u.set(i, j, sum);
+            }
+            let pivot = u.get(i, i);
+            if pivot == 0.0 {
+                return Err(SparseError::InvalidPermutation {
+                    len: n,
+                    reason: "zero pivot in LU decomposition",
+                });
+            }
+            // Column i of L.
+            for j in i + 1..n {
+                let mut sum = self.get(j, i);
+                for k in 0..i {
+                    sum -= l.get(j, k) * u.get(k, i);
+                }
+                l.set(j, i, sum / pivot);
+            }
+        }
+        Ok((l, u))
+    }
+
+    /// Computes the inverse via Gaussian elimination; used only in examples
+    /// and tests that illustrate why inversion is impractical for sparse work
+    /// (the inverse is dense, as the paper's §2.1 points out).
+    pub fn inverse(&self) -> SparseResult<DenseMatrix> {
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::NotSquare {
+                n_rows: self.n_rows,
+                n_cols: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        for col in 0..n {
+            let mut e = vec![0.0; n];
+            e[col] = 1.0;
+            let x = self.solve_gaussian(&e)?;
+            for row in 0..n {
+                inv.set(row, col, x[row]);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Fraction of entries that are non-zero (density); illustrates the
+    /// fill-in discussion of the paper's preliminaries.
+    pub fn density(&self, tol: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nz = self.data.iter().filter(|v| v.abs() > tol).count();
+        nz as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(vec![
+            vec![4.0, 1.0, 0.0],
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        m.add_to(1, 2, 1.0);
+        assert_eq!(m.get(1, 2), 8.0);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        DenseMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn mul_vec_and_mul() {
+        let m = sample();
+        let x = vec![1.0, 1.0, 1.0];
+        assert_eq!(m.mul_vec(&x).unwrap(), vec![5.0, 8.0, 4.0]);
+        let id = DenseMatrix::identity(3);
+        assert_eq!(m.mul(&id).unwrap(), m);
+        assert!(m.mul(&DenseMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn solve_gaussian_recovers_solution() {
+        let m = sample();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = m.mul_vec(&x_true).unwrap();
+        let x = m.solve_gaussian(&b).unwrap();
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_gaussian_rejects_singular() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve_gaussian(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solve_gaussian_requires_square_and_matching_rhs() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(m.solve_gaussian(&[1.0, 2.0]).is_err());
+        let sq = sample();
+        assert!(sq.solve_gaussian(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn lu_reconstructs_matrix() {
+        let m = sample();
+        let (l, u) = m.lu_no_pivoting().unwrap();
+        let prod = l.mul(&u).unwrap();
+        assert!(prod.max_abs_diff(&m).unwrap() < 1e-12);
+        // L is unit lower triangular, U upper triangular.
+        for i in 0..3 {
+            assert_eq!(l.get(i, i), 1.0);
+            for j in i + 1..3 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+            for j in 0..i {
+                assert_eq!(u.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_zero_pivot_errors() {
+        let m = DenseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(m.lu_no_pivoting().is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let m = sample();
+        let inv = m.inverse().unwrap();
+        let prod = m.mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn density_counts_nonzeros() {
+        let m = sample();
+        assert!((m.density(0.0) - 7.0 / 9.0).abs() < 1e-12);
+        assert_eq!(DenseMatrix::zeros(0, 0).density(0.0), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the sparse matrix substrate.
+
+use std::fmt;
+
+/// Errors produced by sparse matrix constructors and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A row or column index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows of the matrix.
+        n_rows: usize,
+        /// Number of columns of the matrix.
+        n_cols: usize,
+    },
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A permutation vector was not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Length of the permutation.
+        len: usize,
+        /// Explanation of what was wrong.
+        reason: &'static str,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        n_rows: usize,
+        /// Number of columns.
+        n_cols: usize,
+    },
+    /// A duplicate entry was found where entries must be unique.
+    DuplicateEntry {
+        /// Row of the duplicate.
+        row: usize,
+        /// Column of the duplicate.
+        col: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for a {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::InvalidPermutation { len, reason } => {
+                write!(f, "invalid permutation of length {len}: {reason}")
+            }
+            SparseError::NotSquare { n_rows, n_cols } => {
+                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience result alias used across the sparse crate.
+pub type SparseResult<T> = Result<T, SparseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 3,
+            n_cols: 4,
+        };
+        assert_eq!(e.to_string(), "index (5, 7) out of bounds for a 3x4 matrix");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = SparseError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn display_invalid_permutation() {
+        let e = SparseError::InvalidPermutation {
+            len: 4,
+            reason: "index 9 out of range",
+        };
+        assert!(e.to_string().contains("length 4"));
+    }
+
+    #[test]
+    fn display_not_square_and_duplicate() {
+        assert!(SparseError::NotSquare { n_rows: 2, n_cols: 3 }
+            .to_string()
+            .contains("square"));
+        assert!(SparseError::DuplicateEntry { row: 1, col: 2 }
+            .to_string()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&SparseError::NotSquare { n_rows: 1, n_cols: 2 });
+    }
+}

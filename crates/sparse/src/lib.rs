@@ -1,0 +1,39 @@
+//! # clude-sparse
+//!
+//! Sparse matrix substrate for the CLUDE (EDBT 2014) reproduction.
+//!
+//! The paper operates on matrices derived from evolving graph snapshots; this
+//! crate provides everything those matrices need *below* the LU engine:
+//!
+//! * [`coo::CooMatrix`] — triplet assembly format,
+//! * [`csr::CsrMatrix`] — the immutable computational format,
+//! * [`pattern::SparsityPattern`] — `sp(A)` with the paper's `mes` similarity
+//!   (Definition 6) and the `A_∩` / `A_∪` bounding constructions,
+//! * [`perm::Permutation`] / [`perm::Ordering`] — matrix orderings `O = (P, Q)`
+//!   (Definition 2),
+//! * [`adjacency::AdjacencyMatrix`] — the dynamic adjacency-list storage of
+//!   the paper's Figure 4, with structural-operation accounting,
+//! * [`dense::DenseMatrix`] — dense reference algorithms used as test oracles,
+//! * [`vector`] — dense vector helpers.
+//!
+//! Everything is `f64`-valued and indices are `usize`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod pattern;
+pub mod perm;
+pub mod vector;
+
+pub use adjacency::{AdjacencyMatrix, StructuralStats};
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{SparseError, SparseResult};
+pub use pattern::SparsityPattern;
+pub use perm::{Ordering, Permutation};

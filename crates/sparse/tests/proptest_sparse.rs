@@ -1,0 +1,113 @@
+//! Property-based tests for the sparse substrate: CSR arithmetic, pattern
+//! algebra and the dynamic adjacency-list matrix.
+
+use clude_sparse::{AdjacencyMatrix, CooMatrix, CsrMatrix, SparsityPattern};
+use proptest::prelude::*;
+
+fn csr(n: usize, max_entries: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..max_entries).prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        for (i, j, v) in entries {
+            coo.push(i, j, v).unwrap();
+        }
+        CsrMatrix::from_coo(&coo)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_involutive_and_preserves_values(a in csr(9, 40)) {
+        let t = a.transpose();
+        prop_assert_eq!(t.transpose(), a.clone());
+        for (i, j, v) in a.iter() {
+            prop_assert_eq!(t.get(j, i), v);
+        }
+    }
+
+    #[test]
+    fn mul_vec_agrees_with_dense(a in csr(8, 30), x in proptest::collection::vec(-3.0f64..3.0, 8)) {
+        let sparse = a.mul_vec(&x).unwrap();
+        let dense = a.to_dense().mul_vec(&x).unwrap();
+        for (s, d) in sparse.iter().zip(dense.iter()) {
+            prop_assert!((s - d).abs() < 1e-12);
+        }
+        // Transposed product agrees with the transpose's product.
+        let t1 = a.mul_vec_transposed(&x).unwrap();
+        let t2 = a.transpose().mul_vec(&x).unwrap();
+        for (s, d) in t1.iter().zip(t2.iter()) {
+            prop_assert!((s - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_scaled_is_linear(a in csr(8, 30), b in csr(8, 30), x in proptest::collection::vec(-2.0f64..2.0, 8)) {
+        let combo = a.add_scaled(2.0, &b, -0.5).unwrap();
+        let lhs = combo.mul_vec(&x).unwrap();
+        let av = a.mul_vec(&x).unwrap();
+        let bv = b.mul_vec(&x).unwrap();
+        for i in 0..8 {
+            prop_assert!((lhs[i] - (2.0 * av[i] - 0.5 * bv[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_rebuilds_target(a in csr(8, 25), b in csr(8, 25)) {
+        let delta = a.delta_to(&b, 0.0).unwrap();
+        // Applying the delta entrywise to `a` yields `b` (up to stored zeros).
+        let mut coo = CooMatrix::new(8, 8);
+        for (i, j, v) in a.iter() {
+            coo.push(i, j, v).unwrap();
+        }
+        for &(i, j, old, new) in &delta {
+            coo.push(i, j, new - old).unwrap();
+        }
+        let rebuilt = CsrMatrix::from_coo(&coo);
+        prop_assert!(rebuilt.max_abs_diff(&b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_union_and_intersection_sizes_are_consistent(a in csr(10, 35), b in csr(10, 35)) {
+        let pa = a.pattern();
+        let pb = b.pattern();
+        let union = pa.union(&pb).unwrap();
+        let inter = pa.intersection(&pb).unwrap();
+        // Inclusion–exclusion on set sizes.
+        prop_assert_eq!(union.nnz() + inter.nnz(), pa.nnz() + pb.nnz());
+        prop_assert_eq!(inter.nnz(), pa.intersection_size(&pb).unwrap());
+    }
+
+    #[test]
+    fn adjacency_matrix_roundtrips_csr(a in csr(9, 40)) {
+        let adj = AdjacencyMatrix::from_csr(&a);
+        prop_assert_eq!(adj.to_csr(), a.clone());
+        prop_assert_eq!(adj.pattern(), a.pattern());
+        prop_assert_eq!(adj.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn adjacency_restructure_preserves_retained_values(a in csr(9, 40), extra in proptest::collection::vec((0usize..9, 0usize..9), 0..10)) {
+        let mut target = a.pattern();
+        for (i, j) in extra {
+            target.insert(i, j);
+        }
+        let mut adj = AdjacencyMatrix::from_csr(&a);
+        adj.restructure_to(&target);
+        prop_assert_eq!(adj.pattern(), target);
+        for (i, j, v) in a.iter() {
+            prop_assert_eq!(adj.peek(i, j), v);
+        }
+    }
+
+    #[test]
+    fn mes_reflects_containment(entries in proptest::collection::vec((0usize..7, 0usize..7), 1..20)) {
+        let p = SparsityPattern::from_entries(7, 7, entries).unwrap();
+        let empty = SparsityPattern::empty(7, 7);
+        // Similarity with itself is 1, with the empty pattern it is 0.
+        prop_assert!((p.mes(&p).unwrap() - 1.0).abs() < 1e-12);
+        if p.nnz() > 0 {
+            prop_assert_eq!(p.mes(&empty).unwrap(), 0.0);
+        }
+    }
+}

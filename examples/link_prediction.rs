@@ -1,0 +1,93 @@
+//! Example 3 workflow: time series of RWR proximities as a signal for link
+//! prediction.
+//!
+//! The paper argues (Example 3) that having a proximity measure as a *time
+//! series* — rather than a single-snapshot value — lets trends feed a link
+//! predictor.  This example decomposes an evolving co-authorship-like graph,
+//! computes RWR proximities from a query node at every snapshot, fits a
+//! linear trend to each candidate's series, and ranks unlinked candidates by
+//! projected proximity.
+//!
+//! Run with: `cargo run --release --example link_prediction`
+
+use clude::{Clude, EvolvingMatrixSequence, LudemSolver, SolverConfig};
+use clude_graph::generators::{dblp_like, DblpLikeConfig};
+use clude_graph::MatrixKind;
+use clude_measures::rwr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Least-squares slope of a series.
+fn slope(series: &[f64]) -> f64 {
+    let n = series.len() as f64;
+    let sx: f64 = (0..series.len()).map(|i| i as f64).sum();
+    let sy: f64 = series.iter().sum();
+    let sxx: f64 = (0..series.len()).map(|i| (i * i) as f64).sum();
+    let sxy: f64 = series.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+fn main() {
+    let config = DblpLikeConfig {
+        n_authors: 400,
+        initial_papers: 500,
+        papers_per_snapshot: 10,
+        max_authors_per_paper: 4,
+        n_snapshots: 30,
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let egs = dblp_like::generate(&config, &mut rng);
+    let damping = 0.85;
+    let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping });
+
+    // Decompose the whole sequence once.
+    let solution = Clude::new(0.95)
+        .solve(&ems, &SolverConfig::default())
+        .expect("decomposition succeeds");
+
+    // Query author: the most prolific one in the last snapshot.
+    let last_graph = egs.snapshot(egs.len() - 1);
+    let query = (0..last_graph.n_nodes())
+        .max_by_key(|&u| last_graph.out_degree(u))
+        .unwrap();
+
+    // RWR proximity series of every author from the query author.
+    let t_len = ems.len();
+    let mut proximity_series = vec![Vec::with_capacity(t_len); ems.order()];
+    for t in 0..t_len {
+        let scores = rwr(&solution.decomposed[t], ems.order(), query, damping).unwrap();
+        for (node, series) in proximity_series.iter_mut().enumerate() {
+            series.push(scores[node]);
+        }
+    }
+
+    // Rank candidates that are not yet co-authors by current proximity plus
+    // projected growth (slope over the series).
+    let horizon = 5.0;
+    let mut candidates: Vec<(usize, f64, f64)> = (0..ems.order())
+        .filter(|&v| v != query && !last_graph.has_edge(query, v))
+        .map(|v| {
+            let series = &proximity_series[v];
+            let current = *series.last().unwrap();
+            let projected = current + horizon * slope(series);
+            (v, current, projected)
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+
+    println!("link prediction for author {query} (not-yet-co-authors, ranked by projected RWR proximity):");
+    println!("rank\tauthor\tcurrent_proximity\tprojected_proximity");
+    for (rank, (v, current, projected)) in candidates.iter().take(10).enumerate() {
+        println!("{}\t{v}\t{current:.4e}\t{projected:.4e}", rank + 1);
+    }
+    println!(
+        "(decomposing once with CLUDE took {:.3}s for {} snapshots — each proximity sweep is just substitutions)",
+        solution.report.timings.total().as_secs_f64(),
+        t_len
+    );
+}

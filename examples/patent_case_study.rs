@@ -1,0 +1,61 @@
+//! The §7 case study: how strongly do other companies' patents couple to a
+//! subject company's patents over the years, measured by personalised
+//! PageRank proximity and reported as ranks (Figure 11).
+//!
+//! Run with: `cargo run --release --example patent_case_study`
+
+use clude::Clude;
+use clude_graph::generators::{patent_like, PatentLikeConfig};
+use clude_measures::MeasureSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = PatentLikeConfig::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let patent = patent_like::generate(&config, &mut rng);
+    println!(
+        "patent citation EGS: {} yearly snapshots, {} patents, {} companies",
+        patent.egs.len(),
+        patent.company_of_patent.len(),
+        patent.company_names.len()
+    );
+
+    let series = MeasureSeries::build(&patent.egs, 0.85, &Clude::default()).expect("decomposition succeeds");
+
+    // Seed set: the subject company's patents; groups: every other company.
+    let last = patent.egs.len() - 1;
+    let seeds = patent.patents_of(config.subject_company, last);
+    let companies: Vec<usize> = (0..config.n_companies)
+        .filter(|&c| c != config.subject_company)
+        .collect();
+    let groups: Vec<Vec<usize>> = companies.iter().map(|&c| patent.patents_of(c, last)).collect();
+
+    let ranks = series.group_rank_series(&seeds, &groups).expect("solve succeeds");
+
+    println!("\nproximity rank (1 = closest to SUBJECT) per snapshot:");
+    print!("year");
+    for &c in &companies {
+        print!("\t{}", patent.company_names[c]);
+    }
+    println!();
+    for t in 0..series.len() {
+        print!("{t:>4}");
+        for r in &ranks {
+            print!("\t{}", r[t]);
+        }
+        println!();
+    }
+
+    let rising_idx = companies
+        .iter()
+        .position(|&c| c == config.rising_company)
+        .unwrap();
+    println!(
+        "\nRISING company's rank: {} at year 0 -> {} at year {} — the steady climb the paper observed for Harris \
+         before the 1992 IBM alliance announcement.",
+        ranks[rising_idx][0],
+        ranks[rising_idx][series.len() - 1],
+        series.len() - 1
+    );
+}

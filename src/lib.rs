@@ -1,0 +1,21 @@
+//! Umbrella crate for the CLUDE reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the runnable examples
+//! in `examples/` and the cross-crate integration tests in `tests/` can use a
+//! single dependency.  The actual functionality lives in:
+//!
+//! * [`clude_sparse`] — sparse matrix substrate (COO/CSR/CSC, patterns,
+//!   permutations, dynamic adjacency-list matrices).
+//! * [`clude_graph`] — evolving graph sequences and dataset generators.
+//! * [`clude_lu`] — the sparse LU engine (symbolic decomposition, Markowitz
+//!   and minimum-degree orderings, Crout factorization, Bennett updates).
+//! * [`clude`] — the paper's contribution: BF / INC / CINC / CLUDE solvers for
+//!   the LUDEM and LUDEM-QC problems.
+//! * [`clude_measures`] — PageRank / PPR / RWR / SALSA measure series over an
+//!   EGS, answered through the decomposed factors.
+
+pub use clude;
+pub use clude_graph;
+pub use clude_lu;
+pub use clude_measures;
+pub use clude_sparse;

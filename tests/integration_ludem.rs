@@ -1,0 +1,99 @@
+//! Cross-crate integration tests: from an evolving graph sequence all the way
+//! to per-snapshot factors, for every LUDEM algorithm.
+
+use clude::{
+    evaluate_orderings, BruteForce, Clude, ClusterIncremental, EvolvingMatrixSequence,
+    Incremental, LudemSolver, SolverConfig,
+};
+use clude_graph::generators::{wiki_like, WikiLikeConfig};
+use clude_graph::MatrixKind;
+use clude_sparse::vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn wiki_ems(seed: u64) -> EvolvingMatrixSequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut rng);
+    EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping: 0.85 })
+}
+
+#[test]
+fn all_algorithms_agree_on_query_answers() {
+    let ems = wiki_ems(1);
+    let config = SolverConfig::default();
+    let bf = BruteForce.solve(&ems, &config).unwrap();
+    let inc = Incremental.solve(&ems, &config).unwrap();
+    let cinc = ClusterIncremental::new(0.95).solve(&ems, &config).unwrap();
+    let clude = Clude::new(0.95).solve(&ems, &config).unwrap();
+
+    let n = ems.order();
+    let mut b = vec![0.0; n];
+    b[3] = 0.15;
+    for t in [0usize, ems.len() / 2, ems.len() - 1] {
+        let reference = bf.solve(t, &b).unwrap();
+        for (name, solution) in [("INC", &inc), ("CINC", &cinc), ("CLUDE", &clude)] {
+            let x = solution.solve(t, &b).unwrap();
+            let diff = vector::max_abs_diff(&x, &reference);
+            assert!(diff < 1e-8, "{name} deviates by {diff} at snapshot {t}");
+        }
+        // The solution actually satisfies A x = b.
+        let ax = ems.matrix(t).mul_vec(&reference).unwrap();
+        assert!(vector::max_abs_diff(&ax, &b) < 1e-8);
+    }
+}
+
+#[test]
+fn quality_ordering_matches_the_paper() {
+    // The paper's headline quality result: CLUDE <= CINC <= INC in average
+    // quality-loss, with BF at exactly zero.
+    let ems = wiki_ems(2);
+    let (bf, reference) = BruteForce
+        .solve_with_reference(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    let bf_eval = evaluate_orderings(&ems, &bf.report.orderings, &reference);
+    assert!(bf_eval.max() < 1e-12);
+
+    let inc = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let cinc = ClusterIncremental::new(0.95)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    let clude = Clude::new(0.95).solve(&ems, &SolverConfig::timing_only()).unwrap();
+
+    let q_inc = evaluate_orderings(&ems, &inc.report.orderings, &reference).average();
+    let q_cinc = evaluate_orderings(&ems, &cinc.report.orderings, &reference).average();
+    let q_clude = evaluate_orderings(&ems, &clude.report.orderings, &reference).average();
+
+    assert!(q_clude <= q_cinc + 1e-9, "CLUDE {q_clude} vs CINC {q_cinc}");
+    assert!(q_cinc <= q_inc + 1e-9, "CINC {q_cinc} vs INC {q_inc}");
+    assert!(q_inc >= 0.0);
+}
+
+#[test]
+fn factor_sizes_reflect_ordering_quality() {
+    // INC's factors (built for A_1's ordering) must eventually be at least as
+    // large as CLUDE's universal structures on the same snapshots.
+    let ems = wiki_ems(3);
+    let inc = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let clude = Clude::new(0.95).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let last = ems.len() - 1;
+    assert!(
+        inc.report.factor_nnz[last] as f64 >= 0.9 * clude.report.factor_nnz[last] as f64,
+        "INC {} vs CLUDE {}",
+        inc.report.factor_nnz[last],
+        clude.report.factor_nnz[last]
+    );
+    // CLUDE does zero structural maintenance, INC does plenty.
+    assert_eq!(clude.report.structural.inserts, 0);
+    assert!(inc.report.structural.probes > 0);
+}
+
+#[test]
+fn alpha_controls_cluster_granularity() {
+    let ems = wiki_ems(4);
+    let coarse = Clude::new(0.90).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let fine = Clude::new(0.995).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    assert!(fine.report.cluster_count() >= coarse.report.cluster_count());
+    // Every clustering tiles the sequence exactly.
+    assert_eq!(coarse.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+    assert_eq!(fine.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration tests for the measure pipelines: LU-backed
+//! measures against the approximate baselines, and the case-study workflow.
+
+use clude::{BruteForce, Clude, EvolvingMatrixSequence, LudemSolver, SolverConfig};
+use clude_graph::generators::{patent_like, wiki_like, PatentLikeConfig, WikiLikeConfig};
+use clude_graph::{EvolvingGraphSequence, MatrixKind};
+use clude_measures::{
+    pagerank, pagerank_power_iteration, rwr, rwr_monte_carlo, rwr_power_iteration, MeasureSeries,
+};
+use clude_sparse::vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lu_backed_pagerank_matches_power_iteration_on_every_snapshot() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut rng);
+    let damping = 0.85;
+    let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping });
+    let solution = Clude::new(0.95).solve(&ems, &SolverConfig::default()).unwrap();
+    for (t, graph) in egs.snapshots().enumerate() {
+        let exact = pagerank(&solution.decomposed[t], ems.order(), damping).unwrap();
+        let approx = pagerank_power_iteration(&graph, damping, 3000, 1e-13).scores;
+        assert!(
+            vector::max_abs_diff(&exact, &approx) < 1e-7,
+            "snapshot {t} disagrees"
+        );
+    }
+}
+
+#[test]
+fn lu_backed_rwr_matches_both_baselines() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut rng);
+    let graph = egs.snapshot(egs.len() - 1);
+    let damping = 0.85;
+    let ems = EvolvingMatrixSequence::from_egs(
+        &EvolvingGraphSequence::from_base(graph.clone()),
+        MatrixKind::RandomWalk { damping },
+    );
+    let solution = BruteForce.solve(&ems, &SolverConfig::default()).unwrap();
+    let seed = 5usize;
+    let exact = rwr(&solution.decomposed[0], ems.order(), seed, damping).unwrap();
+    let pi = rwr_power_iteration(&graph, seed, damping, 3000, 1e-13);
+    assert!(vector::max_abs_diff(&exact, &pi.scores) < 1e-7);
+    let mc = rwr_monte_carlo(&graph, seed, damping, 3000, 80, &mut StdRng::seed_from_u64(1));
+    // Monte Carlo is noisy; only require agreement on the top node and a
+    // loose numeric bound.
+    assert_eq!(
+        vector::rank_descending(&exact)[0],
+        vector::rank_descending(&mc.scores)[0]
+    );
+    assert!(vector::max_abs_diff(&exact, &mc.scores) < 0.05);
+}
+
+#[test]
+fn case_study_rising_company_climbs_the_ranking() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let config = PatentLikeConfig::tiny();
+    let patent = patent_like::generate(&config, &mut rng);
+    let series = MeasureSeries::build(&patent.egs, 0.85, &Clude::default()).unwrap();
+    let last = patent.egs.len() - 1;
+    let seeds = patent.patents_of(config.subject_company, last);
+    let companies: Vec<usize> = (0..config.n_companies)
+        .filter(|&c| c != config.subject_company)
+        .collect();
+    let groups: Vec<Vec<usize>> = companies.iter().map(|&c| patent.patents_of(c, last)).collect();
+    let ranks = series.group_rank_series(&seeds, &groups).unwrap();
+    let rising_idx = companies
+        .iter()
+        .position(|&c| c == config.rising_company)
+        .unwrap();
+    let first_rank = ranks[rising_idx][0];
+    let last_rank = ranks[rising_idx][series.len() - 1];
+    // Smaller rank = closer.  The planted signal must not degrade.
+    assert!(
+        last_rank <= first_rank,
+        "rising company went {first_rank} -> {last_rank}"
+    );
+}
+
+#[test]
+fn measure_series_is_consistent_across_solvers() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut rng);
+    let a = MeasureSeries::build(&egs, 0.85, &Clude::new(0.9)).unwrap();
+    let b = MeasureSeries::build(&egs, 0.85, &BruteForce).unwrap();
+    let node = 3;
+    let series_a = a.pagerank_series(node).unwrap();
+    let series_b = b.pagerank_series(node).unwrap();
+    assert!(vector::max_abs_diff(&series_a, &series_b) < 1e-9);
+}

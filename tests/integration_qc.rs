@@ -1,0 +1,73 @@
+//! Cross-crate integration tests for LUDEM-QC on a DBLP-like symmetric EGS
+//! (the setting of the paper's Figure 10).
+
+use clude::{
+    evaluate_orderings, BruteForce, CincQc, CludeQc, EvolvingMatrixSequence, LudemSolver,
+    SolverConfig,
+};
+use clude_graph::generators::{dblp_like, DblpLikeConfig};
+use clude_graph::MatrixKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dblp_symmetric_ems(seed: u64) -> EvolvingMatrixSequence {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let egs = dblp_like::generate(&DblpLikeConfig::tiny(), &mut rng);
+    EvolvingMatrixSequence::from_egs(&egs, MatrixKind::SymmetricLaplacian { shift: 1.0 })
+}
+
+#[test]
+fn dblp_like_matrices_are_symmetric() {
+    let ems = dblp_symmetric_ems(1);
+    assert!(ems.is_symmetric());
+    assert!(ems.average_successive_similarity() > 0.9);
+}
+
+#[test]
+fn qc_solvers_respect_their_budget_and_answer_queries() {
+    let ems = dblp_symmetric_ems(2);
+    let (bf, reference) = BruteForce
+        .solve_with_reference(&ems, &SolverConfig::default())
+        .unwrap();
+    for beta in [0.0, 0.1, 0.3] {
+        for (name, solution) in [
+            ("CINC-QC", CincQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap()),
+            ("CLUDE-QC", CludeQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap()),
+        ] {
+            let eval = evaluate_orderings(&ems, &solution.report.orderings, &reference);
+            assert!(
+                eval.max() <= beta + 1e-9,
+                "{name} at beta={beta}: max quality-loss {} exceeds the budget",
+                eval.max()
+            );
+            // Queries agree with BF.
+            let b = vec![1.0; ems.order()];
+            let t = ems.len() - 1;
+            let x = solution.solve(t, &b).unwrap();
+            let x_ref = bf.solve(t, &b).unwrap();
+            let diff = x
+                .iter()
+                .zip(x_ref.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-7, "{name} at beta={beta}: solution deviates by {diff}");
+        }
+    }
+}
+
+#[test]
+fn looser_budget_means_fewer_clusters_and_no_worse_speed_structure() {
+    let ems = dblp_symmetric_ems(3);
+    let tight = CludeQc::new(0.0)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    let loose = CludeQc::new(0.4)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    assert!(loose.report.cluster_count() <= tight.report.cluster_count());
+    // Both tile the sequence.
+    assert_eq!(tight.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+    assert_eq!(loose.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+    // A looser budget means fewer full decompositions (one per cluster).
+    assert!(loose.report.cluster_count() <= tight.report.cluster_count());
+}
