@@ -2,9 +2,7 @@
 //! tiny Wiki-like sequence (the speed-ups of Figure 7 are the ratios of these
 //! timings; the quality side of Figure 6 is covered by the figure binary).
 
-use clude::{
-    BruteForce, Clude, ClusterIncremental, Incremental, LudemSolver, SolverConfig,
-};
+use clude::{BruteForce, Clude, ClusterIncremental, Incremental, LudemSolver, SolverConfig};
 use clude_bench::{BenchScale, Datasets};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -26,12 +24,16 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| Incremental.solve(&ems, &config).unwrap())
     });
     for alpha in [0.92f64, 0.95, 0.98] {
-        group.bench_with_input(BenchmarkId::new("cinc_wiki_tiny", alpha), &alpha, |b, &a| {
-            b.iter(|| ClusterIncremental::new(a).solve(&ems, &config).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("clude_wiki_tiny", alpha), &alpha, |b, &a| {
-            b.iter(|| Clude::new(a).solve(&ems, &config).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cinc_wiki_tiny", alpha),
+            &alpha,
+            |b, &a| b.iter(|| ClusterIncremental::new(a).solve(&ems, &config).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clude_wiki_tiny", alpha),
+            &alpha,
+            |b, &a| b.iter(|| Clude::new(a).solve(&ems, &config).unwrap()),
+        );
     }
     group.finish();
 }

@@ -16,9 +16,11 @@ fn bench_delta_e(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
     for delta_e in [300usize, 700] {
         let ems = data.synthetic_ems(delta_e);
-        group.bench_with_input(BenchmarkId::new("inc_synthetic", delta_e), &ems, |b, ems| {
-            b.iter(|| Incremental.solve(ems, &config).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("inc_synthetic", delta_e),
+            &ems,
+            |b, ems| b.iter(|| Incremental.solve(ems, &config).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("clude_synthetic", delta_e),
             &ems,

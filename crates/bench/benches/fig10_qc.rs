@@ -19,9 +19,11 @@ fn bench_qc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cinc_qc_dblp", beta), &beta, |b, &beta| {
             b.iter(|| CincQc::new(beta).solve(&ems, &config).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("clude_qc_dblp", beta), &beta, |b, &beta| {
-            b.iter(|| CludeQc::new(beta).solve(&ems, &config).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("clude_qc_dblp", beta),
+            &beta,
+            |b, &beta| b.iter(|| CludeQc::new(beta).solve(&ems, &config).unwrap()),
+        );
     }
     group.finish();
 }

@@ -32,7 +32,10 @@ fn main() {
         clude_graph::MatrixKind::RandomWalk { damping },
     );
     let n = ems.order();
-    eprintln!("# last Wiki-like snapshot: {n} nodes, {} edges", graph.n_edges());
+    eprintln!(
+        "# last Wiki-like snapshot: {n} nodes, {} edges",
+        graph.n_edges()
+    );
 
     // Decompose once (BF = Markowitz + full LU on the single matrix).
     let t = Instant::now();
@@ -87,7 +90,10 @@ fn main() {
         let us = time.as_secs_f64() * 1e6;
         println!("{name}\t{us:.1}\t{:.1}", us / lu_us);
     }
-    println!("# LU vs GE max |Δx| = {max_diff:.2e}; PI iterations = {}", pi.iterations);
+    println!(
+        "# LU vs GE max |Δx| = {max_diff:.2e}; PI iterations = {}",
+        pi.iterations
+    );
     println!("# paper claims: GE ≈ 5000x slower than an LU-backed query (20k nodes); PI/MC ≈ 100x slower");
     println!("# (absolute ratios depend on n; the ordering LU-query << PI/MC << GE must hold)");
 }

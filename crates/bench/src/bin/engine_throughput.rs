@@ -1,0 +1,197 @@
+//! Engine throughput: replay a Wiki-like delta stream with concurrent
+//! queries and report ingest rate, queries/sec and query latency quantiles.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --bin engine_throughput [n_pages] [n_query_threads]
+//! ```
+//!
+//! The stream replays at least 10 000 edge operations; query threads fire
+//! RWR / PageRank / PPR queries against the live engine the whole time.
+
+use clude_engine::{BatchPolicy, CludeEngine, EngineConfig, RefreshPolicy};
+use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
+use clude_graph::EvolvingGraphSequence;
+use clude_measures::MeasureQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MIN_DELTAS: usize = 10_000;
+
+/// One streamed edge operation of the replay.
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(usize, usize),
+    Remove(usize, usize),
+}
+
+/// Flattens an EGS archive into a single edge-operation stream.
+fn op_stream(egs: &EvolvingGraphSequence) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for step in 0..egs.len() - 1 {
+        let delta = egs.delta(step);
+        for &(u, v) in &delta.removed {
+            ops.push(Op::Remove(u, v));
+        }
+        for &(u, v) in &delta.added {
+            ops.push(Op::Insert(u, v));
+        }
+    }
+    ops
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_pages: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    // Default to cores − 1 query threads (min 1) so the ingest thread is not
+    // starved on small machines; pass an explicit count to override.
+    let n_query_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1).max(1))
+            .unwrap_or(1)
+    });
+
+    // Scale the sequence so the replay comfortably clears MIN_DELTAS.
+    let config = WikiLikeConfig {
+        n_pages,
+        initial_links: n_pages * 3,
+        final_links: n_pages * 3 + 9_200,
+        n_snapshots: 120,
+        removals_per_snapshot: 8,
+        burst_probability: 0.08,
+        burst_size: 25,
+    };
+    let egs = wiki_like::generate(&config, &mut StdRng::seed_from_u64(7));
+    let ops = op_stream(&egs);
+    assert!(
+        ops.len() >= MIN_DELTAS,
+        "replay too small: {} ops (need >= {MIN_DELTAS})",
+        ops.len()
+    );
+    println!(
+        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads",
+        egs.n_nodes(),
+        egs.len(),
+        ops.len(),
+        n_query_threads
+    );
+
+    let engine = Arc::new(
+        CludeEngine::new(
+            egs.snapshot(0),
+            EngineConfig {
+                batch: BatchPolicy::by_count(64),
+                // A tight budget keeps the factors near the Markowitz
+                // reference: Bennett cascades stay short, and the periodic
+                // refresh is far cheaper than the fill it prevents.
+                refresh: RefreshPolicy::QualityTriggered {
+                    max_quality_loss: 0.25,
+                },
+                ring_capacity: 8,
+                cache_shards: 16,
+                cache_capacity_per_shard: 256,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("base snapshot factorizes"),
+    );
+    let running = Arc::new(AtomicBool::new(true));
+    let n = egs.n_nodes();
+
+    // Query threads: mixed RWR / PageRank / PPR workload with skewed seeds
+    // (a hot set of 32 pages gets most of the traffic, as a real serving
+    // tier would see).
+    let readers: Vec<_> = (0..n_query_threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let running = Arc::clone(&running);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let mut latencies: Vec<Duration> = Vec::with_capacity(1 << 16);
+                while running.load(Ordering::Relaxed) {
+                    let query = match rng.gen_range(0usize..10) {
+                        0..=6 => MeasureQuery::Rwr {
+                            seed: if rng.gen_bool(0.8) {
+                                rng.gen_range(0..32.min(n))
+                            } else {
+                                rng.gen_range(0..n)
+                            },
+                            damping: 0.85,
+                        },
+                        7..=8 => MeasureQuery::PageRank { damping: 0.85 },
+                        _ => MeasureQuery::PprSeedSet {
+                            seeds: vec![rng.gen_range(0..n), rng.gen_range(0..n)],
+                            damping: 0.85,
+                        },
+                    };
+                    let start = Instant::now();
+                    let scores = engine.query(&query).expect("query succeeds");
+                    latencies.push(start.elapsed());
+                    assert_eq!(scores.len(), n);
+                    // Give the ingest thread a scheduling slot on small
+                    // machines; a no-op when cores are plentiful.
+                    std::thread::yield_now();
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    // Ingest thread (this one): replay the stream as fast as possible.
+    let ingest_start = Instant::now();
+    for op in &ops {
+        match *op {
+            Op::Insert(u, v) => engine.insert_edge(u, v).expect("insert applies"),
+            Op::Remove(u, v) => engine.remove_edge(u, v).expect("remove applies"),
+        };
+    }
+    engine.flush().expect("final batch applies");
+    let ingest_elapsed = ingest_start.elapsed();
+    running.store(false, Ordering::Relaxed);
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for r in readers {
+        latencies.extend(r.join().expect("query thread clean exit"));
+    }
+    latencies.sort_unstable();
+
+    let stats = engine.stats();
+    let qps = latencies.len() as f64 / ingest_elapsed.as_secs_f64();
+    let dps = ops.len() as f64 / ingest_elapsed.as_secs_f64();
+    println!("\n--- ingest ---");
+    println!(
+        "replayed {} ops in {:.3?} -> {:.0} deltas/sec ({} batches, {} refreshes, final snapshot {})",
+        ops.len(),
+        ingest_elapsed,
+        dps,
+        stats.batches_applied,
+        stats.refreshes,
+        engine.current_snapshot_id()
+    );
+    println!("\n--- queries (concurrent with ingest) ---");
+    println!(
+        "answered {} queries -> {:.0} queries/sec, cache hit-rate {:.1}%",
+        latencies.len(),
+        qps,
+        100.0 * stats.hit_rate()
+    );
+    println!(
+        "latency: p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(Duration::ZERO)
+    );
+    println!("\n--- engine counters ---\n{stats}");
+}

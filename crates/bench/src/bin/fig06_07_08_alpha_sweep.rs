@@ -30,9 +30,15 @@ fn main() {
         let points = alpha_sweep(&ems, &alphas, &baselines, &reference);
 
         println!("# Figure 6 ({name}): average quality-loss vs alpha");
-        println!("alpha\tcinc_quality\tclude_quality\t(inc_quality={:.3})", baselines.inc_quality);
+        println!(
+            "alpha\tcinc_quality\tclude_quality\t(inc_quality={:.3})",
+            baselines.inc_quality
+        );
         for p in &points {
-            println!("{:.2}\t{:.4}\t{:.4}", p.alpha, p.cinc_quality, p.clude_quality);
+            println!(
+                "{:.2}\t{:.4}\t{:.4}",
+                p.alpha, p.cinc_quality, p.clude_quality
+            );
         }
         println!("# paper shape: loss drops as alpha grows; CLUDE well below CINC (e.g. 0.13 vs 0.53 at alpha=0.95 on Wiki)");
 

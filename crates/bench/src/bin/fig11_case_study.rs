@@ -23,8 +23,12 @@ fn main() {
     eprintln!("# building the patent-citation case study ({scale:?}, seed {seed}) …");
     let patent = data.patent_egs();
     let config = data.patent_config();
-    let series = MeasureSeries::build(&patent.egs, clude_bench::datasets::DAMPING, &Clude::default())
-        .expect("decomposition succeeds");
+    let series = MeasureSeries::build(
+        &patent.egs,
+        clude_bench::datasets::DAMPING,
+        &Clude::default(),
+    )
+    .expect("decomposition succeeds");
 
     let last = patent.egs.len() - 1;
     let seeds = patent.patents_of(config.subject_company, last);

@@ -174,7 +174,10 @@ impl Datasets {
 
     /// The Wiki-like EMS (`A = I − dW`).
     pub fn wiki_ems(&self) -> EvolvingMatrixSequence {
-        EvolvingMatrixSequence::from_egs(&self.wiki_egs(), MatrixKind::RandomWalk { damping: DAMPING })
+        EvolvingMatrixSequence::from_egs(
+            &self.wiki_egs(),
+            MatrixKind::RandomWalk { damping: DAMPING },
+        )
     }
 
     /// The DBLP-like EGS (symmetric co-authorship).
@@ -194,7 +197,10 @@ impl Datasets {
     /// The DBLP-like EMS with the random-walk composition (for the quality /
     /// speed figures).
     pub fn dblp_random_walk_ems(&self) -> EvolvingMatrixSequence {
-        EvolvingMatrixSequence::from_egs(&self.dblp_egs(), MatrixKind::RandomWalk { damping: DAMPING })
+        EvolvingMatrixSequence::from_egs(
+            &self.dblp_egs(),
+            MatrixKind::RandomWalk { damping: DAMPING },
+        )
     }
 
     /// A synthetic EMS for the given `ΔE`.

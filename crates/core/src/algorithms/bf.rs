@@ -54,7 +54,9 @@ impl BruteForce {
             decomposed.push(DecomposedMatrix {
                 index: i,
                 ordering,
-                factors: config.keep_factors.then_some(MatrixFactors::Static(factors)),
+                factors: config
+                    .keep_factors
+                    .then_some(MatrixFactors::Static(factors)),
             });
         }
         let solution = LudemSolution { decomposed, report };
@@ -67,7 +69,11 @@ impl LudemSolver for BruteForce {
         "BF"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         self.solve_with_reference(ems, config).map(|(s, _)| s)
     }
 }
@@ -120,7 +126,9 @@ mod tests {
     #[test]
     fn timing_only_run_keeps_no_factors() {
         let ems = small_random_walk_ems(15, 4, 11);
-        let solution = BruteForce.solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let solution = BruteForce
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         assert!(solution.decomposed.iter().all(|d| d.factors.is_none()));
         assert!(solution.solve(0, &vec![1.0; ems.order()]).is_err());
     }

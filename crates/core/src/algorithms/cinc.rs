@@ -42,14 +42,25 @@ impl LudemSolver for ClusterIncremental {
         "CINC"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         let mut report = RunReport::new(self.name());
         let mut decomposed = Vec::with_capacity(ems.len());
         let t = Instant::now();
         let clustering = alpha_clustering(ems, self.alpha);
         report.timings.clustering += t.elapsed();
         for cluster in clustering.clusters() {
-            decompose_cluster_incremental(ems, cluster, None, config, &mut report, &mut decomposed)?;
+            decompose_cluster_incremental(
+                ems,
+                cluster,
+                None,
+                config,
+                &mut report,
+                &mut decomposed,
+            )?;
         }
         Ok(LudemSolution { decomposed, report })
     }
@@ -70,7 +81,10 @@ mod tests {
         assert_eq!(solution.decomposed.len(), ems.len());
         assert!(max_reconstruction_error(&ems, &solution).unwrap() < 1e-8);
         // Cluster sizes tile the sequence.
-        assert_eq!(solution.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+        assert_eq!(
+            solution.report.cluster_sizes.iter().sum::<usize>(),
+            ems.len()
+        );
     }
 
     #[test]
@@ -84,7 +98,10 @@ mod tests {
         if solution.report.cluster_sizes.iter().all(|&s| s == 1) {
             assert_eq!(solution.report.bennett.rank_one_updates, 0);
         }
-        assert_eq!(solution.report.cluster_sizes.iter().sum::<usize>(), ems.len());
+        assert_eq!(
+            solution.report.cluster_sizes.iter().sum::<usize>(),
+            ems.len()
+        );
     }
 
     #[test]

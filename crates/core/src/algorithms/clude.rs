@@ -49,7 +49,11 @@ impl LudemSolver for Clude {
         "CLUDE"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         let mut report = RunReport::new(self.name());
         let mut decomposed = Vec::with_capacity(ems.len());
         let t = Instant::now();
@@ -73,7 +77,9 @@ mod tests {
     #[test]
     fn clude_reproduces_every_matrix() {
         let ems = small_random_walk_ems(30, 12, 3);
-        let solution = Clude::new(0.95).solve(&ems, &SolverConfig::default()).unwrap();
+        let solution = Clude::new(0.95)
+            .solve(&ems, &SolverConfig::default())
+            .unwrap();
         assert_eq!(solution.decomposed.len(), ems.len());
         assert!(max_reconstruction_error(&ems, &solution).unwrap() < 1e-8);
     }
@@ -81,7 +87,9 @@ mod tests {
     #[test]
     fn clude_never_touches_structure_during_updates() {
         let ems = small_random_walk_ems(35, 10, 13);
-        let solution = Clude::new(0.9).solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let solution = Clude::new(0.9)
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         // Static storage: no structural maintenance at all.
         assert_eq!(solution.report.structural.inserts, 0);
         assert_eq!(solution.report.structural.removals, 0);
@@ -91,7 +99,9 @@ mod tests {
     #[test]
     fn factors_within_a_cluster_share_their_slot_count() {
         let ems = small_random_walk_ems(30, 9, 19);
-        let solution = Clude::new(0.9).solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let solution = Clude::new(0.9)
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         let mut index = 0;
         for &size in &solution.report.cluster_sizes {
             let first = solution.report.factor_nnz[index];
@@ -108,8 +118,12 @@ mod tests {
         let (_, reference) = BruteForce
             .solve_with_reference(&ems, &SolverConfig::timing_only())
             .unwrap();
-        let clude = Clude::new(0.95).solve(&ems, &SolverConfig::timing_only()).unwrap();
-        let inc = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let clude = Clude::new(0.95)
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
+        let inc = Incremental
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         let q_clude = evaluate_orderings(&ems, &clude.report.orderings, &reference).average();
         let q_inc = evaluate_orderings(&ems, &inc.report.orderings, &reference).average();
         assert!(
@@ -121,7 +135,9 @@ mod tests {
     #[test]
     fn clude_and_cinc_use_identical_clusterings() {
         let ems = small_random_walk_ems(30, 10, 41);
-        let clude = Clude::new(0.93).solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let clude = Clude::new(0.93)
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         let cinc = ClusterIncremental::new(0.93)
             .solve(&ems, &SolverConfig::timing_only())
             .unwrap();
@@ -131,7 +147,9 @@ mod tests {
     #[test]
     fn queries_match_brute_force_answers() {
         let ems = small_random_walk_ems(25, 8, 47);
-        let clude = Clude::default().solve(&ems, &SolverConfig::default()).unwrap();
+        let clude = Clude::default()
+            .solve(&ems, &SolverConfig::default())
+            .unwrap();
         let bf = BruteForce.solve(&ems, &SolverConfig::default()).unwrap();
         let b = vec![0.15 / ems.order() as f64; ems.order()];
         for i in 0..ems.len() {

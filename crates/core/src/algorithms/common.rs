@@ -123,7 +123,8 @@ pub trait LudemSolver {
     fn name(&self) -> &'static str;
 
     /// Determines an ordering and the LU factors for every matrix of `ems`.
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution>;
+    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig)
+        -> LuResult<LudemSolution>;
 }
 
 /// Decomposes one cluster the INC/CINC way (Algorithm 2): the Markowitz
@@ -172,7 +173,9 @@ pub fn decompose_cluster_incremental(
     out.push(DecomposedMatrix {
         index: cluster.start,
         ordering: ordering.clone(),
-        factors: config.keep_factors.then(|| MatrixFactors::Dynamic(factors.clone())),
+        factors: config
+            .keep_factors
+            .then(|| MatrixFactors::Dynamic(factors.clone())),
     });
 
     // Bennett updates for the remaining members.
@@ -194,7 +197,9 @@ pub fn decompose_cluster_incremental(
         out.push(DecomposedMatrix {
             index: i,
             ordering: ordering.clone(),
-            factors: config.keep_factors.then(|| MatrixFactors::Dynamic(factors.clone())),
+            factors: config
+                .keep_factors
+                .then(|| MatrixFactors::Dynamic(factors.clone())),
         });
         prev_reordered = current_reordered;
     }
@@ -258,7 +263,9 @@ pub fn decompose_cluster_universal(
     out.push(DecomposedMatrix {
         index: cluster.start,
         ordering: ordering.clone(),
-        factors: config.keep_factors.then(|| MatrixFactors::Static(factors.clone())),
+        factors: config
+            .keep_factors
+            .then(|| MatrixFactors::Static(factors.clone())),
     });
 
     // Bennett updates over the static structure for the remaining members.
@@ -280,7 +287,9 @@ pub fn decompose_cluster_universal(
         out.push(DecomposedMatrix {
             index: i,
             ordering: ordering.clone(),
-            factors: config.keep_factors.then(|| MatrixFactors::Static(factors.clone())),
+            factors: config
+                .keep_factors
+                .then(|| MatrixFactors::Static(factors.clone())),
         });
         prev_reordered = current_reordered;
     }

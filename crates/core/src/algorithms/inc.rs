@@ -25,7 +25,11 @@ impl LudemSolver for Incremental {
         "INC"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         let mut report = RunReport::new(self.name());
         let mut decomposed = Vec::with_capacity(ems.len());
         let whole = Cluster {
@@ -75,7 +79,9 @@ mod tests {
         // Over a drifting sequence the dynamic storage must insert fill
         // nodes — the cost the paper attributes ~70 % of Bennett time to.
         let ems = small_random_walk_ems(40, 12, 21);
-        let solution = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
+        let solution = Incremental
+            .solve(&ems, &SolverConfig::timing_only())
+            .unwrap();
         assert!(solution.report.bennett.rank_one_updates > 0);
         assert!(solution.report.structural.inserts > 0);
         // Factor size is non-decreasing under INC (entries are only added).

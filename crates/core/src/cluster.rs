@@ -263,7 +263,9 @@ mod tests {
     #[test]
     fn bounds_track_intersection_and_union() {
         let ems = drifting_ems(3, 6);
-        let bounds = ClusterBounds::new(ems.pattern(0)).with(&ems.pattern(1)).with(&ems.pattern(2));
+        let bounds = ClusterBounds::new(ems.pattern(0))
+            .with(&ems.pattern(1))
+            .with(&ems.pattern(2));
         assert!(bounds.intersection().is_subset_of(bounds.union()));
         assert!(bounds.compactness() <= 1.0);
         assert!(bounds.compactness() > 0.0);

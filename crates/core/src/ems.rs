@@ -38,10 +38,7 @@ impl fmt::Display for EmsError {
                 index,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "matrix {index} has order {actual}, expected {expected}"
-            ),
+            } => write!(f, "matrix {index} has order {actual}, expected {expected}"),
         }
     }
 }
@@ -138,7 +135,9 @@ impl EvolvingMatrixSequence {
     pub fn is_symmetric(&self) -> bool {
         self.matrices.iter().all(|m| {
             let p = m.pattern();
-            p.is_symmetric() && p.iter().all(|(i, j)| (m.get(i, j) - m.get(j, i)).abs() < 1e-12)
+            p.is_symmetric()
+                && p.iter()
+                    .all(|(i, j)| (m.get(i, j) - m.get(j, i)).abs() < 1e-12)
         })
     }
 }
@@ -162,7 +161,10 @@ mod tests {
 
     #[test]
     fn construction_validates_shapes() {
-        assert_eq!(EvolvingMatrixSequence::new(vec![]).unwrap_err(), EmsError::Empty);
+        assert_eq!(
+            EvolvingMatrixSequence::new(vec![]).unwrap_err(),
+            EmsError::Empty
+        );
         let rect = CsrMatrix::from_coo(&CooMatrix::new(2, 3));
         assert!(matches!(
             EvolvingMatrixSequence::new(vec![rect]).unwrap_err(),
@@ -216,7 +218,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(EmsError::Empty.to_string().contains("at least one"));
-        assert!(EmsError::NotSquare { index: 2 }.to_string().contains("matrix 2"));
+        assert!(EmsError::NotSquare { index: 2 }
+            .to_string()
+            .contains("matrix 2"));
         assert!(EmsError::OrderMismatch {
             index: 1,
             expected: 3,

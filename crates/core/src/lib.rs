@@ -36,6 +36,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Indexed loops mirror the paper's matrix notation throughout this crate.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
@@ -56,5 +58,8 @@ pub use algorithms::{
 pub use cluster::{alpha_clustering, Cluster, Clustering};
 pub use ems::EvolvingMatrixSequence;
 pub use qc::{beta_clustering_cinc, beta_clustering_clude, CincQc, CludeQc};
-pub use quality::{evaluate_orderings, MarkowitzReference, QualityEvaluation};
+pub use quality::{
+    evaluate_orderings, quality_loss_from_sizes, quality_loss_with_reference, refresh_decision,
+    MarkowitzReference, QualityEvaluation, RefreshDecision,
+};
 pub use report::{RunReport, TimingBreakdown};

@@ -149,7 +149,11 @@ impl LudemSolver for CincQc {
         "CINC-QC"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         let mut report = RunReport::new(self.name());
         let mut decomposed = Vec::with_capacity(ems.len());
         let t = Instant::now();
@@ -193,7 +197,11 @@ impl LudemSolver for CludeQc {
         "CLUDE-QC"
     }
 
-    fn solve(&self, ems: &EvolvingMatrixSequence, config: &SolverConfig) -> LuResult<LudemSolution> {
+    fn solve(
+        &self,
+        ems: &EvolvingMatrixSequence,
+        config: &SolverConfig,
+    ) -> LuResult<LudemSolution> {
         let mut report = RunReport::new(self.name());
         let mut decomposed = Vec::with_capacity(ems.len());
         let t = Instant::now();
@@ -288,8 +296,12 @@ mod tests {
     fn qc_solvers_reproduce_matrices() {
         let ems = small_symmetric_ems(20, 6, 19);
         for beta in [0.0, 0.2] {
-            let cinc = CincQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap();
-            let clude = CludeQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap();
+            let cinc = CincQc::new(beta)
+                .solve(&ems, &SolverConfig::default())
+                .unwrap();
+            let clude = CludeQc::new(beta)
+                .solve(&ems, &SolverConfig::default())
+                .unwrap();
             assert!(max_reconstruction_error(&ems, &cinc).unwrap() < 1e-8);
             assert!(max_reconstruction_error(&ems, &clude).unwrap() < 1e-8);
             assert_eq!(cinc.decomposed.len(), ems.len());

@@ -12,14 +12,22 @@ use rand::Rng;
 use rand::SeedableRng;
 
 /// A small random-walk (`A = I − dW`) EMS over a drifting directed graph.
-pub fn small_random_walk_ems(n_nodes: usize, n_snapshots: usize, seed: u64) -> EvolvingMatrixSequence {
+pub fn small_random_walk_ems(
+    n_nodes: usize,
+    n_snapshots: usize,
+    seed: u64,
+) -> EvolvingMatrixSequence {
     let egs = small_directed_egs(n_nodes, n_snapshots, seed);
     EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping: 0.85 })
 }
 
 /// A small symmetric (shifted-Laplacian) EMS over a growing undirected graph,
 /// suitable for the LUDEM-QC tests.
-pub fn small_symmetric_ems(n_nodes: usize, n_snapshots: usize, seed: u64) -> EvolvingMatrixSequence {
+pub fn small_symmetric_ems(
+    n_nodes: usize,
+    n_snapshots: usize,
+    seed: u64,
+) -> EvolvingMatrixSequence {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = DiGraph::new(n_nodes);
     // Sparse random undirected base graph.

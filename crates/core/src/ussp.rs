@@ -84,7 +84,10 @@ mod tests {
         // Theorem 1: s̃p(A_∪) covers every member's s̃p, under any shared
         // ordering.
         let ems = drifting_ems();
-        let cluster = Cluster { start: 0, end: ems.len() };
+        let cluster = Cluster {
+            start: 0,
+            end: ems.len(),
+        };
         let union = cluster_union_pattern(&ems, &cluster);
         let ordering = markowitz_ordering(&union).ordering;
         let ussp = universal_pattern(&ems, &cluster, &ordering);
@@ -103,7 +106,10 @@ mod tests {
     #[test]
     fn too_small_candidate_is_rejected() {
         let ems = drifting_ems();
-        let cluster = Cluster { start: 0, end: ems.len() };
+        let cluster = Cluster {
+            start: 0,
+            end: ems.len(),
+        };
         let ordering = Ordering::identity(ems.order());
         // A single member's symbolic pattern is generally NOT a USSP for the
         // whole cluster (later matrices add entries).
@@ -115,14 +121,20 @@ mod tests {
     #[test]
     fn universal_structure_covers_every_member_matrix() {
         let ems = drifting_ems();
-        let cluster = Cluster { start: 0, end: ems.len() };
+        let cluster = Cluster {
+            start: 0,
+            end: ems.len(),
+        };
         let union = cluster_union_pattern(&ems, &cluster);
         let ordering = markowitz_ordering(&union).ordering;
         let structure = universal_structure(&ems, &cluster, &ordering);
         for i in cluster.range() {
             let reordered = ems.matrix(i).reorder(&ordering).unwrap();
             for (r, c, _) in reordered.iter() {
-                assert!(structure.contains(r, c), "missing slot ({r},{c}) for matrix {i}");
+                assert!(
+                    structure.contains(r, c),
+                    "missing slot ({r},{c}) for matrix {i}"
+                );
             }
         }
     }

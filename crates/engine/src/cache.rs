@@ -1,0 +1,144 @@
+//! A small LRU cache for solve results.
+//!
+//! `HashMap` for lookup plus a `BTreeMap<tick, key>` recency index, giving
+//! `O(log n)` touch and eviction without external dependencies.  One instance
+//! sits behind each shard lock of the query service.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed capacity.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((_, last)) => {
+                self.recency.remove(last);
+                self.recency.insert(tick, key.clone());
+                *last = tick;
+                self.map.get(key).map(|(v, _)| v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used one
+    /// when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, last)) = self.map.remove(&key) {
+            self.recency.remove(&last);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, evicted)) = self.recency.pop_first() {
+                self.map.remove(&evicted);
+            }
+        }
+        self.recency.insert(tick, key.clone());
+        self.map.insert(key, (value, tick));
+    }
+
+    /// Drops every entry for which `predicate` returns `false`.
+    pub fn retain(&mut self, mut predicate: impl FnMut(&K) -> bool) {
+        let recency = &mut self.recency;
+        self.map.retain(|k, (_, tick)| {
+            let keep = predicate(k);
+            if !keep {
+                recency.remove(tick);
+            }
+            keep
+        });
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // touch a; b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_does_not_grow() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut c = LruCache::new(8);
+        for i in 0..6 {
+            c.insert(i, i * 10);
+        }
+        c.retain(|&k| k % 2 == 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&4), Some(&40));
+        assert_eq!(c.get(&3), None);
+        // Eviction still works after retain.
+        for i in 10..20 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 8);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        LruCache::<u32, u32>::new(0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The engine facade: single-writer ingest, many-reader querying.
+//!
+//! [`CludeEngine`] wires the three subsystems together behind a thread-safe
+//! interface (`&self` everywhere, share it in an `Arc`):
+//!
+//! * edge operations go through a `Mutex`-guarded ingest state (the
+//!   [`DeltaIngestor`] plus the [`FactorStore`]) — one writer at a time;
+//! * cut batches advance the store and publish an immutable
+//!   [`EngineSnapshot`] into an `RwLock`-guarded ring of recent snapshots
+//!   (bounded time-travel window);
+//! * queries grab an `Arc` to a snapshot under a brief read lock and solve
+//!   through the sharded, cached [`QueryService`] without blocking the
+//!   writer or each other.
+
+use crate::error::{EngineError, EngineResult};
+use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
+use crate::query::QueryService;
+use crate::stats::{EngineCounters, EngineStats};
+use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
+use clude_graph::{DiGraph, GraphDelta, MatrixKind};
+use clude_measures::MeasureQuery;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Tuning knobs of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Matrix composition the factors are maintained for.  Queries whose
+    /// [`MeasureQuery::required_matrix_kind`] disagrees are rejected.
+    pub matrix_kind: MatrixKind,
+    /// When to cut ingest batches.
+    pub batch: BatchPolicy,
+    /// When to abandon the ordering and re-factorize.
+    pub refresh: RefreshPolicy,
+    /// How many recent snapshots stay queryable (time-travel window).
+    pub ring_capacity: usize,
+    /// Number of result-cache shards.
+    pub cache_shards: usize,
+    /// LRU capacity per cache shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            matrix_kind: MatrixKind::random_walk_default(),
+            batch: BatchPolicy::default(),
+            refresh: RefreshPolicy::default(),
+            ring_capacity: 8,
+            cache_shards: 8,
+            cache_capacity_per_shard: 128,
+        }
+    }
+}
+
+struct IngestState {
+    ingestor: DeltaIngestor,
+    store: FactorStore,
+}
+
+/// The streaming measure-serving engine.
+pub struct CludeEngine {
+    kind: MatrixKind,
+    inner: Mutex<IngestState>,
+    ring: RwLock<VecDeque<Arc<EngineSnapshot>>>,
+    ring_capacity: usize,
+    service: QueryService,
+    counters: Arc<EngineCounters>,
+}
+
+impl CludeEngine {
+    /// Builds the engine over a base graph: factorizes it as snapshot 0 and
+    /// starts accepting edge operations and queries.
+    pub fn new(base: DiGraph, config: EngineConfig) -> EngineResult<Self> {
+        assert!(
+            config.ring_capacity > 0,
+            "need at least one retained snapshot"
+        );
+        let counters = Arc::new(EngineCounters::default());
+        let store = FactorStore::new(base, config.matrix_kind, config.refresh)?;
+        let first = Arc::new(store.snapshot());
+        let mut ring = VecDeque::with_capacity(config.ring_capacity);
+        ring.push_back(first);
+        Ok(CludeEngine {
+            kind: config.matrix_kind,
+            inner: Mutex::new(IngestState {
+                ingestor: DeltaIngestor::new(config.batch),
+                store,
+            }),
+            ring: RwLock::new(ring),
+            ring_capacity: config.ring_capacity,
+            service: QueryService::new(
+                config.cache_shards,
+                config.cache_capacity_per_shard,
+                Arc::clone(&counters),
+            ),
+            counters,
+        })
+    }
+
+    /// Streams one edge insertion.  Returns the new snapshot id when the
+    /// operation completed a batch.
+    pub fn insert_edge(&self, from: usize, to: usize) -> EngineResult<Option<u64>> {
+        self.offer(EdgeOp::Insert(from, to))
+    }
+
+    /// Streams one edge removal.  Returns the new snapshot id when the
+    /// operation completed a batch.
+    pub fn remove_edge(&self, from: usize, to: usize) -> EngineResult<Option<u64>> {
+        self.offer(EdgeOp::Remove(from, to))
+    }
+
+    /// Streams one edge operation.
+    pub fn offer(&self, op: EdgeOp) -> EngineResult<Option<u64>> {
+        let mut state = self.inner.lock().expect("ingest state poisoned");
+        let state = &mut *state;
+        let outcome = state.ingestor.offer(op, state.store.graph())?;
+        // Count only operations the ingestor accepted (rejected ones erred).
+        EngineCounters::bump(&self.counters.ops_ingested);
+        match outcome {
+            IngestOutcome::Buffered => Ok(None),
+            IngestOutcome::Coalesced => {
+                EngineCounters::bump(&self.counters.ops_coalesced);
+                Ok(None)
+            }
+            IngestOutcome::Flush(delta) => self.apply_batch(state, delta).map(Some),
+        }
+    }
+
+    /// Forces the pending batch (if any) to be applied now.  Returns the new
+    /// snapshot id when something was pending.
+    pub fn flush(&self) -> EngineResult<Option<u64>> {
+        let mut state = self.inner.lock().expect("ingest state poisoned");
+        match state.ingestor.flush() {
+            Some(delta) => self.apply_batch(&mut state, delta).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn apply_batch(&self, state: &mut IngestState, delta: GraphDelta) -> EngineResult<u64> {
+        let start = Instant::now();
+        let report = state.store.advance(&delta)?;
+        // Every applied batch counts toward ingest time; refresh time is the
+        // subset spent in batches that ended in a full refresh.
+        let elapsed = start.elapsed();
+        EngineCounters::add_nanos(&self.counters.ingest_nanos, elapsed);
+        if report.refreshed {
+            EngineCounters::bump(&self.counters.refreshes);
+            EngineCounters::add_nanos(&self.counters.refresh_nanos, elapsed);
+        }
+        EngineCounters::bump(&self.counters.batches_applied);
+        self.counters.bennett_rank_one_updates.fetch_add(
+            report.bennett.rank_one_updates as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.counters.bennett_pivots.fetch_add(
+            report.bennett.pivots_processed as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+
+        let snapshot = Arc::new(state.store.snapshot());
+        let oldest_retained = {
+            let mut ring = self.ring.write().expect("snapshot ring poisoned");
+            ring.push_back(snapshot);
+            while ring.len() > self.ring_capacity {
+                ring.pop_front();
+            }
+            ring.front().expect("ring is never empty").id()
+        };
+        self.service.invalidate_below(oldest_retained);
+        Ok(report.snapshot_id)
+    }
+
+    /// The id of the newest (currently served) snapshot.
+    pub fn current_snapshot_id(&self) -> u64 {
+        self.ring
+            .read()
+            .expect("snapshot ring poisoned")
+            .back()
+            .expect("ring is never empty")
+            .id()
+    }
+
+    /// The ids still retained for time-travel queries (oldest first).
+    pub fn retained_snapshot_ids(&self) -> Vec<u64> {
+        self.ring
+            .read()
+            .expect("snapshot ring poisoned")
+            .iter()
+            .map(|s| s.id())
+            .collect()
+    }
+
+    /// Net pending edge changes not yet applied to any snapshot.
+    pub fn pending_ops(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("ingest state poisoned")
+            .ingestor
+            .pending_ops()
+    }
+
+    /// Answers a query against the newest snapshot.
+    pub fn query(&self, query: &MeasureQuery) -> EngineResult<Arc<Vec<f64>>> {
+        let snapshot = {
+            let ring = self.ring.read().expect("snapshot ring poisoned");
+            Arc::clone(ring.back().expect("ring is never empty"))
+        };
+        self.check_kind(query)?;
+        self.service.query(&snapshot, query)
+    }
+
+    /// Answers a query against a retained past snapshot (time travel).
+    pub fn query_at(&self, snapshot_id: u64, query: &MeasureQuery) -> EngineResult<Arc<Vec<f64>>> {
+        let snapshot = {
+            let ring = self.ring.read().expect("snapshot ring poisoned");
+            let oldest = ring.front().expect("ring is never empty").id();
+            let newest = ring.back().expect("ring is never empty").id();
+            match ring.iter().find(|s| s.id() == snapshot_id) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    return Err(EngineError::UnknownSnapshot {
+                        requested: snapshot_id,
+                        oldest,
+                        newest,
+                    })
+                }
+            }
+        };
+        self.check_kind(query)?;
+        self.service.query(&snapshot, query)
+    }
+
+    fn check_kind(&self, query: &MeasureQuery) -> EngineResult<()> {
+        if let Some(required) = query.required_matrix_kind() {
+            if required != self.kind {
+                return Err(EngineError::InvalidQuery(format!(
+                    "query needs factors for {required:?}, engine maintains {:?} \
+                     (damping must match the engine's matrix composition)",
+                    self.kind
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A point-in-time copy of the operation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
+    /// Number of results currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.service.cached_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn ring_graph(n: usize) -> DiGraph {
+        let mut g = DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
+        g.add_edge(2, 0);
+        g
+    }
+
+    fn small_config(batch: usize) -> EngineConfig {
+        EngineConfig {
+            batch: BatchPolicy::by_count(batch),
+            ring_capacity: 3,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn batches_advance_snapshots_and_cache_invalidates() {
+        let engine = CludeEngine::new(ring_graph(8), small_config(2)).unwrap();
+        assert_eq!(engine.current_snapshot_id(), 0);
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let before = engine.query(&q).unwrap();
+        assert_eq!(engine.cached_results(), 1);
+
+        assert_eq!(engine.insert_edge(0, 4).unwrap(), None);
+        assert_eq!(engine.pending_ops(), 1);
+        let id = engine.insert_edge(5, 1).unwrap();
+        assert_eq!(id, Some(1));
+        assert_eq!(engine.current_snapshot_id(), 1);
+        assert_eq!(engine.pending_ops(), 0);
+
+        let after = engine.query(&q).unwrap();
+        assert!(before
+            .iter()
+            .zip(after.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-12));
+        // Old snapshot still retained: time travel sees the old answer.
+        let travelled = engine.query_at(0, &q).unwrap();
+        assert_eq!(&*travelled, &*before);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_old_snapshots_expire() {
+        let engine = CludeEngine::new(ring_graph(8), small_config(1)).unwrap();
+        for i in 0..5 {
+            engine.insert_edge(i, (i + 4) % 8).unwrap();
+        }
+        assert_eq!(engine.current_snapshot_id(), 5);
+        assert_eq!(engine.retained_snapshot_ids(), vec![3, 4, 5]);
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        assert!(matches!(
+            engine.query_at(0, &q),
+            Err(EngineError::UnknownSnapshot {
+                requested: 0,
+                oldest: 3,
+                newest: 5
+            })
+        ));
+        assert!(engine.query_at(4, &q).is_ok());
+    }
+
+    #[test]
+    fn flush_applies_partial_batches() {
+        let engine = CludeEngine::new(ring_graph(8), small_config(100)).unwrap();
+        assert_eq!(engine.flush().unwrap(), None);
+        engine.insert_edge(1, 6).unwrap();
+        assert_eq!(engine.flush().unwrap(), Some(1));
+        assert!(engine.current_snapshot_id() == 1);
+        let stats = engine.stats();
+        assert_eq!(stats.batches_applied, 1);
+        assert_eq!(stats.ops_ingested, 1);
+    }
+
+    #[test]
+    fn damping_mismatch_is_rejected() {
+        let engine = CludeEngine::new(ring_graph(8), small_config(4)).unwrap();
+        let wrong = MeasureQuery::Rwr {
+            seed: 0,
+            damping: 0.5,
+        };
+        assert!(matches!(
+            engine.query(&wrong),
+            Err(EngineError::InvalidQuery(_))
+        ));
+        // Hitting time builds its own system and is damping-independent.
+        let ht = MeasureQuery::HittingTime {
+            target: 0,
+            damping: 0.5,
+        };
+        assert!(engine.query(&ht).is_ok());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let engine = Arc::new(CludeEngine::new(ring_graph(16), small_config(3)).unwrap());
+        let writer = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                // 30 distinct edges absent from the base ring (offsets 3/5).
+                for i in 0..30 {
+                    let (u, off) = if i < 15 { (i, 3) } else { (i - 15, 5) };
+                    engine.insert_edge(u, (u + off) % 16).unwrap();
+                }
+                engine.flush().unwrap();
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        let q = MeasureQuery::Rwr {
+                            seed: (t * 50 + i) % 16,
+                            damping: 0.85,
+                        };
+                        let scores = engine.query(&q).unwrap();
+                        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 200);
+        assert!(stats.batches_applied >= 10);
+    }
+}

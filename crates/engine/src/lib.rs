@@ -1,0 +1,79 @@
+//! # clude-engine
+//!
+//! A streaming measure-serving engine over incrementally maintained LU
+//! factors — the online counterpart of the batch LUDEM solvers.
+//!
+//! The paper's thesis is that once a snapshot's measure matrix `A = I − d·W`
+//! is LU-decomposed, every proximity measure (PageRank, RWR, multi-seed PPR,
+//! discounted hitting time) costs one pair of triangular substitutions.  The
+//! batch crates decompose a *pre-built* sequence; this crate keeps factors
+//! for the *live* snapshot as edge deltas stream in, and serves measure
+//! queries against them concurrently:
+//!
+//! ```text
+//!   edge ops                  delta batches                  queries
+//!  ───────────►  DeltaIngestor ───────────►  FactorStore  ◄───────────
+//!  insert/remove  coalesce adds/removes,      Bennett updates under a
+//!                 cut batch at max_ops or     fixed ordering; refresh
+//!                 similarity threshold        (fresh Markowitz + LU) when
+//!                        │                    quality-loss > budget
+//!                        │                           │ publishes
+//!                        ▼                           ▼
+//!                 snapshot counter          ring of EngineSnapshots
+//!                                           (bounded time travel)
+//!                                                    │
+//!                                                    ▼
+//!                                             QueryService
+//!                                     sharded RwLock LRU cache keyed by
+//!                                     (snapshot, query); solves run
+//!                                     outside locks, results are Arc-shared
+//! ```
+//!
+//! * [`ingest::DeltaIngestor`] coalesces single edge operations into
+//!   [`clude_graph::GraphDelta`] batches ([`ingest::BatchPolicy`]: by count
+//!   or by the paper's snapshot-similarity threshold).
+//! * [`store::FactorStore`] maintains the current factors through the
+//!   Bennett update path of `clude_lu`, with [`store::RefreshPolicy`]
+//!   choosing between INC-style always-update and CLUDE-style refresh when
+//!   the quality-loss hook (`clude::refresh_decision`) reports degradation
+//!   past the budget.
+//! * [`query::QueryService`] answers typed
+//!   [`clude_measures::MeasureQuery`]s against immutable snapshots with a
+//!   sharded LRU result cache.
+//! * [`stats`] exports lock-free ingest/refresh/query counters in the style
+//!   of `clude::report::TimingBreakdown`.
+//!
+//! The facade tying it together is [`CludeEngine`]:
+//!
+//! ```
+//! use clude_engine::{CludeEngine, EngineConfig};
+//! use clude_graph::DiGraph;
+//! use clude_measures::MeasureQuery;
+//!
+//! let base = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! let engine = CludeEngine::new(base, EngineConfig::default()).unwrap();
+//! engine.insert_edge(0, 2).unwrap();
+//! engine.flush().unwrap(); // cut the pending batch -> snapshot 1
+//! let scores = engine
+//!     .query(&MeasureQuery::Rwr { seed: 0, damping: 0.85 })
+//!     .unwrap();
+//! assert_eq!(scores.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod ingest;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use engine::{CludeEngine, EngineConfig};
+pub use error::{EngineError, EngineResult};
+pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
+pub use query::QueryService;
+pub use stats::{EngineCounters, EngineStats};
+pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy};

@@ -1,0 +1,202 @@
+//! Concurrent measure-query serving.
+//!
+//! The [`QueryService`] answers [`MeasureQuery`]s against immutable
+//! [`EngineSnapshot`]s.  Results are memoised in an LRU cache keyed by
+//! `(snapshot id, query)` and sharded across independent `RwLock`s so
+//! concurrent readers rarely contend: the expensive triangular solves always
+//! run *outside* any lock, and the shard lock is held only for the cache
+//! probe and insert.
+
+use crate::cache::LruCache;
+use crate::error::{EngineError, EngineResult};
+use crate::stats::EngineCounters;
+use crate::store::EngineSnapshot;
+use clude_measures::MeasureQuery;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+type CacheKey = (u64, MeasureQuery);
+
+/// Sharded, cached query evaluation over engine snapshots.
+#[derive(Debug)]
+pub struct QueryService {
+    shards: Vec<RwLock<LruCache<CacheKey, Arc<Vec<f64>>>>>,
+    /// Oldest snapshot id still retained; results below it are not cached
+    /// (a reader may finish a solve for a snapshot evicted mid-flight).
+    oldest_retained: AtomicU64,
+    counters: Arc<EngineCounters>,
+}
+
+impl QueryService {
+    /// Creates a service with `shards` cache shards of `capacity_per_shard`
+    /// entries each.
+    ///
+    /// # Panics
+    /// Panics when `shards` or `capacity_per_shard` is zero.
+    pub fn new(shards: usize, capacity_per_shard: usize, counters: Arc<EngineCounters>) -> Self {
+        assert!(shards > 0, "need at least one cache shard");
+        QueryService {
+            shards: (0..shards)
+                .map(|_| RwLock::new(LruCache::new(capacity_per_shard)))
+                .collect(),
+            oldest_retained: AtomicU64::new(0),
+            counters,
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Answers `query` against `snapshot`, consulting the cache first.
+    ///
+    /// Results are shared (`Arc`) so concurrent readers of a hot query pay
+    /// no copies.
+    pub fn query(
+        &self,
+        snapshot: &EngineSnapshot,
+        query: &MeasureQuery,
+    ) -> EngineResult<Arc<Vec<f64>>> {
+        query
+            .validate(snapshot.n_nodes())
+            .map_err(EngineError::InvalidQuery)?;
+        EngineCounters::bump(&self.counters.queries);
+        let key: CacheKey = (snapshot.id(), query.clone());
+        let shard = &self.shards[self.shard_of(&key)];
+        if let Some(hit) = shard.write().expect("cache shard poisoned").get(&key) {
+            EngineCounters::bump(&self.counters.cache_hits);
+            return Ok(Arc::clone(hit));
+        }
+        EngineCounters::bump(&self.counters.cache_misses);
+        // Solve outside the lock: many readers can factor-substitute
+        // concurrently against the same immutable snapshot.
+        let start = Instant::now();
+        let scores = Arc::new(snapshot.query(query)?);
+        EngineCounters::add_nanos(&self.counters.query_nanos, start.elapsed());
+        // Don't cache results for snapshots evicted while we were solving:
+        // query_at() rejects their ids before probing the cache, so the
+        // entry would only waste LRU capacity.
+        if key.0 >= self.oldest_retained.load(Ordering::Acquire) {
+            shard
+                .write()
+                .expect("cache shard poisoned")
+                .insert(key, Arc::clone(&scores));
+        }
+        Ok(scores)
+    }
+
+    /// Drops cached results for snapshots older than `oldest_retained`
+    /// (called when the snapshot ring evicts; newer entries stay hot).
+    pub fn invalidate_below(&self, oldest_retained: u64) {
+        self.oldest_retained
+            .store(oldest_retained, Ordering::Release);
+        for shard in &self.shards {
+            shard
+                .write()
+                .expect("cache shard poisoned")
+                .retain(|(snapshot, _)| *snapshot >= oldest_retained);
+        }
+    }
+
+    /// Total number of cached results across shards.
+    pub fn cached_entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{FactorStore, RefreshPolicy};
+    use clude_graph::{DiGraph, MatrixKind};
+
+    fn snapshot() -> EngineSnapshot {
+        let mut g = DiGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
+        g.add_edge(2, 0);
+        FactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::default(),
+        )
+        .unwrap()
+        .snapshot()
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_result() {
+        let counters = Arc::new(EngineCounters::default());
+        let service = QueryService::new(4, 16, Arc::clone(&counters));
+        let snap = snapshot();
+        let q = MeasureQuery::Rwr {
+            seed: 1,
+            damping: 0.85,
+        };
+        let first = service.query(&snap, &q).unwrap();
+        let second = service.query(&snap, &q).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second answer must come from cache"
+        );
+        let stats = counters.snapshot();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(service.cached_entries(), 1);
+    }
+
+    #[test]
+    fn distinct_queries_miss_separately() {
+        let counters = Arc::new(EngineCounters::default());
+        let service = QueryService::new(2, 16, Arc::clone(&counters));
+        let snap = snapshot();
+        for seed in 0..4 {
+            service
+                .query(
+                    &snap,
+                    &MeasureQuery::Rwr {
+                        seed,
+                        damping: 0.85,
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(counters.snapshot().cache_misses, 4);
+        assert_eq!(service.cached_entries(), 4);
+    }
+
+    #[test]
+    fn invalidation_drops_old_snapshots_only() {
+        let counters = Arc::new(EngineCounters::default());
+        let service = QueryService::new(2, 16, counters);
+        let snap = snapshot(); // id 0
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        service.query(&snap, &q).unwrap();
+        assert_eq!(service.cached_entries(), 1);
+        service.invalidate_below(1);
+        assert_eq!(service.cached_entries(), 0);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_before_solving() {
+        let counters = Arc::new(EngineCounters::default());
+        let service = QueryService::new(2, 16, Arc::clone(&counters));
+        let snap = snapshot();
+        let bad = MeasureQuery::Rwr {
+            seed: 99,
+            damping: 0.85,
+        };
+        assert!(matches!(
+            service.query(&snap, &bad),
+            Err(EngineError::InvalidQuery(_))
+        ));
+        assert_eq!(counters.snapshot().queries, 0);
+    }
+}

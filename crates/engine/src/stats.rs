@@ -1,0 +1,194 @@
+//! Engine operation counters.
+//!
+//! The batch solvers report their work through `clude::report::TimingBreakdown`;
+//! this module is the streaming counterpart: lock-free counters incremented
+//! on the ingest and query paths, snapshotted into an [`EngineStats`] record
+//! whose `Display` prints the same style of breakdown table.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters shared by the ingest and query paths.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Edge operations accepted (including ones coalesced away).
+    pub ops_ingested: AtomicU64,
+    /// Edge operations dropped as no-ops (already-present inserts, absent
+    /// removes, add/remove pairs cancelling inside one batch).
+    pub ops_coalesced: AtomicU64,
+    /// Delta batches applied to the factors (snapshot advances).
+    pub batches_applied: AtomicU64,
+    /// Full refreshes (fresh ordering + factorization).
+    pub refreshes: AtomicU64,
+    /// Bennett rank-one updates performed.
+    pub bennett_rank_one_updates: AtomicU64,
+    /// Bennett pivots visited.
+    pub bennett_pivots: AtomicU64,
+    /// Queries answered (hit or miss).
+    pub queries: AtomicU64,
+    /// Queries answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that had to solve.
+    pub cache_misses: AtomicU64,
+    /// Nanoseconds spent applying batches (Bennett + delta assembly,
+    /// including batches that ended in a refresh).
+    pub ingest_nanos: AtomicU64,
+    /// Nanoseconds spent in batches that ended in a full refresh (a subset
+    /// of `ingest_nanos`).
+    pub refresh_nanos: AtomicU64,
+    /// Nanoseconds spent solving queries (cache misses only).
+    pub query_nanos: AtomicU64,
+}
+
+impl EngineCounters {
+    /// Adds `d` to a duration counter.
+    pub fn add_nanos(counter: &AtomicU64, d: Duration) {
+        counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            ops_ingested: self.ops_ingested.load(Ordering::Relaxed),
+            ops_coalesced: self.ops_coalesced.load(Ordering::Relaxed),
+            batches_applied: self.batches_applied.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            bennett_rank_one_updates: self.bennett_rank_one_updates.load(Ordering::Relaxed),
+            bennett_pivots: self.bennett_pivots.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            ingest_time: Duration::from_nanos(self.ingest_nanos.load(Ordering::Relaxed)),
+            refresh_time: Duration::from_nanos(self.refresh_nanos.load(Ordering::Relaxed)),
+            query_time: Duration::from_nanos(self.query_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Edge operations accepted.
+    pub ops_ingested: u64,
+    /// Edge operations coalesced away as no-ops.
+    pub ops_coalesced: u64,
+    /// Delta batches applied (snapshot advances).
+    pub batches_applied: u64,
+    /// Full refreshes performed.
+    pub refreshes: u64,
+    /// Bennett rank-one updates performed.
+    pub bennett_rank_one_updates: u64,
+    /// Bennett pivots visited.
+    pub bennett_pivots: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Cache hits among them.
+    pub cache_hits: u64,
+    /// Cache misses among them.
+    pub cache_misses: u64,
+    /// Wall-clock spent applying batches (refresh-ending ones included).
+    pub ingest_time: Duration,
+    /// Wall-clock of the batches that ended in a refresh (subset of
+    /// `ingest_time`).
+    pub refresh_time: Duration,
+    /// Wall-clock spent solving queries.
+    pub query_time: Duration,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]` (0 when no queries ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Average wall-clock per applied batch.
+    pub fn avg_batch_time(&self) -> Duration {
+        if self.batches_applied == 0 {
+            Duration::ZERO
+        } else {
+            self.ingest_time / self.batches_applied as u32
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ingest   | ops {:>10}  coalesced {:>8}  batches {:>7}  time {:>10.3?}",
+            self.ops_ingested, self.ops_coalesced, self.batches_applied, self.ingest_time
+        )?;
+        writeln!(
+            f,
+            "factors  | refreshes {:>4}  rank-1 {:>10}  pivots {:>10}  refresh time {:>10.3?}",
+            self.refreshes, self.bennett_rank_one_updates, self.bennett_pivots, self.refresh_time
+        )?;
+        write!(
+            f,
+            "queries  | total {:>8}  hits {:>10}  misses {:>8}  hit-rate {:>5.1}%  solve time {:>10.3?}",
+            self.queries,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.query_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = EngineCounters::default();
+        EngineCounters::bump(&c.queries);
+        EngineCounters::bump(&c.queries);
+        EngineCounters::bump(&c.cache_hits);
+        EngineCounters::add_nanos(&c.query_nanos, Duration::from_micros(5));
+        let s = c.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.query_time, Duration::from_micros(5));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_rates_handle_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.avg_batch_time(), Duration::ZERO);
+        let with_batches = EngineStats {
+            batches_applied: 4,
+            ingest_time: Duration::from_millis(8),
+            ..EngineStats::default()
+        };
+        assert_eq!(with_batches.avg_batch_time(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let s = EngineStats {
+            ops_ingested: 100,
+            queries: 10,
+            cache_hits: 5,
+            cache_misses: 5,
+            ..EngineStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("ingest"));
+        assert!(text.contains("factors"));
+        assert!(text.contains("hit-rate"));
+        assert!(text.contains("50.0%"));
+    }
+}

@@ -1,0 +1,537 @@
+//! Incrementally maintained LU factors of the current snapshot.
+//!
+//! The [`FactorStore`] is the single-writer heart of the engine: it owns the
+//! current snapshot graph, its measure matrix, an ordering, and dynamic LU
+//! factors kept in sync through Bennett updates (`clude_lu::apply_delta`).
+//! Every applied [`GraphDelta`] advances the snapshot counter and emits an
+//! immutable [`EngineSnapshot`] the query side serves from.
+//!
+//! Two maintenance policies mirror the paper's algorithm families:
+//!
+//! * [`RefreshPolicy::Incremental`] — INC-style: one ordering forever,
+//!   fill-ins absorbed into the dynamic lists, never refreshed;
+//! * [`RefreshPolicy::QualityTriggered`] — CLUDE-style: the factor size is
+//!   compared against the size recorded at the last refresh via
+//!   [`clude::refresh_decision`] (Definition 4's quality-loss), and once the
+//!   degradation exceeds the budget the store re-orders and re-factorizes —
+//!   the streaming analogue of starting a new cluster.
+
+use crate::error::EngineResult;
+use clude::{refresh_decision, DecomposedMatrix, MatrixFactors};
+use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind};
+use clude_lu::{apply_delta, markowitz_ordering, BennettStats, DynamicLuFactors, LuResult};
+use clude_measures::{evaluate_query, MeasureQuery};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// When the store abandons its ordering and re-factorizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshPolicy {
+    /// Never refresh: keep updating the first ordering's factors (INC).
+    Incremental,
+    /// Refresh when the factors' quality-loss against the last refresh
+    /// exceeds the budget (CLUDE-style re-clustering).
+    QualityTriggered {
+        /// Maximum tolerated quality-loss before a refresh.
+        max_quality_loss: f64,
+    },
+}
+
+impl Default for RefreshPolicy {
+    /// Refresh at 100 % degradation — roughly where the paper's Figure 5
+    /// shows INC's single ordering has become untenable.
+    fn default() -> Self {
+        RefreshPolicy::QualityTriggered {
+            max_quality_loss: 1.0,
+        }
+    }
+}
+
+/// One immutable, queryable snapshot: the graph plus its decomposed factors.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    id: u64,
+    graph: DiGraph,
+    decomposed: DecomposedMatrix,
+}
+
+impl EngineSnapshot {
+    /// The snapshot counter value this snapshot was produced at.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The snapshot graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The decomposed measure matrix (ordering + factors).
+    pub fn decomposed(&self) -> &DecomposedMatrix {
+        &self.decomposed
+    }
+
+    /// Number of nodes of the fixed universe.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// Answers a measure query against this snapshot by substitutions.
+    pub fn query(&self, query: &MeasureQuery) -> LuResult<Vec<f64>> {
+        evaluate_query(&self.decomposed, &self.graph, query)
+    }
+}
+
+/// What one [`FactorStore::advance`] did.
+#[derive(Debug, Clone)]
+pub struct AdvanceReport {
+    /// The id of the snapshot the batch produced.
+    pub snapshot_id: u64,
+    /// Whether the advance ended in a full refresh.
+    pub refreshed: bool,
+    /// Bennett work performed (zero when the advance refreshed immediately).
+    pub bennett: BennettStats,
+    /// Quality-loss of the factors after the advance (0 right after a
+    /// refresh).
+    pub quality_loss: f64,
+}
+
+/// The current snapshot's factors, maintained under a fixed ordering until
+/// the refresh policy trips.
+#[derive(Debug, Clone)]
+pub struct FactorStore {
+    kind: MatrixKind,
+    policy: RefreshPolicy,
+    graph: DiGraph,
+    ordering: clude_sparse::Ordering,
+    /// `old → new` index maps of `ordering` (cached; advances translate
+    /// original-coordinate matrix deltas into factor coordinates with them).
+    row_old_to_new: Vec<usize>,
+    col_old_to_new: Vec<usize>,
+    factors: DynamicLuFactors,
+    /// Factor size right after the last refresh (quality-loss reference).
+    reference_nnz: usize,
+    snapshot_id: u64,
+}
+
+impl FactorStore {
+    /// Builds the store for a base graph: derives the measure matrix,
+    /// computes its Markowitz ordering, and factorizes it fully.
+    pub fn new(graph: DiGraph, kind: MatrixKind, policy: RefreshPolicy) -> EngineResult<Self> {
+        let matrix = measure_matrix(&graph, kind);
+        let ordering = markowitz_ordering(&matrix.pattern()).ordering;
+        let reordered = matrix
+            .reorder(&ordering)
+            .expect("ordering was computed for this matrix");
+        let factors = DynamicLuFactors::factorize(&reordered)?;
+        let reference_nnz = factors.nnz();
+        Ok(FactorStore {
+            kind,
+            policy,
+            graph,
+            row_old_to_new: ordering.row().old_to_new(),
+            col_old_to_new: ordering.col().old_to_new(),
+            ordering,
+            factors,
+            reference_nnz,
+            snapshot_id: 0,
+        })
+    }
+
+    /// The matrix composition the factors are built for.
+    pub fn matrix_kind(&self) -> MatrixKind {
+        self.kind
+    }
+
+    /// The refresh policy in force.
+    pub fn policy(&self) -> RefreshPolicy {
+        self.policy
+    }
+
+    /// The current snapshot id.
+    pub fn snapshot_id(&self) -> u64 {
+        self.snapshot_id
+    }
+
+    /// The current snapshot graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Current factor size `|sp(Â)|`.
+    pub fn factor_nnz(&self) -> usize {
+        self.factors.nnz()
+    }
+
+    /// Quality-loss of the current factors against the last refresh.
+    pub fn quality_loss(&self) -> f64 {
+        clude::quality_loss_from_sizes(self.factors.nnz(), self.reference_nnz)
+    }
+
+    /// An immutable snapshot of the current state for the query side.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            id: self.snapshot_id,
+            graph: self.graph.clone(),
+            decomposed: DecomposedMatrix {
+                index: self.snapshot_id as usize,
+                ordering: self.ordering.clone(),
+                factors: Some(MatrixFactors::Dynamic(self.factors.clone())),
+            },
+        }
+    }
+
+    /// Applies one coalesced delta batch, advancing the snapshot counter.
+    ///
+    /// The changed matrix entries are derived *directly from the graph
+    /// delta* (an edge operation only perturbs its source's column of
+    /// `I − d·W`, or its endpoints' entries of the Laplacian), so the cost
+    /// of an advance is proportional to the change, not to the matrix.  The
+    /// factors are then updated by Bennett's algorithm under the current
+    /// ordering; when the numeric update fails (singular pivot en route) or
+    /// the refresh policy trips afterwards, the store falls back to a full
+    /// refresh — a fresh Markowitz ordering and factorization of the new
+    /// matrix — so an `Ok` return always leaves servable factors.
+    pub fn advance(&mut self, delta: &GraphDelta) -> EngineResult<AdvanceReport> {
+        // Reject deltas naming nodes outside the universe before mutating
+        // anything (the engine's ingestor pre-validates, but the store is a
+        // public entry point of its own).
+        let n = self.graph.n_nodes();
+        for &(u, v) in delta.added.iter().chain(delta.removed.iter()) {
+            if u >= n || v >= n {
+                return Err(crate::error::EngineError::NodeOutOfRange {
+                    node: u.max(v),
+                    n_nodes: n,
+                });
+            }
+        }
+        // Capture pre-delta adjacency of the affected sources, then mutate.
+        let affected = affected_sources(delta);
+        let old_info: BTreeMap<usize, Vec<usize>> = affected
+            .iter()
+            .map(|&u| (u, self.graph.successors(u).collect()))
+            .collect();
+        delta.apply(&mut self.graph);
+        self.snapshot_id += 1;
+        let matrix_delta = self.matrix_delta(&old_info);
+
+        let mut refreshed = false;
+        let bennett = match apply_delta(&mut self.factors, &matrix_delta) {
+            Ok(stats) => stats,
+            Err(_) => {
+                // Numeric fallback: rebuild under a fresh ordering.
+                self.refresh()?;
+                refreshed = true;
+                BennettStats::default()
+            }
+        };
+        if !refreshed {
+            if let RefreshPolicy::QualityTriggered { max_quality_loss } = self.policy {
+                let decision =
+                    refresh_decision(self.factors.nnz(), self.reference_nnz, max_quality_loss);
+                if decision.should_refresh {
+                    self.refresh()?;
+                    refreshed = true;
+                }
+            }
+        }
+        Ok(AdvanceReport {
+            snapshot_id: self.snapshot_id,
+            refreshed,
+            bennett,
+            quality_loss: self.quality_loss(),
+        })
+    }
+
+    /// The Bennett delta `(row, col, old, new)` in *factor* (reordered)
+    /// coordinates, given the pre-delta successor lists of the affected
+    /// sources and the already-updated graph.
+    fn matrix_delta(
+        &self,
+        old_info: &BTreeMap<usize, Vec<usize>>,
+    ) -> Vec<(usize, usize, f64, f64)> {
+        let mut out = Vec::new();
+        for (&u, old_succ) in old_info {
+            let new_succ: Vec<usize> = self.graph.successors(u).collect();
+            match self.kind {
+                MatrixKind::RandomWalk { damping } => {
+                    // Column u of A = I − d·W holds −d/deg(u) at each
+                    // successor's row; a degree change rescales the whole
+                    // column, an edge change moves its support.
+                    let old_w = column_weight(damping, old_succ.len());
+                    let new_w = column_weight(damping, new_succ.len());
+                    let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
+                    let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
+                    for &v in old_set.union(&new_set) {
+                        let old = if old_set.contains(&v) { old_w } else { 0.0 };
+                        let new = if new_set.contains(&v) { new_w } else { 0.0 };
+                        if old != new {
+                            out.push((self.row_old_to_new[v], self.col_old_to_new[u], old, new));
+                        }
+                    }
+                }
+                MatrixKind::SymmetricLaplacian { shift } => {
+                    // Row u of A = σ·I + D − Adj: −1 at each successor and
+                    // the degree on the diagonal.
+                    let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
+                    let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
+                    for &v in old_set.union(&new_set) {
+                        if v == u {
+                            continue; // folded into the diagonal below
+                        }
+                        let old = if old_set.contains(&v) { -1.0 } else { 0.0 };
+                        let new = if new_set.contains(&v) { -1.0 } else { 0.0 };
+                        if old != new {
+                            out.push((self.row_old_to_new[u], self.col_old_to_new[v], old, new));
+                        }
+                    }
+                    let diag = |set: &BTreeSet<usize>| {
+                        let self_loop = if set.contains(&u) { 1.0 } else { 0.0 };
+                        shift + set.len() as f64 - self_loop
+                    };
+                    if diag(&old_set) != diag(&new_set) {
+                        out.push((
+                            self.row_old_to_new[u],
+                            self.col_old_to_new[u],
+                            diag(&old_set),
+                            diag(&new_set),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-orders and re-factorizes the current graph's matrix from scratch.
+    fn refresh(&mut self) -> EngineResult<()> {
+        let matrix = measure_matrix(&self.graph, self.kind);
+        self.ordering = markowitz_ordering(&matrix.pattern()).ordering;
+        self.row_old_to_new = self.ordering.row().old_to_new();
+        self.col_old_to_new = self.ordering.col().old_to_new();
+        let reordered = matrix
+            .reorder(&self.ordering)
+            .expect("ordering was computed for this matrix");
+        self.factors = DynamicLuFactors::factorize(&reordered)?;
+        self.reference_nnz = self.factors.nnz();
+        Ok(())
+    }
+}
+
+/// The nodes whose matrix column/row a delta perturbs: the source endpoint
+/// of every changed edge.
+fn affected_sources(delta: &GraphDelta) -> BTreeSet<usize> {
+    delta
+        .added
+        .iter()
+        .chain(delta.removed.iter())
+        .map(|&(u, _)| u)
+        .collect()
+}
+
+/// The per-successor weight of column `u` in `I − d·W`.
+fn column_weight(damping: f64, out_degree: usize) -> f64 {
+    if out_degree == 0 {
+        0.0
+    } else {
+        -damping / out_degree as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clude_lu::factorize_fresh;
+
+    fn base_graph() -> DiGraph {
+        let mut g = DiGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
+        g.add_edge(2, 0);
+        g.add_edge(4, 0);
+        g
+    }
+
+    fn rwr_scores(graph: &DiGraph, seed: usize, damping: f64) -> Vec<f64> {
+        // Oracle: fresh factorization of the snapshot's measure matrix.
+        let a = measure_matrix(graph, MatrixKind::RandomWalk { damping });
+        let factors = factorize_fresh(&a).unwrap();
+        let mut b = vec![0.0; graph.n_nodes()];
+        b[seed] = 1.0 - damping;
+        factors.solve(&b).unwrap()
+    }
+
+    #[test]
+    fn advance_tracks_fresh_factorization() {
+        let g = base_graph();
+        let mut store = FactorStore::new(
+            g.clone(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap();
+        assert_eq!(store.snapshot_id(), 0);
+
+        let delta = GraphDelta {
+            added: vec![(1, 4), (5, 2)],
+            removed: vec![(2, 0)],
+        };
+        let report = store.advance(&delta).unwrap();
+        assert_eq!(report.snapshot_id, 1);
+        assert!(!report.refreshed);
+        assert!(report.bennett.rank_one_updates > 0);
+
+        let snap = store.snapshot();
+        let q = MeasureQuery::Rwr {
+            seed: 3,
+            damping: 0.85,
+        };
+        let got = snap.query(&q).unwrap();
+        let mut expected = rwr_scores(store.graph(), 3, 0.85);
+        clude_sparse::vector::normalize_l1(&mut expected);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quality_policy_refreshes_on_degradation() {
+        let g = base_graph();
+        // A zero budget refreshes on any factor growth.
+        let mut store = FactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::QualityTriggered {
+                max_quality_loss: 0.0,
+            },
+        )
+        .unwrap();
+        let mut refreshed_any = false;
+        // Densify the graph step by step; fill-in must eventually appear.
+        for k in 0..4 {
+            let delta = GraphDelta {
+                added: vec![(k, (k + 3) % 6), ((k + 2) % 6, k)],
+                removed: vec![],
+            };
+            let report = store.advance(&delta).unwrap();
+            refreshed_any |= report.refreshed;
+            if report.refreshed {
+                assert_eq!(report.quality_loss, 0.0);
+            }
+        }
+        assert!(refreshed_any, "densification never tripped the refresh");
+        // Factors still track the graph exactly.
+        let snap = store.snapshot();
+        let got = snap
+            .query(&MeasureQuery::PageRank { damping: 0.85 })
+            .unwrap();
+        assert!((got.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_are_independent_of_later_advances() {
+        let g = base_graph();
+        let mut store = FactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::default(),
+        )
+        .unwrap();
+        let snap0 = store.snapshot();
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let before = snap0.query(&q).unwrap();
+        store
+            .advance(&GraphDelta {
+                added: vec![(0, 3)],
+                removed: vec![(0, 1)],
+            })
+            .unwrap();
+        // The old snapshot still answers from the old factors.
+        let after = snap0.query(&q).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(snap0.id(), 0);
+        assert_eq!(store.snapshot().id(), 1);
+        // And the new snapshot differs (the graph changed).
+        let new = store.snapshot().query(&q).unwrap();
+        assert!(before
+            .iter()
+            .zip(new.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-12));
+    }
+
+    #[test]
+    fn advance_rejects_out_of_universe_deltas_without_mutating() {
+        let mut store = FactorStore::new(
+            base_graph(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap();
+        let bad = GraphDelta {
+            added: vec![(0, 999)],
+            removed: vec![],
+        };
+        let err = store.advance(&bad).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::EngineError::NodeOutOfRange {
+                node: 999,
+                n_nodes: 6
+            }
+        ));
+        // Nothing moved: same snapshot, same graph, still servable.
+        assert_eq!(store.snapshot_id(), 0);
+        assert_eq!(store.graph().n_edges(), base_graph().n_edges());
+        assert!(store
+            .snapshot()
+            .query(&MeasureQuery::PageRank { damping: 0.85 })
+            .is_ok());
+    }
+
+    #[test]
+    fn symmetric_laplacian_advance_matches_fresh_factorization() {
+        // An undirected path graph; deltas change both edge directions.
+        let mut g = DiGraph::new(5);
+        for i in 0..4 {
+            g.add_undirected_edge(i, i + 1);
+        }
+        let kind = MatrixKind::SymmetricLaplacian { shift: 1.0 };
+        let mut store = FactorStore::new(g, kind, RefreshPolicy::Incremental).unwrap();
+        let delta = GraphDelta {
+            added: vec![(0, 3), (3, 0), (1, 4), (4, 1)],
+            removed: vec![(1, 2), (2, 1)],
+        };
+        store.advance(&delta).unwrap();
+        // Oracle: fresh factors of the updated graph's Laplacian.
+        let a = measure_matrix(store.graph(), kind);
+        let fresh = factorize_fresh(&a).unwrap();
+        let b = vec![1.0, -0.5, 2.0, 0.25, -1.0];
+        let expected = fresh.solve(&b).unwrap();
+        let got = clude_lu::solve_original(
+            match store.snapshot().decomposed().factors.as_ref().unwrap() {
+                clude::MatrixFactors::Dynamic(f) => f,
+                _ => unreachable!("store keeps dynamic factors"),
+            },
+            &store.snapshot().decomposed().ordering,
+            &b,
+        )
+        .unwrap();
+        for (x, y) in got.iter().zip(expected.iter()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn accessors_expose_state() {
+        let store = FactorStore::new(
+            base_graph(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap();
+        assert_eq!(store.matrix_kind(), MatrixKind::random_walk_default());
+        assert_eq!(store.policy(), RefreshPolicy::Incremental);
+        assert!(store.factor_nnz() > 0);
+        assert_eq!(store.quality_loss(), 0.0);
+        assert_eq!(store.snapshot().n_nodes(), 6);
+        assert!(store.snapshot().graph().has_edge(2, 0));
+        assert_eq!(store.snapshot().decomposed().index, 0);
+    }
+}

@@ -6,6 +6,7 @@
 //! their edges.
 
 use crate::digraph::DiGraph;
+use std::collections::BTreeSet;
 
 /// The set of edge insertions and deletions turning one snapshot into the next.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -75,6 +76,35 @@ impl GraphDelta {
             removed: self.added.clone(),
         }
     }
+
+    /// Composes `self` followed by `later` into a single delta, cancelling
+    /// opposite changes: an edge added by `self` and removed by `later` (or
+    /// vice versa) disappears from the merged delta entirely.
+    ///
+    /// For deltas that are valid against some graph `G` (adds of absent
+    /// edges, removals of present edges), `merged.apply(G)` is equivalent to
+    /// `self.apply(G); later.apply(G)`.  The merged edge lists are sorted and
+    /// deduplicated.
+    pub fn merge(&self, later: &GraphDelta) -> GraphDelta {
+        let mut added: BTreeSet<(usize, usize)> = self.added.iter().copied().collect();
+        let mut removed: BTreeSet<(usize, usize)> = self.removed.iter().copied().collect();
+        for &e in &later.removed {
+            // Removing an edge this delta added cancels the addition.
+            if !added.remove(&e) {
+                removed.insert(e);
+            }
+        }
+        for &e in &later.added {
+            // Re-adding an edge this delta removed cancels the removal.
+            if !removed.remove(&e) {
+                added.insert(e);
+            }
+        }
+        GraphDelta {
+            added: added.into_iter().collect(),
+            removed: removed.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +142,83 @@ mod tests {
         let a = DiGraph::new(2);
         let b = DiGraph::new(3);
         GraphDelta::between(&a, &b);
+    }
+
+    #[test]
+    fn merge_cancels_add_followed_by_remove() {
+        let first = GraphDelta {
+            added: vec![(0, 1), (1, 2)],
+            removed: vec![],
+        };
+        let second = GraphDelta {
+            added: vec![],
+            removed: vec![(0, 1)],
+        };
+        let merged = first.merge(&second);
+        assert_eq!(merged.added, vec![(1, 2)]);
+        assert!(merged.removed.is_empty());
+        assert_eq!(merged.size(), 1);
+    }
+
+    #[test]
+    fn merge_cancels_remove_followed_by_add() {
+        let first = GraphDelta {
+            added: vec![],
+            removed: vec![(2, 3)],
+        };
+        let second = GraphDelta {
+            added: vec![(2, 3), (3, 0)],
+            removed: vec![],
+        };
+        let merged = first.merge(&second);
+        assert_eq!(merged.added, vec![(3, 0)]);
+        assert!(merged.removed.is_empty());
+    }
+
+    #[test]
+    fn merge_of_inverse_is_empty() {
+        let d = GraphDelta {
+            added: vec![(0, 1), (2, 3)],
+            removed: vec![(1, 2)],
+        };
+        assert!(d.merge(&d.inverse()).is_empty());
+    }
+
+    #[test]
+    fn merge_agrees_with_sequential_application() {
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let first = GraphDelta {
+            added: vec![(4, 0), (0, 2)],
+            removed: vec![(1, 2)],
+        };
+        let second = GraphDelta {
+            added: vec![(1, 2)],
+            removed: vec![(4, 0), (3, 4)],
+        };
+        // Sequential application.
+        let mut sequential = g.clone();
+        first.apply(&mut sequential);
+        second.apply(&mut sequential);
+        // Merged application.
+        let mut merged_g = g.clone();
+        let merged = first.merge(&second);
+        merged.apply(&mut merged_g);
+        assert_eq!(sequential, merged_g);
+        // (4,0) and (1,2) cancelled: only (0,2) added, only (3,4) removed.
+        assert_eq!(merged.added, vec![(0, 2)]);
+        assert_eq!(merged.removed, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_up_to_ordering() {
+        let d = GraphDelta {
+            added: vec![(1, 0), (0, 1)],
+            removed: vec![(2, 2)],
+        };
+        let merged = d.merge(&GraphDelta::empty());
+        assert_eq!(merged.added, vec![(0, 1), (1, 0)]);
+        assert_eq!(merged.removed, vec![(2, 2)]);
+        let merged2 = GraphDelta::empty().merge(&d);
+        assert_eq!(merged2.added, vec![(0, 1), (1, 0)]);
     }
 }

@@ -71,7 +71,10 @@ impl DblpLikeConfig {
 /// Generates a DBLP-like (symmetric, growing) co-authorship EGS.
 pub fn generate<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> EvolvingGraphSequence {
     assert!(config.n_authors > 3, "need at least four authors");
-    assert!(config.max_authors_per_paper >= 2, "papers need at least two authors");
+    assert!(
+        config.max_authors_per_paper >= 2,
+        "papers need at least two authors"
+    );
     let mut productivity: Vec<usize> = vec![1; config.n_authors];
     let mut current = DiGraph::new(config.n_authors);
     // Papers before the first snapshot.
@@ -82,7 +85,13 @@ pub fn generate<R: Rng>(config: &DblpLikeConfig, rng: &mut R) -> EvolvingGraphSe
     for _ in 1..config.n_snapshots {
         let mut delta = GraphDelta::empty();
         for _ in 0..config.papers_per_snapshot {
-            publish_paper(config, &mut current, &mut productivity, rng, Some(&mut delta));
+            publish_paper(
+                config,
+                &mut current,
+                &mut productivity,
+                rng,
+                Some(&mut delta),
+            );
         }
         egs.push_delta(delta);
     }
@@ -194,7 +203,10 @@ mod tests {
         let cfg = DblpLikeConfig::tiny();
         let egs = generate(&cfg, &mut StdRng::seed_from_u64(2));
         let last = egs.snapshot(cfg.n_snapshots - 1);
-        let max_deg = (0..last.n_nodes()).map(|u| last.out_degree(u)).max().unwrap();
+        let max_deg = (0..last.n_nodes())
+            .map(|u| last.out_degree(u))
+            .max()
+            .unwrap();
         let avg = last.average_out_degree();
         assert!(max_deg as f64 > 2.0 * avg, "max {max_deg} vs avg {avg}");
     }

@@ -114,12 +114,22 @@ pub fn generate<R: Rng>(config: &PatentLikeConfig, rng: &mut R) -> PatentEgs {
         company_of_patent.push(c);
     }
 
-    let growth_per_step = (config.final_patents - config.initial_patents) / (config.n_snapshots - 1);
+    let growth_per_step =
+        (config.final_patents - config.initial_patents) / (config.n_snapshots - 1);
     let mut current = DiGraph::new(n);
     let mut granted = config.initial_patents;
     // Citations of the initial patent stock.
     for p in 1..granted {
-        add_citations(config, &company_of_patent, &mut current, p, granted, 0.0, rng, None);
+        add_citations(
+            config,
+            &company_of_patent,
+            &mut current,
+            p,
+            granted,
+            0.0,
+            rng,
+            None,
+        );
     }
     let mut patents_at_snapshot = vec![granted];
     let mut egs = EvolvingGraphSequence::from_base(current.clone());
@@ -190,14 +200,14 @@ fn add_citations<R: Rng>(
     for _ in 0..config.citations_per_patent {
         // A patent of the rising company cites the subject company's patents
         // with probability growing over time; everyone has some home bias.
-        let target_company = if company == config.rising_company && rng.gen_bool(0.3 + 0.6 * rising_affinity)
-        {
-            Some(config.subject_company)
-        } else if rng.gen_bool(0.4) {
-            Some(company)
-        } else {
-            None
-        };
+        let target_company =
+            if company == config.rising_company && rng.gen_bool(0.3 + 0.6 * rising_affinity) {
+                Some(config.subject_company)
+            } else if rng.gen_bool(0.4) {
+                Some(company)
+            } else {
+                None
+            };
         let cited = match target_company {
             Some(tc) => {
                 // Rejection-sample a patent of the target company among
@@ -236,7 +246,7 @@ mod tests {
         let (first, last) = p.egs.first_last_edge_counts();
         assert!(last > first);
         assert_eq!(p.patents_at_snapshot.len(), cfg.n_snapshots);
-        assert_eq!(*p.patents_at_snapshot.last().unwrap() , cfg.final_patents);
+        assert_eq!(*p.patents_at_snapshot.last().unwrap(), cfg.final_patents);
     }
 
     #[test]

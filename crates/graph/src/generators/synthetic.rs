@@ -188,7 +188,8 @@ mod tests {
         let egs = generate(&cfg, &mut rng);
         let (first, last) = egs.first_last_edge_counts();
         // Each step adds 24 and removes 6 edges (k = 4, ΔE = 30): net +18.
-        let expected_growth = (cfg.n_snapshots - 1) * (cfg.edges_added_per_step() - cfg.edges_removed_per_step());
+        let expected_growth =
+            (cfg.n_snapshots - 1) * (cfg.edges_added_per_step() - cfg.edges_removed_per_step());
         let actual_growth = last as i64 - first as i64;
         // Additions may occasionally collide with existing edges; allow slack.
         assert!(actual_growth > 0);

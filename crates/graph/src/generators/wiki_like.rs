@@ -106,7 +106,9 @@ pub fn generate<R: Rng>(config: &WikiLikeConfig, rng: &mut R) -> EvolvingGraphSe
     );
     // Attachment weights follow in-degree + 1 so popular pages keep
     // attracting links, as in the real web.
-    let mut popularity: Vec<usize> = (0..config.n_pages).map(|u| first.in_degree(u) + 1).collect();
+    let mut popularity: Vec<usize> = (0..config.n_pages)
+        .map(|u| first.in_degree(u) + 1)
+        .collect();
     let mut current = first.clone();
     let mut egs = EvolvingGraphSequence::from_base(first);
 
@@ -147,7 +149,11 @@ pub fn generate<R: Rng>(config: &WikiLikeConfig, rng: &mut R) -> EvolvingGraphSe
             while burst_added < config.burst_size && guard < 20 * config.burst_size {
                 guard += 1;
                 let other = rng.gen_range(0..config.n_pages);
-                let (u, v) = if outgoing_burst { (page, other) } else { (other, page) };
+                let (u, v) = if outgoing_burst {
+                    (page, other)
+                } else {
+                    (other, page)
+                };
                 if u != v && current.add_edge(u, v) {
                     popularity[v] += 1;
                     delta.added.push((u, v));
@@ -211,7 +217,10 @@ mod tests {
         let cfg = WikiLikeConfig::tiny();
         let a = generate(&cfg, &mut StdRng::seed_from_u64(5));
         let b = generate(&cfg, &mut StdRng::seed_from_u64(5));
-        assert_eq!(a.snapshot(cfg.n_snapshots - 1), b.snapshot(cfg.n_snapshots - 1));
+        assert_eq!(
+            a.snapshot(cfg.n_snapshots - 1),
+            b.snapshot(cfg.n_snapshots - 1)
+        );
     }
 
     #[test]
@@ -219,7 +228,10 @@ mod tests {
         let cfg = WikiLikeConfig::tiny();
         let egs = generate(&cfg, &mut StdRng::seed_from_u64(12));
         let last = egs.snapshot(cfg.n_snapshots - 1);
-        let max_in = (0..last.n_nodes()).map(|u| last.in_degree(u)).max().unwrap();
+        let max_in = (0..last.n_nodes())
+            .map(|u| last.in_degree(u))
+            .max()
+            .unwrap();
         let avg = last.n_edges() as f64 / last.n_nodes() as f64;
         assert!(max_in as f64 > 3.0 * avg);
     }

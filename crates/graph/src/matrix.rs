@@ -200,7 +200,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn symmetric_laplacian_rejects_zero_shift() {
-        measure_matrix(&chain_graph(), MatrixKind::SymmetricLaplacian { shift: 0.0 });
+        measure_matrix(
+            &chain_graph(),
+            MatrixKind::SymmetricLaplacian { shift: 0.0 },
+        );
     }
 
     #[test]

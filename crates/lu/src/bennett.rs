@@ -220,10 +220,7 @@ pub fn rank_one_update<S: LuStorage>(
 
         // Column k of L and the x vector: union of the structural column and
         // the current x support below the pivot.
-        let rows = merge_sorted(
-            &storage.l_col_rows(k),
-            x_support.range(k + 1..).copied(),
-        );
+        let rows = merge_sorted(&storage.l_col_rows(k), x_support.range(k + 1..).copied());
         for i in rows {
             let l_old = storage.read_l(i, k);
             let l_new = (l_old * ukk_old + g * yk * x[i]) / ukk_new;
@@ -242,10 +239,7 @@ pub fn rank_one_update<S: LuStorage>(
 
         // Row k of U and the y vector: union of the structural row and the
         // current y support right of the pivot.
-        let cols = merge_sorted(
-            &storage.u_row_cols(k),
-            y_support.range(k + 1..).copied(),
-        );
+        let cols = merge_sorted(&storage.u_row_cols(k), y_support.range(k + 1..).copied());
         for j in cols {
             let u_old = storage.read_u(k, j);
             let u_new = u_old + g * xk * y[j];
@@ -383,7 +377,9 @@ mod tests {
         let delta: Vec<(usize, usize, f64, f64)> = vec![(3, 0, 0.0, 0.7)];
         let a_new = apply_delta_to_matrix(&a, &delta);
         let union_pattern = a.pattern().union(&a_new.pattern()).unwrap();
-        let structure = LuStructure::from_pattern(&union_pattern).unwrap().into_shared();
+        let structure = LuStructure::from_pattern(&union_pattern)
+            .unwrap()
+            .into_shared();
         let mut factors = LuFactors::factorize(Arc::clone(&structure), &a).unwrap();
         let x = [(3usize, 0.7f64)];
         let y = [(0usize, 1.0f64)];
@@ -413,9 +409,9 @@ mod tests {
         let a = base_matrix();
         let mut dynamic = DynamicLuFactors::factorize(&a).unwrap();
         let delta = vec![
-            (0usize, 2usize, 1.0f64, 0.0f64),  // entry removed
-            (1, 0, -1.5, -2.0),                // entry changed
-            (4, 3, 0.0, 0.9),                  // entry added (new fill path)
+            (0usize, 2usize, 1.0f64, 0.0f64), // entry removed
+            (1, 0, -1.5, -2.0),               // entry changed
+            (4, 3, 0.0, 0.9),                 // entry added (new fill path)
             (2, 4, 0.5, 0.8),
         ];
         let a_new = apply_delta_to_matrix(&a, &delta);
@@ -451,7 +447,9 @@ mod tests {
         let a = diag_dominant(4, &[(1, 0, 1.0)]);
         // Structure tailored to A only: an update creating a genuinely new
         // entry must be reported.
-        let structure = LuStructure::from_pattern(&a.pattern()).unwrap().into_shared();
+        let structure = LuStructure::from_pattern(&a.pattern())
+            .unwrap()
+            .into_shared();
         let mut factors = LuFactors::factorize(structure, &a).unwrap();
         let err = rank_one_update(&mut factors, &[(2, 5.0)], &[(1, 1.0)], 1.0).unwrap_err();
         assert!(matches!(err, LuError::FillOutsideStructure { .. }));

@@ -82,9 +82,12 @@ mod tests {
 
     #[test]
     fn display_messages_mention_key_facts() {
-        assert!(LuError::SingularPivot { index: 3, value: 0.0 }
-            .to_string()
-            .contains("index 3"));
+        assert!(LuError::SingularPivot {
+            index: 3,
+            value: 0.0
+        }
+        .to_string()
+        .contains("index 3"));
         assert!(LuError::EntryOutsideStructure { row: 1, col: 2 }
             .to_string()
             .contains("(1, 2)"));
@@ -95,7 +98,12 @@ mod tests {
         }
         .to_string()
         .contains("outside"));
-        assert!(LuError::NotSquare { n_rows: 2, n_cols: 3 }.to_string().contains("2x3"));
+        assert!(LuError::NotSquare {
+            n_rows: 2,
+            n_cols: 3
+        }
+        .to_string()
+        .contains("2x3"));
         assert!(LuError::DimensionMismatch {
             expected: 5,
             actual: 4
@@ -107,6 +115,9 @@ mod tests {
     #[test]
     fn is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
-        assert_err(&LuError::NotSquare { n_rows: 1, n_cols: 2 });
+        assert_err(&LuError::NotSquare {
+            n_rows: 1,
+            n_cols: 2,
+        });
     }
 }

@@ -24,6 +24,8 @@
 //!   reordered factors.
 
 #![forbid(unsafe_code)]
+// Indexed loops mirror the paper's matrix notation throughout this crate.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod bennett;
@@ -39,7 +41,10 @@ pub use bennett::{apply_delta, rank_one_update, BennettStats, LuStorage};
 pub use dynamic::DynamicLuFactors;
 pub use error::{LuError, LuResult};
 pub use factors::{factorize_fresh, LuFactors};
-pub use ordering::{markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under, OrderingResult};
+pub use ordering::{
+    markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under,
+    OrderingResult,
+};
 pub use solve::{solve_original, TriangularSolve};
 pub use structure::LuStructure;
 pub use symbolic::{fill_in_pattern, symbolic_decomposition, symbolic_size, SymbolicDecomposition};

@@ -133,7 +133,11 @@ pub fn symbolic_size_under(sp: &SparsityPattern, ordering: &Ordering) -> usize {
 pub fn reorder_pattern(sp: &SparsityPattern, ordering: &Ordering) -> SparsityPattern {
     let n = sp.n_rows();
     assert_eq!(ordering.row().len(), n, "ordering length mismatch");
-    assert_eq!(ordering.col().len(), sp.n_cols(), "ordering length mismatch");
+    assert_eq!(
+        ordering.col().len(),
+        sp.n_cols(),
+        "ordering length mismatch"
+    );
     let col_old_to_new = ordering.col().old_to_new();
     let mut rows: Vec<Vec<usize>> = Vec::with_capacity(n);
     for new_i in 0..n {
@@ -174,11 +178,11 @@ mod tests {
         assert_eq!(result.symbolic_size, 3 * n - 2);
         // The hub (node 0) must be deferred to the very end (ties may let a
         // final leaf swap with it, so allow the last two positions).
-        let hub_position = result
-            .ordering
-            .row()
-            .old_to_new()[0];
-        assert!(hub_position >= n - 2, "hub eliminated too early: {hub_position}");
+        let hub_position = result.ordering.row().old_to_new()[0];
+        assert!(
+            hub_position >= n - 2,
+            "hub eliminated too early: {hub_position}"
+        );
     }
 
     #[test]
@@ -228,7 +232,10 @@ mod tests {
         let id = Ordering::identity(4);
         let reordered = reorder_pattern(&sp, &id);
         assert_eq!(reordered, sp);
-        assert_eq!(symbolic_size_under(&sp, &id), natural_order_symbolic_size(&sp));
+        assert_eq!(
+            symbolic_size_under(&sp, &id),
+            natural_order_symbolic_size(&sp)
+        );
     }
 
     #[test]

@@ -35,12 +35,13 @@ pub fn solve_original<F: TriangularSolve>(
     ordering: &Ordering,
     b: &[f64],
 ) -> LuResult<Vec<f64>> {
-    let b_prime = ordering
-        .permute_rhs(b)
-        .map_err(|_| crate::error::LuError::DimensionMismatch {
-            expected: ordering.row().len(),
-            actual: b.len(),
-        })?;
+    let b_prime =
+        ordering
+            .permute_rhs(b)
+            .map_err(|_| crate::error::LuError::DimensionMismatch {
+                expected: ordering.row().len(),
+                actual: b.len(),
+            })?;
     let x_prime = factors.solve_factored(&b_prime)?;
     ordering
         .recover_solution(&x_prime)

@@ -209,12 +209,8 @@ mod tests {
 
     fn sample_structure() -> LuStructure {
         // Pattern with one fill-in: (1,0),(0,2) present => fill at (1,2).
-        let sp = SparsityPattern::from_entries(
-            3,
-            3,
-            vec![(0, 0), (1, 1), (2, 2), (1, 0), (0, 2)],
-        )
-        .unwrap();
+        let sp = SparsityPattern::from_entries(3, 3, vec![(0, 0), (1, 1), (2, 2), (1, 0), (0, 2)])
+            .unwrap();
         LuStructure::from_pattern(&sp).unwrap()
     }
 

@@ -40,10 +40,16 @@ impl SymbolicDecomposition {
 /// # Panics
 /// Panics if the pattern is not square.
 pub fn symbolic_decomposition(sp: &SparsityPattern) -> SymbolicDecomposition {
-    assert_eq!(sp.n_rows(), sp.n_cols(), "symbolic decomposition needs a square pattern");
+    assert_eq!(
+        sp.n_rows(),
+        sp.n_cols(),
+        "symbolic decomposition needs a square pattern"
+    );
     let n = sp.n_rows();
     // Working row/column sets of the progressively filled pattern.
-    let mut rows: Vec<BTreeSet<usize>> = (0..n).map(|i| sp.row(i).iter().copied().collect()).collect();
+    let mut rows: Vec<BTreeSet<usize>> = (0..n)
+        .map(|i| sp.row(i).iter().copied().collect())
+        .collect();
     let mut cols: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     let mut base_nnz = 0usize;
     for (i, row) in rows.iter_mut().enumerate() {
@@ -139,7 +145,11 @@ mod tests {
     fn arrowhead_fills_completely() {
         let n = 5;
         let sd = symbolic_decomposition(&arrowhead(n));
-        assert_eq!(sd.size(), n * n, "bad ordering of an arrowhead fills everything");
+        assert_eq!(
+            sd.size(),
+            n * n,
+            "bad ordering of an arrowhead fills everything"
+        );
         // fill-ins = n^2 - (3n - 2)
         assert_eq!(sd.fill_ins, n * n - (3 * n - 2));
     }
@@ -158,12 +168,8 @@ mod tests {
         // *not* fill because the intermediate node (1) is larger than 0;
         // but eliminating node 0 of a pattern with (1,0) and (0,2) creates
         // (1,2).
-        let sp = SparsityPattern::from_entries(
-            3,
-            3,
-            vec![(0, 0), (1, 1), (2, 2), (1, 0), (0, 2)],
-        )
-        .unwrap();
+        let sp = SparsityPattern::from_entries(3, 3, vec![(0, 0), (1, 1), (2, 2), (1, 0), (0, 2)])
+            .unwrap();
         let fp = fill_in_pattern(&sp);
         assert!(fp.contains(1, 2));
         assert_eq!(fp.nnz(), 1);
@@ -184,12 +190,9 @@ mod tests {
     #[test]
     fn monotonicity_lemma_1() {
         // Lemma 1: sp(Aa) ⊆ sp(Ab) implies s̃p(Aa) ⊆ s̃p(Ab).
-        let small = SparsityPattern::from_entries(
-            5,
-            5,
-            vec![(0, 1), (1, 0), (2, 4), (4, 2), (1, 3)],
-        )
-        .unwrap();
+        let small =
+            SparsityPattern::from_entries(5, 5, vec![(0, 1), (1, 0), (2, 4), (4, 2), (1, 3)])
+                .unwrap();
         let mut big = small.clone();
         big.insert(0, 4);
         big.insert(3, 2);

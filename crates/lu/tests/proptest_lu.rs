@@ -10,24 +10,26 @@ use clude_sparse::{CooMatrix, CsrMatrix};
 use proptest::prelude::*;
 
 fn diag_dominant(n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
-    proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..extra.max(1)).prop_map(move |entries| {
-        let mut coo = CooMatrix::new(n, n);
-        let mut row_sums = vec![0.0; n];
-        let mut offdiag = Vec::new();
-        for (i, j, v) in entries {
-            if i != j {
-                row_sums[i] += v.abs();
-                offdiag.push((i, j, v));
+    proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..extra.max(1)).prop_map(
+        move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            let mut row_sums = vec![0.0; n];
+            let mut offdiag = Vec::new();
+            for (i, j, v) in entries {
+                if i != j {
+                    row_sums[i] += v.abs();
+                    offdiag.push((i, j, v));
+                }
             }
-        }
-        for (i, sum) in row_sums.iter().enumerate() {
-            coo.push(i, i, sum + 1.0).unwrap();
-        }
-        for (i, j, v) in offdiag {
-            coo.push(i, j, v).unwrap();
-        }
-        CsrMatrix::from_coo(&coo)
-    })
+            for (i, sum) in row_sums.iter().enumerate() {
+                coo.push(i, i, sum + 1.0).unwrap();
+            }
+            for (i, j, v) in offdiag {
+                coo.push(i, j, v).unwrap();
+            }
+            CsrMatrix::from_coo(&coo)
+        },
+    )
 }
 
 proptest! {

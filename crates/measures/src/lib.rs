@@ -18,12 +18,15 @@
 //! * [`linear_system`] — right-hand-side builders shared by all of the above.
 
 #![forbid(unsafe_code)]
+// Indexed loops mirror the paper's matrix notation throughout this crate.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod linear_system;
 pub mod measures;
 pub mod monte_carlo;
 pub mod power_iteration;
+pub mod query;
 pub mod series;
 
 pub use linear_system::DEFAULT_DAMPING;
@@ -35,4 +38,5 @@ pub use monte_carlo::{rwr_monte_carlo, MonteCarloResult};
 pub use power_iteration::{
     pagerank_power_iteration, rwr_power_iteration, solve_power_iteration, PowerIterationResult,
 };
+pub use query::{evaluate_query, MeasureQuery};
 pub use series::MeasureSeries;

@@ -29,7 +29,12 @@ pub fn pagerank(decomposed: &DecomposedMatrix, n: usize, damping: f64) -> LuResu
 }
 
 /// Random walk with restart (single-seed personalised PageRank) scores.
-pub fn rwr(decomposed: &DecomposedMatrix, n: usize, seed: usize, damping: f64) -> LuResult<Vec<f64>> {
+pub fn rwr(
+    decomposed: &DecomposedMatrix,
+    n: usize,
+    seed: usize,
+    damping: f64,
+) -> LuResult<Vec<f64>> {
     let b = rwr_rhs(n, seed, damping);
     let raw = decomposed.solve(&b)?;
     Ok(normalize_scores(raw))
@@ -127,9 +132,7 @@ fn two_step_chain(graph: &DiGraph, authority: bool) -> CsrMatrix {
 fn damped_stationary(p: &CsrMatrix, damping: f64) -> LuResult<Vec<f64>> {
     let n = p.n_rows();
     let identity = CsrMatrix::identity(n);
-    let a = identity
-        .add_scaled(1.0, p, -damping)
-        .expect("shapes agree");
+    let a = identity.add_scaled(1.0, p, -damping).expect("shapes agree");
     let factors = factorize_fresh(&a)?;
     let x = factors.solve(&pagerank_rhs(n, damping))?;
     Ok(normalize_scores(x))

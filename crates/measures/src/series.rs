@@ -37,7 +37,11 @@ impl MeasureSeries {
     }
 
     /// Wraps an already-decomposed EMS.
-    pub fn from_solution(ems: EvolvingMatrixSequence, solution: LudemSolution, damping: f64) -> Self {
+    pub fn from_solution(
+        ems: EvolvingMatrixSequence,
+        solution: LudemSolution,
+        damping: f64,
+    ) -> Self {
         MeasureSeries {
             ems,
             solution,

@@ -322,12 +322,8 @@ mod tests {
         let csr = sample_csr();
         let mut adj = AdjacencyMatrix::from_csr(&csr);
         // Target pattern: keep (0,0), (1,1); drop (0,2),(2,0); add (2,2),(1,2).
-        let target = SparsityPattern::from_entries(
-            3,
-            3,
-            vec![(0, 0), (1, 1), (1, 2), (2, 2)],
-        )
-        .unwrap();
+        let target =
+            SparsityPattern::from_entries(3, 3, vec![(0, 0), (1, 1), (1, 2), (2, 2)]).unwrap();
         adj.restructure_to(&target);
         assert_eq!(adj.pattern(), target);
         // Retained values survive, new positions are zero.

@@ -243,7 +243,11 @@ impl CsrMatrix {
     ///
     /// This is the `ΔA` consumed by Bennett's algorithm when moving from one
     /// snapshot matrix to the next.
-    pub fn delta_to(&self, other: &CsrMatrix, tol: f64) -> SparseResult<Vec<(usize, usize, f64, f64)>> {
+    pub fn delta_to(
+        &self,
+        other: &CsrMatrix,
+        tol: f64,
+    ) -> SparseResult<Vec<(usize, usize, f64, f64)>> {
         if self.n_rows != other.n_rows || self.n_cols != other.n_cols {
             return Err(SparseError::ShapeMismatch {
                 left: (self.n_rows, self.n_cols),
@@ -345,7 +349,13 @@ mod tests {
         // [ 0 3 0 ]
         // [ 4 0 5 ]
         let mut coo = CooMatrix::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 2.0), (0, 2, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 2.0),
+            (0, 2, 1.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(i, j, v).unwrap();
         }
         CsrMatrix::from_coo(&coo)
@@ -385,7 +395,10 @@ mod tests {
         let m = sample();
         let x = vec![1.0, 2.0, 3.0];
         let y = m.mul_vec(&x).unwrap();
-        assert_eq!(y, vec![2.0 * 1.0 + 1.0 * 3.0, 3.0 * 2.0, 4.0 * 1.0 + 5.0 * 3.0]);
+        assert_eq!(
+            y,
+            vec![2.0 * 1.0 + 1.0 * 3.0, 3.0 * 2.0, 4.0 * 1.0 + 5.0 * 3.0]
+        );
         assert!(m.mul_vec(&[1.0]).is_err());
     }
 

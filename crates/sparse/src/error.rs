@@ -67,7 +67,10 @@ impl fmt::Display for SparseError {
                 write!(f, "invalid permutation of length {len}: {reason}")
             }
             SparseError::NotSquare { n_rows, n_cols } => {
-                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+                write!(
+                    f,
+                    "operation requires a square matrix, got {n_rows}x{n_cols}"
+                )
             }
             SparseError::DuplicateEntry { row, col } => {
                 write!(f, "duplicate entry at ({row}, {col})")
@@ -117,9 +120,12 @@ mod tests {
 
     #[test]
     fn display_not_square_and_duplicate() {
-        assert!(SparseError::NotSquare { n_rows: 2, n_cols: 3 }
-            .to_string()
-            .contains("square"));
+        assert!(SparseError::NotSquare {
+            n_rows: 2,
+            n_cols: 3
+        }
+        .to_string()
+        .contains("square"));
         assert!(SparseError::DuplicateEntry { row: 1, col: 2 }
             .to_string()
             .contains("duplicate"));
@@ -128,6 +134,9 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_e: &E) {}
-        assert_err(&SparseError::NotSquare { n_rows: 1, n_cols: 2 });
+        assert_err(&SparseError::NotSquare {
+            n_rows: 1,
+            n_cols: 2,
+        });
     }
 }

@@ -19,6 +19,8 @@
 //! Everything is `f64`-valued and indices are `usize`.
 
 #![forbid(unsafe_code)]
+// Indexed loops mirror the paper's matrix notation throughout this crate.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
 pub mod adjacency;

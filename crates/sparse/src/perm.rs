@@ -213,7 +213,10 @@ mod tests {
         assert!(p.is_identity());
         assert_eq!(p.len(), 4);
         assert!(!p.is_empty());
-        assert_eq!(p.apply_vec(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            p.apply_vec(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@ fn main() {
     let egs = wiki_like::generate(&config, &mut rng);
 
     // Decompose once with CLUDE, then sweep the measure over every snapshot.
-    let series = MeasureSeries::build(&egs, 0.85, &Clude::new(0.95)).expect("decomposition succeeds");
+    let series =
+        MeasureSeries::build(&egs, 0.85, &Clude::new(0.95)).expect("decomposition succeeds");
 
     // Pick the page whose PageRank moves the most across the sequence.
     let first = series.pagerank_at(0).unwrap();
@@ -47,10 +48,13 @@ fn main() {
 
     let moments = series.key_moments(page, 0.25).unwrap();
     println!("key moments (>=25% relative change): {moments:?}");
-    println!("(in the paper these correspond to link additions/removals on high-PR pages — Figure 2)");
+    println!(
+        "(in the paper these correspond to link additions/removals on high-PR pages — Figure 2)"
+    );
 
     // Cost comparison: CLUDE vs plain INC for producing the same series.
-    let inc_series = MeasureSeries::build(&egs, 0.85, &Incremental).expect("decomposition succeeds");
+    let inc_series =
+        MeasureSeries::build(&egs, 0.85, &Incremental).expect("decomposition succeeds");
     println!(
         "decomposition time: CLUDE {:.3}s vs INC {:.3}s",
         series.report().timings.total().as_secs_f64(),

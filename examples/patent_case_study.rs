@@ -21,7 +21,8 @@ fn main() {
         patent.company_names.len()
     );
 
-    let series = MeasureSeries::build(&patent.egs, 0.85, &Clude::default()).expect("decomposition succeeds");
+    let series =
+        MeasureSeries::build(&patent.egs, 0.85, &Clude::default()).expect("decomposition succeeds");
 
     // Seed set: the subject company's patents; groups: every other company.
     let last = patent.egs.len() - 1;
@@ -29,9 +30,14 @@ fn main() {
     let companies: Vec<usize> = (0..config.n_companies)
         .filter(|&c| c != config.subject_company)
         .collect();
-    let groups: Vec<Vec<usize>> = companies.iter().map(|&c| patent.patents_of(c, last)).collect();
+    let groups: Vec<Vec<usize>> = companies
+        .iter()
+        .map(|&c| patent.patents_of(c, last))
+        .collect();
 
-    let ranks = series.group_rank_series(&seeds, &groups).expect("solve succeeds");
+    let ranks = series
+        .group_rank_series(&seeds, &groups)
+        .expect("solve succeeds");
 
     println!("\nproximity rank (1 = closest to SUBJECT) per snapshot:");
     print!("year");

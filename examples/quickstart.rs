@@ -3,7 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use clude::{evaluate_orderings, Clude, EvolvingMatrixSequence, LudemSolver, MarkowitzReference, SolverConfig};
+use clude::{
+    evaluate_orderings, Clude, EvolvingMatrixSequence, LudemSolver, MarkowitzReference,
+    SolverConfig,
+};
 use clude_graph::generators::{wiki_like, WikiLikeConfig};
 use clude_graph::MatrixKind;
 use clude_measures::{pagerank, rwr};
@@ -63,9 +66,13 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i)
         .unwrap();
-    println!("top PageRank page at the last snapshot: {top_page} (score {:.4e})", pr[top_page]);
+    println!(
+        "top PageRank page at the last snapshot: {top_page} (score {:.4e})",
+        pr[top_page]
+    );
 
-    let proximity = rwr(&solution.decomposed[last], ems.order(), 0, damping).expect("solve succeeds");
+    let proximity =
+        rwr(&solution.decomposed[last], ems.order(), 0, damping).expect("solve succeeds");
     let closest = proximity
         .iter()
         .enumerate()
@@ -73,5 +80,8 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i)
         .unwrap();
-    println!("node closest to page 0 under RWR: {closest} (score {:.4e})", proximity[closest]);
+    println!(
+        "node closest to page 0 under RWR: {closest} (score {:.4e})",
+        proximity[closest]
+    );
 }

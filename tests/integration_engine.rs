@@ -1,0 +1,195 @@
+//! Cross-crate integration tests of the streaming engine: equivalence with
+//! the batch CLUDE solver, and property tests over random ingest/query
+//! interleavings.
+
+use clude::algorithms::{Clude, LudemSolver, SolverConfig};
+use clude::ems::EvolvingMatrixSequence;
+use clude_engine::{BatchPolicy, CludeEngine, EngineConfig, RefreshPolicy};
+use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
+use clude_graph::{DiGraph, MatrixKind};
+use clude_measures::MeasureQuery;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DAMPING: f64 = 0.85;
+
+/// Streaming the archived deltas of an EGS through the engine must produce,
+/// snapshot for snapshot, the same RWR scores as decomposing the equivalent
+/// matrix sequence with the batch CLUDE solver.
+#[test]
+fn streaming_rwr_matches_batch_clude() {
+    let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut StdRng::seed_from_u64(99));
+    let n = egs.n_nodes();
+
+    // Batch side: decompose the whole sequence at once.
+    let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping: DAMPING });
+    let batch = Clude::new(0.9)
+        .solve(&ems, &SolverConfig::default())
+        .expect("batch CLUDE decomposition succeeds");
+
+    // Streaming side: replay the same deltas; one flush per snapshot keeps
+    // engine snapshot ids aligned with sequence indices.
+    let engine = CludeEngine::new(
+        egs.snapshot(0),
+        EngineConfig {
+            batch: BatchPolicy::by_count(usize::MAX),
+            refresh: RefreshPolicy::QualityTriggered {
+                max_quality_loss: 1.0,
+            },
+            ring_capacity: 4,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("base snapshot factorizes");
+
+    let seeds = [0usize, 7, 42, n - 1];
+    for i in 0..egs.len() {
+        if i > 0 {
+            let delta = egs.delta(i - 1);
+            for &(u, v) in &delta.removed {
+                engine.remove_edge(u, v).expect("removal accepted");
+            }
+            for &(u, v) in &delta.added {
+                engine.insert_edge(u, v).expect("insertion accepted");
+            }
+            assert_eq!(engine.flush().expect("batch applies"), Some(i as u64));
+        }
+        for &seed in &seeds {
+            let streamed = engine
+                .query(&MeasureQuery::Rwr {
+                    seed,
+                    damping: DAMPING,
+                })
+                .expect("engine answers");
+            let batched =
+                clude_measures::rwr(&batch.decomposed[i], n, seed, DAMPING).expect("batch answers");
+            for (a, b) in streamed.iter().zip(batched.iter()) {
+                assert!(
+                    (a - b).abs() <= 1e-9,
+                    "snapshot {i}, seed {seed}: streamed {a} vs batch {b}"
+                );
+            }
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.batches_applied, (egs.len() - 1) as u64);
+}
+
+/// The pending-batch coalescing must not change what the snapshots see:
+/// add/remove churn inside one batch collapses to the net delta.
+#[test]
+fn coalesced_churn_matches_direct_construction() {
+    let base = DiGraph::from_edges(8, (0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>());
+    let engine = CludeEngine::new(
+        base.clone(),
+        EngineConfig {
+            batch: BatchPolicy::by_count(usize::MAX),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    // Churn: add, remove again, re-add, plus one real change.
+    engine.insert_edge(0, 4).unwrap();
+    engine.remove_edge(0, 4).unwrap();
+    engine.insert_edge(2, 6).unwrap();
+    engine.remove_edge(3, 4).unwrap();
+    engine.insert_edge(3, 4).unwrap();
+    engine.flush().unwrap();
+
+    let mut expected_graph = base;
+    expected_graph.add_edge(2, 6);
+    let oracle = CludeEngine::new(expected_graph, EngineConfig::default()).unwrap();
+
+    let q = MeasureQuery::PageRank { damping: DAMPING };
+    let streamed = engine.query(&q).unwrap();
+    let direct = oracle.query(&q).unwrap();
+    for (a, b) in streamed.iter().zip(direct.iter()) {
+        assert!((a - b).abs() <= 1e-9, "{a} vs {b}");
+    }
+}
+
+fn ring_base(n: usize) -> DiGraph {
+    let mut g = DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>());
+    g.add_edge(2, 0);
+    g.add_edge(n / 2, 0);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of inserts, removes, flushes and queries never
+    /// panic, and every answered distribution is sane.
+    #[test]
+    fn random_interleavings_never_panic(
+        ops in proptest::collection::vec((0usize..6, 0usize..12, 0usize..12), 1..60),
+    ) {
+        let n = 12;
+        let engine = CludeEngine::new(
+            ring_base(n),
+            EngineConfig {
+                batch: BatchPolicy::by_count(5),
+                ring_capacity: 3,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for (kind, a, b) in ops {
+            match kind {
+                0 | 1 => {
+                    engine.insert_edge(a, b).unwrap();
+                }
+                2 => {
+                    engine.remove_edge(a, b).unwrap();
+                }
+                3 => {
+                    engine.flush().unwrap();
+                }
+                4 => {
+                    let scores = engine
+                        .query(&MeasureQuery::Rwr { seed: a, damping: DAMPING })
+                        .unwrap();
+                    let sum: f64 = scores.iter().sum();
+                    prop_assert!((sum - 1.0).abs() < 1e-6, "RWR mass {sum}");
+                }
+                _ => {
+                    let ids = engine.retained_snapshot_ids();
+                    let id = ids[a % ids.len()];
+                    let scores = engine
+                        .query_at(id, &MeasureQuery::PageRank { damping: DAMPING })
+                        .unwrap();
+                    prop_assert!(scores.iter().all(|s| s.is_finite()));
+                }
+            }
+        }
+    }
+
+    /// A cache hit returns exactly what the uncached solve produced.
+    #[test]
+    fn cache_hits_equal_uncached_solves(
+        churn in proptest::collection::vec((0usize..12, 0usize..12), 1..12),
+        seed in 0usize..12,
+    ) {
+        let engine = CludeEngine::new(ring_base(12), EngineConfig::default()).unwrap();
+        for &(u, v) in &churn {
+            engine.insert_edge(u, v).unwrap();
+        }
+        engine.flush().unwrap();
+        let q = MeasureQuery::Rwr { seed, damping: DAMPING };
+        let miss = engine.query(&q).unwrap();    // uncached solve
+        let hit = engine.query(&q).unwrap();     // served from cache
+        prop_assert_eq!(&*miss, &*hit);
+        prop_assert!(engine.stats().cache_hits >= 1);
+        // A control engine replaying the same stream solves the same system
+        // from scratch; its uncached answer must be bit-identical to the
+        // first engine's cached one.
+        let control = CludeEngine::new(ring_base(12), EngineConfig::default()).unwrap();
+        for &(u, v) in &churn {
+            control.insert_edge(u, v).unwrap();
+        }
+        control.flush().unwrap();
+        let uncached = control.query(&q).unwrap();
+        prop_assert_eq!(&*uncached, &*hit);
+    }
+}

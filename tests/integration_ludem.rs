@@ -2,8 +2,8 @@
 //! to per-snapshot factors, for every LUDEM algorithm.
 
 use clude::{
-    evaluate_orderings, BruteForce, Clude, ClusterIncremental, EvolvingMatrixSequence,
-    Incremental, LudemSolver, SolverConfig,
+    evaluate_orderings, BruteForce, Clude, ClusterIncremental, EvolvingMatrixSequence, Incremental,
+    LudemSolver, SolverConfig,
 };
 use clude_graph::generators::{wiki_like, WikiLikeConfig};
 use clude_graph::MatrixKind;
@@ -53,11 +53,15 @@ fn quality_ordering_matches_the_paper() {
     let bf_eval = evaluate_orderings(&ems, &bf.report.orderings, &reference);
     assert!(bf_eval.max() < 1e-12);
 
-    let inc = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let inc = Incremental
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
     let cinc = ClusterIncremental::new(0.95)
         .solve(&ems, &SolverConfig::timing_only())
         .unwrap();
-    let clude = Clude::new(0.95).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let clude = Clude::new(0.95)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
 
     let q_inc = evaluate_orderings(&ems, &inc.report.orderings, &reference).average();
     let q_cinc = evaluate_orderings(&ems, &cinc.report.orderings, &reference).average();
@@ -73,8 +77,12 @@ fn factor_sizes_reflect_ordering_quality() {
     // INC's factors (built for A_1's ordering) must eventually be at least as
     // large as CLUDE's universal structures on the same snapshots.
     let ems = wiki_ems(3);
-    let inc = Incremental.solve(&ems, &SolverConfig::timing_only()).unwrap();
-    let clude = Clude::new(0.95).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let inc = Incremental
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    let clude = Clude::new(0.95)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
     let last = ems.len() - 1;
     assert!(
         inc.report.factor_nnz[last] as f64 >= 0.9 * clude.report.factor_nnz[last] as f64,
@@ -90,8 +98,12 @@ fn factor_sizes_reflect_ordering_quality() {
 #[test]
 fn alpha_controls_cluster_granularity() {
     let ems = wiki_ems(4);
-    let coarse = Clude::new(0.90).solve(&ems, &SolverConfig::timing_only()).unwrap();
-    let fine = Clude::new(0.995).solve(&ems, &SolverConfig::timing_only()).unwrap();
+    let coarse = Clude::new(0.90)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
+    let fine = Clude::new(0.995)
+        .solve(&ems, &SolverConfig::timing_only())
+        .unwrap();
     assert!(fine.report.cluster_count() >= coarse.report.cluster_count());
     // Every clustering tiles the sequence exactly.
     assert_eq!(coarse.report.cluster_sizes.iter().sum::<usize>(), ems.len());

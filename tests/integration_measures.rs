@@ -17,7 +17,9 @@ fn lu_backed_pagerank_matches_power_iteration_on_every_snapshot() {
     let egs = wiki_like::generate(&WikiLikeConfig::tiny(), &mut rng);
     let damping = 0.85;
     let ems = EvolvingMatrixSequence::from_egs(&egs, MatrixKind::RandomWalk { damping });
-    let solution = Clude::new(0.95).solve(&ems, &SolverConfig::default()).unwrap();
+    let solution = Clude::new(0.95)
+        .solve(&ems, &SolverConfig::default())
+        .unwrap();
     for (t, graph) in egs.snapshots().enumerate() {
         let exact = pagerank(&solution.decomposed[t], ems.order(), damping).unwrap();
         let approx = pagerank_power_iteration(&graph, damping, 3000, 1e-13).scores;
@@ -43,7 +45,14 @@ fn lu_backed_rwr_matches_both_baselines() {
     let exact = rwr(&solution.decomposed[0], ems.order(), seed, damping).unwrap();
     let pi = rwr_power_iteration(&graph, seed, damping, 3000, 1e-13);
     assert!(vector::max_abs_diff(&exact, &pi.scores) < 1e-7);
-    let mc = rwr_monte_carlo(&graph, seed, damping, 3000, 80, &mut StdRng::seed_from_u64(1));
+    let mc = rwr_monte_carlo(
+        &graph,
+        seed,
+        damping,
+        3000,
+        80,
+        &mut StdRng::seed_from_u64(1),
+    );
     // Monte Carlo is noisy; only require agreement on the top node and a
     // loose numeric bound.
     assert_eq!(
@@ -64,7 +73,10 @@ fn case_study_rising_company_climbs_the_ranking() {
     let companies: Vec<usize> = (0..config.n_companies)
         .filter(|&c| c != config.subject_company)
         .collect();
-    let groups: Vec<Vec<usize>> = companies.iter().map(|&c| patent.patents_of(c, last)).collect();
+    let groups: Vec<Vec<usize>> = companies
+        .iter()
+        .map(|&c| patent.patents_of(c, last))
+        .collect();
     let ranks = series.group_rank_series(&seeds, &groups).unwrap();
     let rising_idx = companies
         .iter()

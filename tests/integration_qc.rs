@@ -31,8 +31,18 @@ fn qc_solvers_respect_their_budget_and_answer_queries() {
         .unwrap();
     for beta in [0.0, 0.1, 0.3] {
         for (name, solution) in [
-            ("CINC-QC", CincQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap()),
-            ("CLUDE-QC", CludeQc::new(beta).solve(&ems, &SolverConfig::default()).unwrap()),
+            (
+                "CINC-QC",
+                CincQc::new(beta)
+                    .solve(&ems, &SolverConfig::default())
+                    .unwrap(),
+            ),
+            (
+                "CLUDE-QC",
+                CludeQc::new(beta)
+                    .solve(&ems, &SolverConfig::default())
+                    .unwrap(),
+            ),
         ] {
             let eval = evaluate_orderings(&ems, &solution.report.orderings, &reference);
             assert!(
@@ -50,7 +60,10 @@ fn qc_solvers_respect_their_budget_and_answer_queries() {
                 .zip(x_ref.iter())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
-            assert!(diff < 1e-7, "{name} at beta={beta}: solution deviates by {diff}");
+            assert!(
+                diff < 1e-7,
+                "{name} at beta={beta}: solution deviates by {diff}"
+            );
         }
     }
 }

@@ -3,6 +3,9 @@
 //! refactorization, symbolic-pattern coverage, USSP coverage, similarity
 //! metric properties and permutation round-trips.
 
+// Indexed loops mirror the paper's matrix notation.
+#![allow(clippy::needless_range_loop)]
+
 use clude_lu::{
     apply_delta, factorize_fresh, markowitz_ordering, symbolic_decomposition, DynamicLuFactors,
     LuFactors, LuStructure,
@@ -14,10 +17,7 @@ use proptest::prelude::*;
 /// `n` with `extra` off-diagonal entries (such matrices factorize without
 /// pivoting, like the paper's `I − dW` matrices).
 fn diag_dominant_matrix(n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
-    let offdiag = proptest::collection::vec(
-        (0..n, 0..n, -1.0f64..1.0),
-        0..extra.max(1),
-    );
+    let offdiag = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..extra.max(1));
     offdiag.prop_map(move |entries| {
         let mut coo = CooMatrix::new(n, n);
         let mut row_sums = vec![0.0; n];
