@@ -4,8 +4,8 @@
 
 use clude_bench::{BenchScale, Datasets};
 use clude_lu::{
-    factorize_fresh, markowitz_ordering, rank_one_update, symbolic_decomposition, LuFactors,
-    LuStructure,
+    factorize_fresh, markowitz_ordering, rank_one_update, rank_one_update_with,
+    symbolic_decomposition, BennettWorkspace, LuFactors, LuStructure,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -51,6 +51,24 @@ fn bench_kernels(c: &mut Criterion) {
             let (cols, vals) = reordered.row(0);
             let (j, v) = (cols[0], vals[0]);
             rank_one_update(&mut f, &[(0, 0.01 * v.abs().max(0.1))], &[(j, 1.0)], 1.0).unwrap()
+        })
+    });
+    group.bench_function("bennett_rank_one_update_reused_workspace", |bench| {
+        // The steady-state streaming path: one workspace across all updates,
+        // so the sweep itself performs no heap allocation.
+        let mut workspace = BennettWorkspace::with_order(factors.n());
+        bench.iter(|| {
+            let mut f = factors.clone();
+            let (cols, vals) = reordered.row(0);
+            let (j, v) = (cols[0], vals[0]);
+            rank_one_update_with(
+                &mut f,
+                &mut workspace,
+                &[(0, 0.01 * v.abs().max(0.1))],
+                &[(j, 1.0)],
+                1.0,
+            )
+            .unwrap()
         })
     });
     group.finish();

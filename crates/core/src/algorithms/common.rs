@@ -17,8 +17,8 @@ use crate::cluster::{cluster_union_pattern, Cluster};
 use crate::ems::EvolvingMatrixSequence;
 use crate::report::{RunReport, TimingBreakdown};
 use clude_lu::{
-    apply_delta, markowitz_ordering, solve_original, DynamicLuFactors, LuError, LuFactors,
-    LuResult, LuStructure,
+    apply_delta_with, markowitz_ordering, solve_original, BennettWorkspace, DynamicLuFactors,
+    LuError, LuFactors, LuResult, LuStructure,
 };
 use clude_sparse::{CsrMatrix, Ordering};
 use std::sync::Arc;
@@ -178,7 +178,9 @@ pub fn decompose_cluster_incremental(
             .then(|| MatrixFactors::Dynamic(factors.clone())),
     });
 
-    // Bennett updates for the remaining members.
+    // Bennett updates for the remaining members, all sharing one workspace
+    // so the steady-state sweep never allocates.
+    let mut workspace = BennettWorkspace::with_order(factors.n());
     let mut prev_reordered = first_reordered;
     for i in cluster.start + 1..cluster.end {
         let t = Instant::now();
@@ -189,7 +191,7 @@ pub fn decompose_cluster_incremental(
         let delta = prev_reordered
             .delta_to(&current_reordered, 0.0)
             .expect("matrices share a shape");
-        let stats = apply_delta(&mut factors, &delta)?;
+        let stats = apply_delta_with(&mut factors, &mut workspace, &delta)?;
         timings.incremental += t.elapsed();
         report.bennett.merge(&stats);
         report.orderings.push(ordering.clone());
@@ -268,7 +270,9 @@ pub fn decompose_cluster_universal(
             .then(|| MatrixFactors::Static(factors.clone())),
     });
 
-    // Bennett updates over the static structure for the remaining members.
+    // Bennett updates over the static structure for the remaining members,
+    // all sharing one workspace so the steady-state sweep never allocates.
+    let mut workspace = BennettWorkspace::with_order(factors.n());
     let mut prev_reordered = first_reordered;
     for i in cluster.start + 1..cluster.end {
         let t = Instant::now();
@@ -279,7 +283,7 @@ pub fn decompose_cluster_universal(
         let delta = prev_reordered
             .delta_to(&current_reordered, 0.0)
             .expect("matrices share a shape");
-        let stats = apply_delta(&mut factors, &delta)?;
+        let stats = apply_delta_with(&mut factors, &mut workspace, &delta)?;
         report.timings.incremental += t.elapsed();
         report.bennett.merge(&stats);
         report.orderings.push(ordering.clone());

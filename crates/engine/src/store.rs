@@ -19,7 +19,10 @@
 use crate::error::EngineResult;
 use clude::{refresh_decision, DecomposedMatrix, MatrixFactors};
 use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind};
-use clude_lu::{apply_delta, markowitz_ordering, BennettStats, DynamicLuFactors, LuResult};
+use clude_lu::{
+    apply_delta_with, markowitz_ordering, BennettStats, BennettWorkspace, DynamicLuFactors,
+    LuResult,
+};
 use clude_measures::{evaluate_query, MeasureQuery};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -108,6 +111,8 @@ pub struct FactorStore {
     row_old_to_new: Vec<usize>,
     col_old_to_new: Vec<usize>,
     factors: DynamicLuFactors,
+    /// Reused Bennett scratch: advances allocate nothing per pivot.
+    workspace: BennettWorkspace,
     /// Factor size right after the last refresh (quality-loss reference).
     reference_nnz: usize,
     snapshot_id: u64,
@@ -124,6 +129,7 @@ impl FactorStore {
             .expect("ordering was computed for this matrix");
         let factors = DynamicLuFactors::factorize(&reordered)?;
         let reference_nnz = factors.nnz();
+        let workspace = BennettWorkspace::with_order(factors.n());
         Ok(FactorStore {
             kind,
             policy,
@@ -132,6 +138,7 @@ impl FactorStore {
             col_old_to_new: ordering.col().old_to_new(),
             ordering,
             factors,
+            workspace,
             reference_nnz,
             snapshot_id: 0,
         })
@@ -215,7 +222,8 @@ impl FactorStore {
         let matrix_delta = self.matrix_delta(&old_info);
 
         let mut refreshed = false;
-        let bennett = match apply_delta(&mut self.factors, &matrix_delta) {
+        let bennett = match apply_delta_with(&mut self.factors, &mut self.workspace, &matrix_delta)
+        {
             Ok(stats) => stats,
             Err(_) => {
                 // Numeric fallback: rebuild under a fresh ordering.

@@ -19,14 +19,22 @@
 //! the dynamic adjacency lists (INC/CINC), which differ precisely in how they
 //! absorb fill-ins that are not yet represented.
 //!
+//! The sweep itself is allocation-free in the steady state: storage back-ends
+//! expose their structural columns/rows as *borrowed slices*, and all mutable
+//! scratch (the dense `x`/`y` vectors, their sparse supports, the pending
+//! pivot queue and the merge buffers) lives in a caller-owned
+//! [`BennettWorkspace`] that is reused from one update to the next.  Dense
+//! scratch is epoch-stamped, so preparing the workspace for a new update
+//! costs O(support), not O(n).
+//!
 //! A sparse update `ΔA` of arbitrary shape is applied as a sequence of
 //! rank-one updates, one per column of `ΔA` (`x` = changed column values,
-//! `y = e_j`, `g = 1`), as [`apply_delta`] does.
+//! `y = e_j`, `g = 1`), as [`apply_delta_with`] does.
 
 use crate::dynamic::DynamicLuFactors;
 use crate::error::{LuError, LuResult};
 use crate::factors::{LuFactors, SINGULAR_TOL};
-use std::collections::BTreeSet;
+use std::mem;
 
 /// Magnitude below which a would-be fill-in outside a static structure is
 /// treated as numerical noise and dropped rather than reported as an error.
@@ -53,6 +61,9 @@ impl BennettStats {
 }
 
 /// Storage back-ends Bennett's sweep can run against.
+///
+/// Structural traversals hand out *borrowed* sorted slices into the storage's
+/// own index arrays; implementations must not allocate to answer them.
 pub trait LuStorage {
     /// Matrix order.
     fn order(&self) -> usize;
@@ -64,10 +75,10 @@ pub trait LuStorage {
     fn write_l(&mut self, i: usize, j: usize, value: f64) -> LuResult<()>;
     /// Writes `U(i, j)` for `j ≥ i`.
     fn write_u(&mut self, i: usize, j: usize, value: f64) -> LuResult<()>;
-    /// Structural rows `i > j` of column `j` of `L`.
-    fn l_col_rows(&self, j: usize) -> Vec<usize>;
-    /// Structural columns `j > i` of row `i` of `U`.
-    fn u_row_cols(&self, i: usize) -> Vec<usize>;
+    /// Structural rows `i > j` of column `j` of `L`, ascending.
+    fn l_col_rows(&self, j: usize) -> &[usize];
+    /// Structural columns `j > i` of row `i` of `U`, ascending.
+    fn u_row_cols(&self, i: usize) -> &[usize];
 }
 
 impl LuStorage for LuFactors {
@@ -102,16 +113,12 @@ impl LuStorage for LuFactors {
         self.write_l(i, j, value)
     }
 
-    fn l_col_rows(&self, j: usize) -> Vec<usize> {
-        self.structure().lower_col(j).0.to_vec()
+    fn l_col_rows(&self, j: usize) -> &[usize] {
+        self.structure().lower_col(j).0
     }
 
-    fn u_row_cols(&self, i: usize) -> Vec<usize> {
-        self.structure()
-            .upper_row_slots(i)
-            .skip(1)
-            .map(|slot| self.structure().col_of_slot(slot))
-            .collect()
+    fn u_row_cols(&self, i: usize) -> &[usize] {
+        self.structure().upper_row_cols(i)
     }
 }
 
@@ -142,21 +149,255 @@ impl LuStorage for DynamicLuFactors {
         Ok(())
     }
 
-    fn l_col_rows(&self, j: usize) -> Vec<usize> {
+    fn l_col_rows(&self, j: usize) -> &[usize] {
         self.lower_col_rows(j)
     }
 
-    fn u_row_cols(&self, i: usize) -> Vec<usize> {
+    fn u_row_cols(&self, i: usize) -> &[usize] {
         self.upper_row_cols(i)
     }
 }
 
-/// Applies the rank-one update `A ← A + g·x·yᵀ` to factors held in `storage`.
+/// Reusable scratch for Bennett sweeps.
+///
+/// One workspace serves any number of sequential [`rank_one_update_with`] /
+/// [`apply_delta_with`] calls against matrices of any order: the dense
+/// `x`/`y` vectors grow monotonically to the largest order seen and are
+/// invalidated between updates by bumping an epoch stamp instead of zeroing,
+/// the sparse support lists and pivot queue are plain sorted vectors whose
+/// capacity is retained across calls, and the merge buffers absorb what used
+/// to be a fresh `Vec` per pivot.  In the steady state a sweep performs no
+/// heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct BennettWorkspace {
+    /// Current update's epoch; `x`/`y` entries are valid only when their
+    /// stamp matches.  Starts at 0 (matching no stamp) and is bumped by
+    /// [`BennettWorkspace::seed`].
+    epoch: u64,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    x_stamp: Vec<u64>,
+    y_stamp: Vec<u64>,
+    /// Sorted indices with `x[i] != 0` (the live support; cancelled entries
+    /// are evicted so later merges stay tight).
+    x_support: Vec<usize>,
+    /// Sorted indices with `y[j] != 0`.
+    y_support: Vec<usize>,
+    /// Sorted pivot queue; `pending[..pending_pos]` is already processed.
+    pending: Vec<usize>,
+    pending_pos: usize,
+    /// Merge scratch for "column k of L ∪ x-support below k".
+    rows_buf: Vec<usize>,
+    /// Merge scratch for "row k of U ∪ y-support right of k".
+    cols_buf: Vec<usize>,
+    /// `(col, row, change)` scratch for grouping a ΔA by column.
+    delta_buf: Vec<(usize, usize, f64)>,
+    /// Per-column `x` entry list scratch for [`apply_delta_with`].
+    x_buf: Vec<(usize, f64)>,
+}
+
+impl BennettWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BennettWorkspace::default()
+    }
+
+    /// Creates a workspace with dense scratch pre-sized for order `n`.
+    pub fn with_order(n: usize) -> Self {
+        let mut ws = BennettWorkspace::new();
+        ws.grow(n);
+        ws
+    }
+
+    /// The order the dense scratch currently covers.
+    pub fn capacity(&self) -> usize {
+        self.x.len()
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.x.len() < n {
+            self.x.resize(n, 0.0);
+            self.y.resize(n, 0.0);
+            self.x_stamp.resize(n, 0);
+            self.y_stamp.resize(n, 0);
+        }
+    }
+
+    /// Readies the workspace for one rank-one update of order `n` and scatters
+    /// the sparse `x`/`y` entry lists into the dense scratch.
+    fn seed(&mut self, n: usize, x_entries: &[(usize, f64)], y_entries: &[(usize, f64)]) {
+        self.grow(n);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u64 wrap-around: stale stamps could collide, so clear them once.
+            self.x_stamp.fill(0);
+            self.y_stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.x_support.clear();
+        self.y_support.clear();
+        // Hard bounds checks: the dense scratch may be larger than this
+        // update's order (workspaces are shared across matrices), so an
+        // out-of-range index would otherwise be absorbed silently and
+        // surface later as a misleading singular-pivot error.
+        for &(i, v) in x_entries {
+            assert!(i < n, "x index {i} out of range for order {n}");
+            self.x_accum(i, v);
+        }
+        for &(j, v) in y_entries {
+            assert!(j < n, "y index {j} out of range for order {n}");
+            self.y_accum(j, v);
+        }
+        // The pivots that may do work are exactly the union of both supports.
+        self.pending.clear();
+        self.pending_pos = 0;
+        merge_union_into(&mut self.pending, &self.x_support, &self.y_support);
+    }
+
+    #[inline]
+    fn x_get(&self, i: usize) -> f64 {
+        if self.x_stamp[i] == self.epoch {
+            self.x[i]
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn y_get(&self, j: usize) -> f64 {
+        if self.y_stamp[j] == self.epoch {
+            self.y[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds `v` to `x[i]` during seeding, maintaining the support list (an
+    /// entry cancelled back to exactly zero is evicted).
+    fn x_accum(&mut self, i: usize, v: f64) {
+        let old = self.x_get(i);
+        let new = old + v;
+        self.x[i] = new;
+        self.x_stamp[i] = self.epoch;
+        Self::support_transition(&mut self.x_support, i, old, new);
+    }
+
+    fn y_accum(&mut self, j: usize, v: f64) {
+        let old = self.y_get(j);
+        let new = old + v;
+        self.y[j] = new;
+        self.y_stamp[j] = self.epoch;
+        Self::support_transition(&mut self.y_support, j, old, new);
+    }
+
+    /// Applies `x[i] -= d` during the sweep: indices entering the support are
+    /// also queued as pending pivots, indices cancelled to exactly zero are
+    /// evicted so later structural merges and `entries_touched` counts do not
+    /// keep paying for them.
+    fn x_sub(&mut self, i: usize, d: f64) {
+        let old = self.x_get(i);
+        let new = old - d;
+        self.x[i] = new;
+        self.x_stamp[i] = self.epoch;
+        if Self::support_transition(&mut self.x_support, i, old, new) {
+            self.pending_push(i);
+        }
+    }
+
+    fn y_sub(&mut self, j: usize, d: f64) {
+        let old = self.y_get(j);
+        let new = old - d;
+        self.y[j] = new;
+        self.y_stamp[j] = self.epoch;
+        if Self::support_transition(&mut self.y_support, j, old, new) {
+            self.pending_push(j);
+        }
+    }
+
+    /// Updates a sorted support list for a value transition `old → new`;
+    /// returns `true` when the index newly *entered* the support.
+    fn support_transition(support: &mut Vec<usize>, idx: usize, old: f64, new: f64) -> bool {
+        if new != 0.0 && old == 0.0 {
+            if let Err(pos) = support.binary_search(&idx) {
+                support.insert(pos, idx);
+            }
+            true
+        } else if new == 0.0 && old != 0.0 {
+            if let Ok(pos) = support.binary_search(&idx) {
+                support.remove(pos);
+            }
+            false
+        } else {
+            false
+        }
+    }
+
+    /// The live `x` support strictly greater than `k`.
+    #[inline]
+    fn x_support_after(&self, k: usize) -> &[usize] {
+        let s = &self.x_support;
+        &s[s.partition_point(|&i| i <= k)..]
+    }
+
+    /// The live `y` support strictly greater than `k`.
+    #[inline]
+    fn y_support_after(&self, k: usize) -> &[usize] {
+        let s = &self.y_support;
+        &s[s.partition_point(|&j| j <= k)..]
+    }
+
+    /// Pops the smallest unprocessed pending pivot.
+    #[inline]
+    fn pending_pop(&mut self) -> Option<usize> {
+        let k = *self.pending.get(self.pending_pos)?;
+        self.pending_pos += 1;
+        Some(k)
+    }
+
+    /// Queues pivot `i`.  All sweep insertions satisfy `i >` the last popped
+    /// pivot, so searching the unprocessed tail suffices and the processed
+    /// prefix is never disturbed.
+    fn pending_push(&mut self, i: usize) {
+        debug_assert!(self.pending_pos == 0 || i > self.pending[self.pending_pos - 1]);
+        if let Err(pos) = self.pending[self.pending_pos..].binary_search(&i) {
+            self.pending.insert(self.pending_pos + pos, i);
+        }
+    }
+}
+
+/// Merges two sorted, deduplicated slices into `out` (cleared first), keeping
+/// order and dropping duplicates.
+fn merge_union_into(out: &mut Vec<usize>, a: &[usize], b: &[usize]) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        let (av, bv) = (a[ia], b[ib]);
+        if av < bv {
+            out.push(av);
+            ia += 1;
+        } else if bv < av {
+            out.push(bv);
+            ib += 1;
+        } else {
+            out.push(av);
+            ia += 1;
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+}
+
+/// Applies the rank-one update `A ← A + g·x·yᵀ` to factors held in `storage`,
+/// using `ws` for every piece of mutable scratch.
 ///
 /// `x` and `y` are given as sparse entry lists; indices refer to the
-/// (reordered) numbering of the factors.
-pub fn rank_one_update<S: LuStorage>(
+/// (reordered) numbering of the factors.  Reusing one workspace across a
+/// stream of updates makes the steady-state sweep allocation-free.
+pub fn rank_one_update_with<S: LuStorage>(
     storage: &mut S,
+    ws: &mut BennettWorkspace,
     x_entries: &[(usize, f64)],
     y_entries: &[(usize, f64)],
     g: f64,
@@ -169,35 +410,13 @@ pub fn rank_one_update<S: LuStorage>(
     if g == 0.0 || x_entries.is_empty() || y_entries.is_empty() {
         return Ok(stats);
     }
-    let mut x = vec![0.0; n];
-    let mut y = vec![0.0; n];
-    // Supports of x and y (indices that may hold non-zeros), kept sorted so
-    // the per-pivot work stays proportional to the touched entries only.
-    let mut x_support: BTreeSet<usize> = BTreeSet::new();
-    let mut y_support: BTreeSet<usize> = BTreeSet::new();
-    let mut pending: BTreeSet<usize> = BTreeSet::new();
-    for &(i, v) in x_entries {
-        debug_assert!(i < n, "x index out of range");
-        x[i] += v;
-        if x[i] != 0.0 {
-            x_support.insert(i);
-            pending.insert(i);
-        }
-    }
-    for &(j, v) in y_entries {
-        debug_assert!(j < n, "y index out of range");
-        y[j] += v;
-        if y[j] != 0.0 {
-            y_support.insert(j);
-            pending.insert(j);
-        }
-    }
+    ws.seed(n, x_entries, y_entries);
     let mut g = g;
 
-    while let Some(k) = pending.pop_first() {
+    while let Some(k) = ws.pending_pop() {
         stats.pivots_processed += 1;
-        let xk = x[k];
-        let yk = y[k];
+        let xk = ws.x_get(k);
+        let yk = ws.y_get(k);
         if xk == 0.0 && yk == 0.0 {
             continue;
         }
@@ -219,109 +438,128 @@ pub fn rank_one_update<S: LuStorage>(
         stats.entries_touched += 1;
 
         // Column k of L and the x vector: union of the structural column and
-        // the current x support below the pivot.
-        let rows = merge_sorted(&storage.l_col_rows(k), x_support.range(k + 1..).copied());
-        for i in rows {
+        // the current x support below the pivot.  The merged index list is
+        // materialised into the reused buffer so the storage borrow ends
+        // before the read/write loop.
+        let mut rows = mem::take(&mut ws.rows_buf);
+        merge_union_into(&mut rows, storage.l_col_rows(k), ws.x_support_after(k));
+        for &i in &rows {
             let l_old = storage.read_l(i, k);
-            let l_new = (l_old * ukk_old + g * yk * x[i]) / ukk_new;
+            let l_new = (l_old * ukk_old + g * yk * ws.x_get(i)) / ukk_new;
             if l_new != l_old {
-                storage.write_l(i, k, l_new)?;
+                if let Err(err) = storage.write_l(i, k, l_new) {
+                    ws.rows_buf = rows;
+                    return Err(err);
+                }
             }
             stats.entries_touched += 1;
             if xk != 0.0 && l_old != 0.0 {
-                x[i] -= xk * l_old;
-                if x[i] != 0.0 {
-                    x_support.insert(i);
-                    pending.insert(i);
-                }
+                ws.x_sub(i, xk * l_old);
             }
         }
+        ws.rows_buf = rows;
 
         // Row k of U and the y vector: union of the structural row and the
         // current y support right of the pivot.
-        let cols = merge_sorted(&storage.u_row_cols(k), y_support.range(k + 1..).copied());
-        for j in cols {
+        let mut cols = mem::take(&mut ws.cols_buf);
+        merge_union_into(&mut cols, storage.u_row_cols(k), ws.y_support_after(k));
+        for &j in &cols {
             let u_old = storage.read_u(k, j);
-            let u_new = u_old + g * xk * y[j];
+            let u_new = u_old + g * xk * ws.y_get(j);
             if u_new != u_old {
-                storage.write_u(k, j, u_new)?;
+                if let Err(err) = storage.write_u(k, j, u_new) {
+                    ws.cols_buf = cols;
+                    return Err(err);
+                }
             }
             stats.entries_touched += 1;
             if yk != 0.0 && u_old != 0.0 {
-                y[j] -= yk * u_old / ukk_old;
-                if y[j] != 0.0 {
-                    y_support.insert(j);
-                    pending.insert(j);
-                }
+                ws.y_sub(j, yk * u_old / ukk_old);
             }
         }
+        ws.cols_buf = cols;
 
         g *= ukk_old / ukk_new;
     }
     Ok(stats)
 }
 
-/// Merges a sorted slice with a sorted iterator into a sorted, deduplicated
-/// vector.
-fn merge_sorted(a: &[usize], b: impl Iterator<Item = usize>) -> Vec<usize> {
-    let mut out = Vec::with_capacity(a.len());
-    let mut b = b.peekable();
-    let mut ia = 0;
-    loop {
-        match (a.get(ia), b.peek()) {
-            (Some(&av), Some(&bv)) => {
-                if av < bv {
-                    out.push(av);
-                    ia += 1;
-                } else if bv < av {
-                    out.push(bv);
-                    b.next();
-                } else {
-                    out.push(av);
-                    ia += 1;
-                    b.next();
-                }
-            }
-            (Some(&av), None) => {
-                out.push(av);
-                ia += 1;
-            }
-            (None, Some(&bv)) => {
-                out.push(bv);
-                b.next();
-            }
-            (None, None) => break,
-        }
-    }
-    out
+/// Applies the rank-one update `A ← A + g·x·yᵀ` with a throwaway workspace.
+///
+/// Convenience wrapper over [`rank_one_update_with`] for one-off updates;
+/// streaming callers should hold a [`BennettWorkspace`] and use the `_with`
+/// form so the sweep stays allocation-free.
+pub fn rank_one_update<S: LuStorage>(
+    storage: &mut S,
+    x_entries: &[(usize, f64)],
+    y_entries: &[(usize, f64)],
+    g: f64,
+) -> LuResult<BennettStats> {
+    let mut ws = BennettWorkspace::new();
+    rank_one_update_with(storage, &mut ws, x_entries, y_entries, g)
 }
 
 /// Applies a sparse matrix update `ΔA` (given as `(row, col, old, new)`
 /// tuples, as produced by [`clude_sparse::CsrMatrix::delta_to`]) to factors
-/// held in `storage` by a sequence of column rank-one updates.
-pub fn apply_delta<S: LuStorage>(
+/// held in `storage` by a sequence of column rank-one updates, all sharing
+/// the caller's workspace.
+pub fn apply_delta_with<S: LuStorage>(
     storage: &mut S,
+    ws: &mut BennettWorkspace,
     delta: &[(usize, usize, f64, f64)],
 ) -> LuResult<BennettStats> {
     let mut stats = BennettStats::default();
     if delta.is_empty() {
         return Ok(stats);
     }
-    // Group the changed entries by column.
-    let mut by_col: std::collections::BTreeMap<usize, Vec<(usize, f64)>> =
-        std::collections::BTreeMap::new();
+    // Group the changed entries by column in the reused scratch.
+    let mut groups = mem::take(&mut ws.delta_buf);
+    groups.clear();
     for &(i, j, old, new) in delta {
         let change = new - old;
         if change != 0.0 {
-            by_col.entry(j).or_default().push((i, change));
+            groups.push((j, i, change));
         }
     }
-    for (col, x_entries) in by_col {
-        let y_entries = [(col, 1.0)];
-        let s = rank_one_update(storage, &x_entries, &y_entries, 1.0)?;
-        stats.merge(&s);
+    // Stable sort: entries repeating a coordinate (legal, if unusual, input)
+    // keep their relative order, so accumulation order — and hence the exact
+    // floating-point result — matches applying the list as given.
+    groups.sort_by_key(|&(col, row, _)| (col, row));
+    let mut x_buf = mem::take(&mut ws.x_buf);
+    let mut result = Ok(());
+    let mut start = 0;
+    while start < groups.len() {
+        let col = groups[start].0;
+        x_buf.clear();
+        let mut end = start;
+        while end < groups.len() && groups[end].0 == col {
+            x_buf.push((groups[end].1, groups[end].2));
+            end += 1;
+        }
+        match rank_one_update_with(storage, ws, &x_buf, &[(col, 1.0)], 1.0) {
+            Ok(s) => stats.merge(&s),
+            Err(err) => {
+                result = Err(err);
+                break;
+            }
+        }
+        start = end;
     }
-    Ok(stats)
+    ws.delta_buf = groups;
+    ws.x_buf = x_buf;
+    result.map(|()| stats)
+}
+
+/// Applies a sparse matrix update `ΔA` with a throwaway workspace.
+///
+/// Convenience wrapper over [`apply_delta_with`]; streaming callers should
+/// reuse a [`BennettWorkspace`] instead.
+pub fn apply_delta<S: LuStorage>(
+    storage: &mut S,
+    delta: &[(usize, usize, f64, f64)],
+) -> LuResult<BennettStats> {
+    let mut ws = BennettWorkspace::new();
+    apply_delta_with(storage, &mut ws, delta)
 }
 
 #[cfg(test)]
@@ -429,6 +667,79 @@ mod tests {
     }
 
     #[test]
+    fn reused_workspace_matches_throwaway_workspace() {
+        let a = base_matrix();
+        let mut with_reuse = DynamicLuFactors::factorize(&a).unwrap();
+        let mut with_fresh = with_reuse.clone();
+        let mut ws = BennettWorkspace::new();
+        let steps: Vec<Vec<(usize, usize, f64, f64)>> = vec![
+            vec![(0, 4, 0.0, 0.4), (1, 0, -1.5, -1.0)],
+            vec![(4, 0, 1.0, 0.0), (3, 1, 0.0, 0.6)],
+            vec![(2, 1, 2.0, 2.5), (0, 2, 1.0, 1.2), (4, 2, 0.0, -0.3)],
+        ];
+        for delta in &steps {
+            let s1 = apply_delta_with(&mut with_reuse, &mut ws, delta).unwrap();
+            let s2 = apply_delta(&mut with_fresh, delta).unwrap();
+            assert_eq!(s1, s2);
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(
+                        with_reuse.l(i, j).to_bits(),
+                        with_fresh.l(i, j).to_bits(),
+                        "L({i},{j}) diverged"
+                    );
+                    assert_eq!(
+                        with_reuse.u(i, j).to_bits(),
+                        with_fresh.u(i, j).to_bits(),
+                        "U({i},{j}) diverged"
+                    );
+                }
+            }
+        }
+        // The dense scratch grew once to the matrix order and stayed there.
+        assert_eq!(ws.capacity(), 5);
+    }
+
+    #[test]
+    fn workspace_serves_mixed_orders() {
+        // A workspace used for a large matrix keeps serving smaller ones (and
+        // vice versa) — stale dense entries must never leak across epochs.
+        let mut ws = BennettWorkspace::new();
+        let small = diag_dominant(3, &[(1, 0, 0.5)]);
+        let large = diag_dominant(8, &[(5, 1, 1.0), (2, 6, -0.5)]);
+        let mut f_large = DynamicLuFactors::factorize(&large).unwrap();
+        let delta_large = vec![(5usize, 1usize, 1.0f64, 2.0f64), (7, 0, 0.0, 0.3)];
+        apply_delta_with(&mut f_large, &mut ws, &delta_large).unwrap();
+        let mut f_small = DynamicLuFactors::factorize(&small).unwrap();
+        let delta_small = vec![(1usize, 0usize, 0.5f64, -0.5f64), (2, 1, 0.0, 0.25)];
+        apply_delta_with(&mut f_small, &mut ws, &delta_small).unwrap();
+        let small_new = apply_delta_to_matrix(&small, &delta_small);
+        let large_new = apply_delta_to_matrix(&large, &delta_large);
+        assert!(f_small.reconstruct().max_abs_diff(&small_new).unwrap() < 1e-10);
+        assert!(f_large.reconstruct().max_abs_diff(&large_new).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn cancellation_evicts_support_entries() {
+        // Construct an update whose x entries cancel exactly during seeding:
+        // the support (and so the pivot queue) must not retain the index.
+        let a = base_matrix();
+        let mut factors = DynamicLuFactors::factorize(&a).unwrap();
+        let before: Vec<f64> = (0..5).map(|i| factors.u(i, i)).collect();
+        let stats = rank_one_update(
+            &mut factors,
+            &[(3, 0.7), (3, -0.7)], // cancels to zero
+            &[(0, 1.0)],
+            1.0,
+        )
+        .unwrap();
+        // Pivot 0 still runs (y side), but no x work propagates.
+        assert!(stats.pivots_processed >= 1);
+        let after: Vec<f64> = (0..5).map(|i| factors.u(i, i)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
     fn dynamic_update_inserts_fill_nodes() {
         let a = diag_dominant(4, &[(1, 0, 1.0)]);
         let mut dynamic = DynamicLuFactors::factorize(&a).unwrap();
@@ -456,6 +767,32 @@ mod tests {
     }
 
     #[test]
+    fn workspace_survives_failed_updates() {
+        // A rejected update must leave the workspace reusable for the next.
+        let a = diag_dominant(4, &[(1, 0, 1.0)]);
+        let structure = LuStructure::from_pattern(&a.pattern())
+            .unwrap()
+            .into_shared();
+        let mut factors = LuFactors::factorize(Arc::clone(&structure), &a).unwrap();
+        let mut ws = BennettWorkspace::new();
+        let err = rank_one_update_with(&mut factors, &mut ws, &[(2, 5.0)], &[(1, 1.0)], 1.0);
+        assert!(err.is_err());
+        // An in-structure update through the same workspace still works.
+        let mut ok_factors = LuFactors::factorize(structure, &a).unwrap();
+        let stats =
+            rank_one_update_with(&mut ok_factors, &mut ws, &[(1, 0.5)], &[(0, 1.0)], 1.0).unwrap();
+        assert!(stats.pivots_processed >= 1);
+        let a_new = apply_delta_to_matrix(&a, &[(1, 0, 1.0, 1.5)]);
+        let fresh = factorize_fresh(&a_new).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((ok_factors.l(i, j) - fresh.l(i, j)).abs() < 1e-10);
+                assert!((ok_factors.u(i, j) - fresh.u(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
     fn zero_and_empty_updates_are_noops() {
         let a = base_matrix();
         let mut factors = factorize_fresh(&a).unwrap();
@@ -476,6 +813,7 @@ mod tests {
         // every step.
         let mut current = base_matrix();
         let mut dynamic = DynamicLuFactors::factorize(&current).unwrap();
+        let mut ws = BennettWorkspace::new();
         let steps: Vec<Vec<(usize, usize, f64, f64)>> = vec![
             vec![(0, 4, 0.0, 0.4), (1, 0, -1.5, -1.0)],
             vec![(4, 0, 1.0, 0.0), (3, 1, 0.0, 0.6)],
@@ -483,7 +821,7 @@ mod tests {
         ];
         for delta in steps {
             let next = apply_delta_to_matrix(&current, &delta);
-            apply_delta(&mut dynamic, &delta).unwrap();
+            apply_delta_with(&mut dynamic, &mut ws, &delta).unwrap();
             assert!(dynamic.reconstruct().max_abs_diff(&next).unwrap() < 1e-9);
             current = next;
         }
@@ -514,5 +852,16 @@ mod tests {
         let mut factors = factorize_fresh(&a).unwrap();
         let err = rank_one_update(&mut factors, &[(0, -8.0)], &[(0, 1.0)], 1.0).unwrap_err();
         assert!(matches!(err, LuError::SingularPivot { index: 0, .. }));
+    }
+
+    #[test]
+    fn merge_union_handles_overlap_and_tails() {
+        let mut out = Vec::new();
+        merge_union_into(&mut out, &[1, 3, 5], &[2, 3, 7, 9]);
+        assert_eq!(out, vec![1, 2, 3, 5, 7, 9]);
+        merge_union_into(&mut out, &[], &[4]);
+        assert_eq!(out, vec![4]);
+        merge_union_into(&mut out, &[0], &[]);
+        assert_eq!(out, vec![0]);
     }
 }

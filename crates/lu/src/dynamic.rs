@@ -94,32 +94,22 @@ impl DynamicLuFactors {
     }
 
     pub(crate) fn write(&mut self, i: usize, j: usize, v: f64) {
-        // Writing an exact zero to an absent position is a no-op: the
-        // dynamic lists only grow when a genuine fill-in appears.
-        if v == 0.0 && !self.values.contains(i, j) {
-            return;
-        }
-        self.values.set(i, j, v);
+        // A single-search upsert; writing an exact zero to an absent position
+        // is a no-op so the dynamic lists only grow when a genuine fill-in
+        // appears.
+        self.values.set_or_drop_zero(i, j, v);
     }
 
-    /// Rows `i > j` with a structural entry in column `j` of `L`.
-    pub(crate) fn lower_col_rows(&self, j: usize) -> Vec<usize> {
-        self.values
-            .col_rows(j)
-            .iter()
-            .copied()
-            .filter(|&i| i > j)
-            .collect()
+    /// Rows `i > j` with a structural entry in column `j` of `L`, as a
+    /// borrowed sorted slice into the column index.
+    pub(crate) fn lower_col_rows(&self, j: usize) -> &[usize] {
+        self.values.col_rows_after(j, j)
     }
 
-    /// Columns `j > i` with a structural entry in row `i` of `U`.
-    pub(crate) fn upper_row_cols(&self, i: usize) -> Vec<usize> {
-        self.values
-            .row(i)
-            .iter()
-            .map(|&(c, _)| c)
-            .filter(|&c| c > i)
-            .collect()
+    /// Columns `j > i` with a structural entry in row `i` of `U`, as a
+    /// borrowed sorted slice into the row layout.
+    pub(crate) fn upper_row_cols(&self, i: usize) -> &[usize] {
+        self.values.row_cols_after(i, i)
     }
 
     /// Solves `L U x = b`.
@@ -133,7 +123,8 @@ impl DynamicLuFactors {
         let mut x = b.to_vec();
         for i in 0..self.n {
             let mut acc = x[i];
-            for &(j, v) in self.values.row(i) {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
                 if j < i {
                     acc -= v * x[j];
                 } else {
@@ -145,7 +136,8 @@ impl DynamicLuFactors {
         for i in (0..self.n).rev() {
             let mut acc = x[i];
             let mut diag = 0.0;
-            for &(j, v) in self.values.row(i) {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
                 if j > i {
                     acc -= v * x[j];
                 } else if j == i {
@@ -167,7 +159,8 @@ impl DynamicLuFactors {
     pub fn l_matrix(&self) -> CsrMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.nnz());
         for i in 0..self.n {
-            for &(j, v) in self.values.row(i) {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
                 if j < i && v != 0.0 {
                     coo.push(i, j, v).expect("in bounds");
                 }
@@ -181,7 +174,8 @@ impl DynamicLuFactors {
     pub fn u_matrix(&self) -> CsrMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.nnz());
         for i in 0..self.n {
-            for &(j, v) in self.values.row(i) {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
                 if j == i || (j > i && v != 0.0) {
                     coo.push(i, j, v).expect("in bounds");
                 }

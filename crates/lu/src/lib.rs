@@ -37,7 +37,10 @@ pub mod solve;
 pub mod structure;
 pub mod symbolic;
 
-pub use bennett::{apply_delta, rank_one_update, BennettStats, LuStorage};
+pub use bennett::{
+    apply_delta, apply_delta_with, rank_one_update, rank_one_update_with, BennettStats,
+    BennettWorkspace, LuStorage,
+};
 pub use dynamic::DynamicLuFactors;
 pub use error::{LuError, LuResult};
 pub use factors::{factorize_fresh, LuFactors};

@@ -180,6 +180,13 @@ impl LuStructure {
         self.row_ptr[i]..self.diag_slot[i]
     }
 
+    /// The strictly-upper columns of row `i` (its `U` entries past the
+    /// diagonal), ascending — a borrowed slice into the row-major layout, so
+    /// Bennett's sweep can walk "row `i` of `U`" without materialising it.
+    pub fn upper_row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.diag_slot[i] + 1..self.row_ptr[i + 1]]
+    }
+
     /// The strictly-lower entries of column `j`: parallel slices of row
     /// indices (`i > j`, ascending) and their row-major slots.
     pub fn lower_col(&self, j: usize) -> (&[usize], &[usize]) {

@@ -3,11 +3,31 @@
 //! of the two storage back-ends.
 
 use clude_lu::{
-    apply_delta, factorize_fresh, markowitz_ordering, solve_original, symbolic_decomposition,
-    DynamicLuFactors, LuFactors, LuStructure,
+    apply_delta, apply_delta_with, factorize_fresh, markowitz_ordering, solve_original,
+    symbolic_decomposition, BennettWorkspace, DynamicLuFactors, LuFactors, LuStructure,
 };
 use clude_sparse::{CooMatrix, CsrMatrix};
 use proptest::prelude::*;
+
+/// Applies a `(row, col, old, new)` delta list to a matrix.
+fn updated_matrix(a: &CsrMatrix, delta: &[(usize, usize, f64, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(a.n_rows(), a.n_cols());
+    for (i, j, v) in a.iter() {
+        coo.push(i, j, v).unwrap();
+    }
+    for &(i, j, old, new) in delta {
+        coo.push(i, j, new - old).unwrap();
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// A random sequence of off-diagonal delta lists against the running matrix.
+fn delta_sequence() -> impl Strategy<Value = Vec<Vec<(usize, usize, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..9, 0usize..9, -0.2f64..0.2), 1..4),
+        1..4,
+    )
+}
 
 fn diag_dominant(n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
     proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..extra.max(1)).prop_map(
@@ -103,6 +123,90 @@ proptest! {
         let x2 = fixed.solve(&b).unwrap();
         for (u, v) in x1.iter().zip(x2.iter()) {
             prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn reused_workspace_sweep_is_bit_identical(
+        a in diag_dominant(9, 22),
+        steps in delta_sequence(),
+    ) {
+        // One workspace threaded through a whole delta sequence must produce
+        // exactly the factors (to the bit) a throwaway workspace per delta
+        // produces — reuse is purely an allocation optimisation.
+        let mut reused = DynamicLuFactors::factorize(&a).unwrap();
+        let mut fresh = reused.clone();
+        let mut ws = BennettWorkspace::new();
+        let mut current = a.clone();
+        for changes in steps {
+            let delta: Vec<(usize, usize, f64, f64)> = changes
+                .into_iter()
+                .filter(|&(i, j, _)| i != j)
+                .map(|(i, j, v)| (i, j, current.get(i, j), current.get(i, j) + v))
+                .collect();
+            if delta.is_empty() {
+                continue;
+            }
+            let r1 = apply_delta_with(&mut reused, &mut ws, &delta);
+            let r2 = apply_delta(&mut fresh, &delta);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok(), "reuse changed the outcome");
+            if r1.is_err() {
+                break;
+            }
+            prop_assert_eq!(r1.unwrap(), r2.unwrap());
+            for i in 0..9 {
+                for j in 0..9 {
+                    prop_assert_eq!(
+                        reused.l(i, j).to_bits(),
+                        fresh.l(i, j).to_bits(),
+                        "L({},{}) diverged", i, j
+                    );
+                    prop_assert_eq!(
+                        reused.u(i, j).to_bits(),
+                        fresh.u(i, j).to_bits(),
+                        "U({},{}) diverged", i, j
+                    );
+                }
+            }
+            current = updated_matrix(&current, &delta);
+        }
+    }
+
+    #[test]
+    fn dynamic_storage_tracks_fresh_factorization_through_sequences(
+        a in diag_dominant(9, 22),
+        steps in delta_sequence(),
+    ) {
+        // After any delta sequence, the incrementally maintained dynamic
+        // factors must solve like a from-scratch factorization of the final
+        // matrix.
+        let mut dynamic = DynamicLuFactors::factorize(&a).unwrap();
+        let mut ws = BennettWorkspace::with_order(9);
+        let mut current = a.clone();
+        for changes in steps {
+            let delta: Vec<(usize, usize, f64, f64)> = changes
+                .into_iter()
+                .filter(|&(i, j, _)| i != j)
+                .map(|(i, j, v)| (i, j, current.get(i, j), current.get(i, j) + v))
+                .collect();
+            if delta.is_empty() {
+                continue;
+            }
+            if apply_delta_with(&mut dynamic, &mut ws, &delta).is_err() {
+                // A singular intermediate pivot: nothing to compare.
+                return Ok(());
+            }
+            current = updated_matrix(&current, &delta);
+        }
+        let oracle = match factorize_fresh(&current) {
+            Ok(f) => f,
+            Err(_) => return Ok(()),
+        };
+        let b: Vec<f64> = (0..9).map(|i| 0.5 + i as f64 * 0.3).collect();
+        let x1 = dynamic.solve(&b).unwrap();
+        let x2 = oracle.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            prop_assert!((u - v).abs() < 1e-9, "{} vs {}", u, v);
         }
     }
 
