@@ -8,9 +8,16 @@
 //! such structural maintenance.  [`AdjacencyMatrix`] reproduces this data
 //! structure and counts every structural operation so the reproduction can
 //! report the same cost breakdown.
+//!
+//! The layout is indexed for the Bennett hot path: each row keeps its column
+//! indices and values in two parallel sorted arrays (so a row's structure is
+//! a plain `&[usize]` slice), and each column keeps a sorted array of row
+//! indices with an O(1) fast path for appends at the tail.  Column and row
+//! scans return borrowed subslices — no per-call allocation.
 
 use crate::csr::CsrMatrix;
 use crate::pattern::SparsityPattern;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Counters describing how much structural work a dynamic matrix has done.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,18 +37,49 @@ impl StructuralStats {
     }
 }
 
+/// The traversal cost of one binary search over a sorted list of `len`
+/// entries: the number of elements examined, `⌊log₂ len⌋ + 1` (an empty list
+/// still costs one step — the probe that finds it empty).
+#[inline]
+fn search_steps(len: usize) -> usize {
+    (usize::BITS - len.max(1).leading_zeros()) as usize
+}
+
 /// A mutable sparse matrix stored as row-wise and column-wise adjacency lists.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AdjacencyMatrix {
     n_rows: usize,
     n_cols: usize,
-    /// Per row: sorted list of (column, value).
-    rows: Vec<Vec<(usize, f64)>>,
+    /// Per row: sorted column indices, parallel to `row_vals`.
+    row_cols: Vec<Vec<usize>>,
+    /// Per row: the values at `row_cols`' positions.
+    row_vals: Vec<Vec<f64>>,
     /// Per column: sorted list of row indices (structure only; values live in
-    /// `rows`).  Kept so column scans, as required by Crout's method and by
-    /// Markowitz counts, do not need a full matrix sweep.
+    /// the row arrays).  Kept so column scans, as required by Crout's method
+    /// and by Markowitz counts, do not need a full matrix sweep.
     cols: Vec<Vec<usize>>,
-    stats: StructuralStats,
+    /// Structural inserts/removals only happen through `&mut self`.
+    inserts: usize,
+    removals: usize,
+    /// Probes also accumulate through `&self` lookups (`get`, `peek`,
+    /// `contains`, the slice scans), and snapshots are queried from many
+    /// threads concurrently, so this counter is a relaxed atomic.
+    probes: AtomicUsize,
+}
+
+impl Clone for AdjacencyMatrix {
+    fn clone(&self) -> Self {
+        AdjacencyMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_cols: self.row_cols.clone(),
+            row_vals: self.row_vals.clone(),
+            cols: self.cols.clone(),
+            inserts: self.inserts,
+            removals: self.removals,
+            probes: AtomicUsize::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AdjacencyMatrix {
@@ -50,9 +88,12 @@ impl AdjacencyMatrix {
         AdjacencyMatrix {
             n_rows,
             n_cols,
-            rows: vec![Vec::new(); n_rows],
+            row_cols: vec![Vec::new(); n_rows],
+            row_vals: vec![Vec::new(); n_rows],
             cols: vec![Vec::new(); n_cols],
-            stats: StructuralStats::default(),
+            inserts: 0,
+            removals: 0,
+            probes: AtomicUsize::new(0),
         }
     }
 
@@ -60,7 +101,8 @@ impl AdjacencyMatrix {
     pub fn from_csr(csr: &CsrMatrix) -> Self {
         let mut m = AdjacencyMatrix::zeros(csr.n_rows(), csr.n_cols());
         for (i, j, v) in csr.iter() {
-            m.rows[i].push((j, v));
+            m.row_cols[i].push(j);
+            m.row_vals[i].push(v);
             m.cols[j].push(i);
         }
         // CSR iteration is row-major sorted, so rows are sorted; columns were
@@ -80,93 +122,180 @@ impl AdjacencyMatrix {
 
     /// Number of stored entries.
     pub fn nnz(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.row_cols.iter().map(Vec::len).sum()
     }
 
     /// Structural operation counters accumulated so far.
     pub fn stats(&self) -> StructuralStats {
-        self.stats
+        StructuralStats {
+            inserts: self.inserts,
+            removals: self.removals,
+            probes: self.probes.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the structural counters.
     pub fn reset_stats(&mut self) {
-        self.stats = StructuralStats::default();
+        self.inserts = 0;
+        self.removals = 0;
+        *self.probes.get_mut() = 0;
+    }
+
+    #[inline]
+    fn count_probes(&self, steps: usize) {
+        self.probes.fetch_add(steps, Ordering::Relaxed);
+    }
+
+    /// Binary-searches row `i` for column `j`, accounting the search steps.
+    #[inline]
+    fn probe_row(&self, i: usize, j: usize) -> Result<usize, usize> {
+        let row = &self.row_cols[i];
+        self.count_probes(search_steps(row.len()));
+        row.binary_search(&j)
+    }
+
+    /// Inserts `i` into the sorted row list of column `j`, with an O(1) fast
+    /// path for appends past the current tail (the common case when fill-ins
+    /// arrive in ascending row order).
+    fn col_index_insert(&mut self, i: usize, j: usize) {
+        let steps = match self.cols[j].last() {
+            Some(&last) if last >= i => {
+                let col = &mut self.cols[j];
+                let steps = search_steps(col.len());
+                let pos = col.binary_search(&i).unwrap_err();
+                col.insert(pos, i);
+                steps
+            }
+            _ => {
+                self.cols[j].push(i);
+                1
+            }
+        };
+        self.count_probes(steps);
+    }
+
+    /// Inserts `(i, j) = value` at row position `pos` (from a failed row
+    /// search), maintaining the column index and the insert counter.
+    fn insert_at(&mut self, i: usize, j: usize, pos: usize, value: f64) {
+        self.inserts += 1;
+        self.row_cols[i].insert(pos, j);
+        self.row_vals[i].insert(pos, value);
+        self.col_index_insert(i, j);
     }
 
     /// Reads the value at `(i, j)`; absent positions read as `0.0`.
-    pub fn get(&mut self, i: usize, j: usize) -> f64 {
-        let row = &self.rows[i];
-        match row.binary_search_by_key(&j, |&(c, _)| c) {
-            Ok(pos) => {
-                self.stats.probes += 1;
-                row[pos].1
-            }
-            Err(_) => {
-                self.stats.probes += 1;
-                0.0
-            }
-        }
+    ///
+    /// Like every lookup, this accounts its search steps in the probe
+    /// counter (the paper's structural-cost model bills all list
+    /// traversals); [`AdjacencyMatrix::peek`] is an alias.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.peek(i, j)
     }
 
-    /// Reads the value at `(i, j)` without touching the probe counters.
+    /// Alias of [`AdjacencyMatrix::get`], kept for callers of the historical
+    /// non-counting read; probe accounting now covers reads too.
     pub fn peek(&self, i: usize, j: usize) -> f64 {
-        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
-            Ok(pos) => self.rows[i][pos].1,
+        match self.probe_row(i, j) {
+            Ok(pos) => self.row_vals[i][pos],
             Err(_) => 0.0,
         }
     }
 
     /// Returns `true` when `(i, j)` is structurally present.
     pub fn contains(&self, i: usize, j: usize) -> bool {
-        self.rows[i].binary_search_by_key(&j, |&(c, _)| c).is_ok()
+        self.probe_row(i, j).is_ok()
     }
 
     /// Sets `(i, j)` to `value`, inserting a node if the position is absent.
     /// Returns `true` when a structural insert happened.
     pub fn set(&mut self, i: usize, j: usize, value: f64) -> bool {
         assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
-        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
+        match self.probe_row(i, j) {
             Ok(pos) => {
-                self.stats.probes += 1;
-                self.rows[i][pos].1 = value;
+                self.row_vals[i][pos] = value;
                 false
             }
             Err(pos) => {
-                self.stats.probes += 1;
-                self.stats.inserts += 1;
-                self.rows[i].insert(pos, (j, value));
-                let cpos = self.cols[j].binary_search(&i).unwrap_err();
-                self.cols[j].insert(cpos, i);
+                self.insert_at(i, j, pos, value);
                 true
             }
         }
     }
 
-    /// Adds `delta` to `(i, j)`, inserting the position when absent.
+    /// Sets `(i, j)` to `value` with a single search, but skips the
+    /// structural insert when the position is absent and `value` is exactly
+    /// zero.  This is the Bennett write path for dynamic factors: the lists
+    /// only grow when a genuine fill-in appears.  Returns `true` when a
+    /// structural insert happened.
+    pub fn set_or_drop_zero(&mut self, i: usize, j: usize, value: f64) -> bool {
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        match self.probe_row(i, j) {
+            Ok(pos) => {
+                self.row_vals[i][pos] = value;
+                false
+            }
+            Err(_) if value == 0.0 => false,
+            Err(pos) => {
+                self.insert_at(i, j, pos, value);
+                true
+            }
+        }
+    }
+
+    /// Adds `delta` to `(i, j)` with a single search, inserting the position
+    /// when absent.
     pub fn add_to(&mut self, i: usize, j: usize, delta: f64) {
-        let current = self.peek(i, j);
-        self.set(i, j, current + delta);
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        match self.probe_row(i, j) {
+            Ok(pos) => {
+                self.row_vals[i][pos] += delta;
+            }
+            Err(pos) => {
+                self.insert_at(i, j, pos, delta);
+            }
+        }
     }
 
     /// Structurally removes `(i, j)`; returns `true` when something was
     /// removed.
     pub fn remove(&mut self, i: usize, j: usize) -> bool {
-        match self.rows[i].binary_search_by_key(&j, |&(c, _)| c) {
+        match self.probe_row(i, j) {
             Ok(pos) => {
-                self.rows[i].remove(pos);
+                self.row_cols[i].remove(pos);
+                self.row_vals[i].remove(pos);
+                let steps = search_steps(self.cols[j].len());
+                self.count_probes(steps);
                 if let Ok(cpos) = self.cols[j].binary_search(&i) {
                     self.cols[j].remove(cpos);
                 }
-                self.stats.removals += 1;
+                self.removals += 1;
                 true
             }
             Err(_) => false,
         }
     }
 
-    /// Sorted `(column, value)` entries of row `i`.
-    pub fn row(&self, i: usize) -> &[(usize, f64)] {
-        &self.rows[i]
+    /// Sorted `(columns, values)` parallel slices of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        (&self.row_cols[i], &self.row_vals[i])
+    }
+
+    /// Sorted column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.row_cols[i]
+    }
+
+    /// Values of row `i`, parallel to [`AdjacencyMatrix::row_cols`].
+    pub fn row_vals(&self, i: usize) -> &[f64] {
+        &self.row_vals[i]
+    }
+
+    /// The columns of row `i` strictly greater than `j`, as a borrowed sorted
+    /// slice (one accounted binary search, no allocation).
+    pub fn row_cols_after(&self, i: usize, j: usize) -> &[usize] {
+        let row = &self.row_cols[i];
+        self.count_probes(search_steps(row.len()));
+        &row[row.partition_point(|&c| c <= j)..]
     }
 
     /// Sorted row indices with a structural entry in column `j`.
@@ -174,13 +303,17 @@ impl AdjacencyMatrix {
         &self.cols[j]
     }
 
+    /// The rows of column `j` strictly greater than `i`, as a borrowed sorted
+    /// slice (one accounted binary search, no allocation).
+    pub fn col_rows_after(&self, j: usize, i: usize) -> &[usize] {
+        let col = &self.cols[j];
+        self.count_probes(search_steps(col.len()));
+        &col[col.partition_point(|&r| r <= i)..]
+    }
+
     /// The current sparsity pattern.
     pub fn pattern(&self) -> SparsityPattern {
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|&(c, _)| c).collect())
-            .collect();
+        let rows = self.row_cols.to_vec();
         SparsityPattern::from_sorted_rows(self.n_cols, rows)
     }
 
@@ -190,11 +323,9 @@ impl AdjacencyMatrix {
         let mut col_idx = Vec::with_capacity(self.nnz());
         let mut values = Vec::with_capacity(self.nnz());
         row_ptr.push(0);
-        for row in &self.rows {
-            for &(c, v) in row {
-                col_idx.push(c);
-                values.push(v);
-            }
+        for i in 0..self.n_rows {
+            col_idx.extend_from_slice(&self.row_cols[i]);
+            values.extend_from_slice(&self.row_vals[i]);
             row_ptr.push(col_idx.len());
         }
         CsrMatrix::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
@@ -208,38 +339,50 @@ impl AdjacencyMatrix {
     pub fn restructure_to(&mut self, pattern: &SparsityPattern) {
         assert_eq!(pattern.n_rows(), self.n_rows);
         assert_eq!(pattern.n_cols(), self.n_cols);
-        let mut new_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(self.n_rows);
+        let mut stats = self.stats();
+        let mut new_row_cols: Vec<Vec<usize>> = Vec::with_capacity(self.n_rows);
+        let mut new_row_vals: Vec<Vec<f64>> = Vec::with_capacity(self.n_rows);
         let mut new_cols: Vec<Vec<usize>> = vec![Vec::new(); self.n_cols];
         for i in 0..self.n_rows {
-            let old = &self.rows[i];
+            let old_cols = &self.row_cols[i];
+            let old_vals = &self.row_vals[i];
             let target = pattern.row(i);
-            let mut merged = Vec::with_capacity(target.len());
+            let mut merged_cols = Vec::with_capacity(target.len());
+            let mut merged_vals = Vec::with_capacity(target.len());
             let mut oi = 0;
             for &j in target {
                 // Advance through old entries, counting removals for entries
                 // that are not retained.
-                while oi < old.len() && old[oi].0 < j {
-                    self.stats.removals += 1;
+                while oi < old_cols.len() && old_cols[oi] < j {
+                    stats.removals += 1;
+                    stats.probes += 1;
                     oi += 1;
                 }
-                self.stats.probes += 1;
-                if oi < old.len() && old[oi].0 == j {
-                    merged.push((j, old[oi].1));
+                stats.probes += 1;
+                merged_cols.push(j);
+                if oi < old_cols.len() && old_cols[oi] == j {
+                    merged_vals.push(old_vals[oi]);
                     oi += 1;
                 } else {
-                    self.stats.inserts += 1;
-                    merged.push((j, 0.0));
+                    stats.inserts += 1;
+                    merged_vals.push(0.0);
                 }
                 new_cols[j].push(i);
             }
-            while oi < old.len() {
-                self.stats.removals += 1;
+            while oi < old_cols.len() {
+                stats.removals += 1;
+                stats.probes += 1;
                 oi += 1;
             }
-            new_rows.push(merged);
+            new_row_cols.push(merged_cols);
+            new_row_vals.push(merged_vals);
         }
-        self.rows = new_rows;
+        self.row_cols = new_row_cols;
+        self.row_vals = new_row_vals;
         self.cols = new_cols;
+        self.inserts = stats.inserts;
+        self.removals = stats.removals;
+        *self.probes.get_mut() = stats.probes;
     }
 }
 
@@ -259,7 +402,7 @@ mod tests {
     #[test]
     fn from_csr_preserves_entries() {
         let csr = sample_csr();
-        let mut adj = AdjacencyMatrix::from_csr(&csr);
+        let adj = AdjacencyMatrix::from_csr(&csr);
         assert_eq!(adj.nnz(), 4);
         assert_eq!(adj.get(0, 2), 2.0);
         assert_eq!(adj.get(1, 0), 0.0);
@@ -294,6 +437,43 @@ mod tests {
     }
 
     #[test]
+    fn add_to_uses_one_search_per_call() {
+        let mut adj = AdjacencyMatrix::zeros(4, 4);
+        adj.set(1, 2, 1.0);
+        let before = adj.stats().probes;
+        adj.add_to(1, 2, 1.0);
+        // Row 1 has one entry: a single binary search costs one step.
+        assert_eq!(adj.stats().probes - before, search_steps(1));
+    }
+
+    #[test]
+    fn set_or_drop_zero_skips_absent_zero_writes() {
+        let mut adj = AdjacencyMatrix::zeros(3, 3);
+        assert!(!adj.set_or_drop_zero(0, 1, 0.0));
+        assert_eq!(adj.stats().inserts, 0);
+        assert!(adj.set_or_drop_zero(0, 1, 2.0));
+        // Present positions accept exact zeros (cancellation keeps the slot).
+        assert!(!adj.set_or_drop_zero(0, 1, 0.0));
+        assert!(adj.contains(0, 1));
+        assert_eq!(adj.stats().inserts, 1);
+    }
+
+    #[test]
+    fn readonly_lookups_count_search_steps() {
+        let adj = AdjacencyMatrix::from_csr(&sample_csr());
+        let before = adj.stats().probes;
+        // Row 0 has 2 entries: a search costs floor(log2(2)) + 1 = 2 steps.
+        adj.peek(0, 2);
+        assert_eq!(adj.stats().probes - before, 2);
+        adj.contains(0, 1);
+        assert_eq!(adj.stats().probes - before, 4);
+        // An empty row still costs one step.
+        let empty = AdjacencyMatrix::zeros(2, 2);
+        empty.get(0, 0);
+        assert_eq!(empty.stats().probes, 1);
+    }
+
+    #[test]
     fn remove_deletes_structure() {
         let mut adj = AdjacencyMatrix::from_csr(&sample_csr());
         assert!(adj.remove(0, 2));
@@ -308,6 +488,24 @@ mod tests {
         let adj = AdjacencyMatrix::from_csr(&sample_csr());
         assert_eq!(adj.col_rows(0), &[0, 2]);
         assert_eq!(adj.col_rows(1), &[1]);
+    }
+
+    #[test]
+    fn out_of_order_column_inserts_stay_sorted() {
+        let mut adj = AdjacencyMatrix::zeros(5, 5);
+        adj.set(4, 1, 1.0);
+        adj.set(0, 1, 2.0);
+        adj.set(2, 1, 3.0);
+        assert_eq!(adj.col_rows(1), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn slice_scans_return_strict_suffixes() {
+        let adj = AdjacencyMatrix::from_csr(&sample_csr());
+        assert_eq!(adj.col_rows_after(0, 0), &[2]);
+        assert_eq!(adj.col_rows_after(0, 2), &[] as &[usize]);
+        assert_eq!(adj.row_cols_after(0, 0), &[2]);
+        assert_eq!(adj.row_cols_after(0, 2), &[] as &[usize]);
     }
 
     #[test]
