@@ -3,11 +3,18 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --bin engine_throughput [n_pages] [n_query_threads]
+//! cargo run --release --bin engine_throughput -- [n_pages] [n_query_threads] \
+//!     [--shards N] [--smoke]
 //! ```
 //!
-//! The stream replays at least 10 000 edge operations; query threads fire
-//! RWR / PageRank / PPR queries against the live engine the whole time.
+//! `--shards N` maintains the factors in the partitioned store (`N` factor
+//! shards over an edge-locality partition; `1` keeps the monolithic store)
+//! and reports a per-shard ingest breakdown alongside the aggregate
+//! deltas/sec and the query latency quantiles.  `--smoke` shrinks the replay
+//! for CI so both code paths build and execute on every push.
+//!
+//! The full stream replays at least 10 000 edge operations; query threads
+//! fire RWR / PageRank / PPR queries against the live engine the whole time.
 
 use clude_engine::{BatchPolicy, CludeEngine, EngineConfig, RefreshPolicy};
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
@@ -52,39 +59,86 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 }
 
 fn main() {
+    let mut n_pages: Option<usize> = None;
+    let mut n_query_threads: Option<usize> = None;
+    let mut n_shards: usize = 1;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
-    let n_pages: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                n_shards = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--shards needs a positive integer");
+                assert!(n_shards >= 1, "--shards needs a positive integer");
+            }
+            "--smoke" => smoke = true,
+            other => {
+                let value: usize = other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unrecognised argument {other:?}"));
+                if n_pages.is_none() {
+                    n_pages = Some(value);
+                } else if n_query_threads.is_none() {
+                    n_query_threads = Some(value);
+                } else {
+                    panic!("unexpected extra positional argument {other:?}");
+                }
+            }
+        }
+    }
+    let n_pages = n_pages.unwrap_or(if smoke { 150 } else { 400 });
     // Default to cores − 1 query threads (min 1) so the ingest thread is not
     // starved on small machines; pass an explicit count to override.
-    let n_query_threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get().saturating_sub(1).max(1))
-            .unwrap_or(1)
+    let n_query_threads: usize = n_query_threads.unwrap_or_else(|| {
+        if smoke {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get().saturating_sub(1).max(1))
+                .unwrap_or(1)
+        }
     });
 
-    // Scale the sequence so the replay comfortably clears MIN_DELTAS.
-    let config = WikiLikeConfig {
-        n_pages,
-        initial_links: n_pages * 3,
-        final_links: n_pages * 3 + 9_200,
-        n_snapshots: 120,
-        removals_per_snapshot: 8,
-        burst_probability: 0.08,
-        burst_size: 25,
+    // Scale the sequence so the replay comfortably clears the delta floor
+    // (full runs only; smoke keeps CI fast).
+    let config = if smoke {
+        WikiLikeConfig {
+            n_pages,
+            initial_links: n_pages * 3,
+            final_links: n_pages * 3 + 1_500,
+            n_snapshots: 30,
+            removals_per_snapshot: 4,
+            burst_probability: 0.08,
+            burst_size: 10,
+        }
+    } else {
+        WikiLikeConfig {
+            n_pages,
+            initial_links: n_pages * 3,
+            final_links: n_pages * 3 + 9_200,
+            n_snapshots: 120,
+            removals_per_snapshot: 8,
+            burst_probability: 0.08,
+            burst_size: 25,
+        }
     };
     let egs = wiki_like::generate(&config, &mut StdRng::seed_from_u64(7));
     let ops = op_stream(&egs);
     assert!(
-        ops.len() >= MIN_DELTAS,
+        smoke || ops.len() >= MIN_DELTAS,
         "replay too small: {} ops (need >= {MIN_DELTAS})",
         ops.len()
     );
     println!(
-        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads",
+        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads, {} factor shard(s){}",
         egs.n_nodes(),
         egs.len(),
         ops.len(),
-        n_query_threads
+        n_query_threads,
+        n_shards,
+        if smoke { " [smoke]" } else { "" }
     );
 
     let engine = Arc::new(
@@ -101,6 +155,7 @@ fn main() {
                 ring_capacity: 8,
                 cache_shards: 16,
                 cache_capacity_per_shard: 256,
+                n_shards,
                 ..EngineConfig::default()
             },
         )
@@ -179,6 +234,15 @@ fn main() {
         stats.refreshes,
         engine.current_snapshot_id()
     );
+    if stats.per_shard.len() > 1 {
+        println!("\n--- per-shard ingest breakdown ---");
+        for s in &stats.per_shard {
+            println!(
+                "shard {:>3} | entries {:>8}  sweeps {:>8}  cross-edges {:>8}  refreshes {:>4}",
+                s.shard, s.deltas_applied, s.sweeps_run, s.cross_shard_edges, s.refreshes
+            );
+        }
+    }
     println!("\n--- queries (concurrent with ingest) ---");
     println!(
         "answered {} queries -> {:.0} queries/sec, cache hit-rate {:.1}%",

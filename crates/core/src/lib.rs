@@ -43,6 +43,7 @@
 pub mod algorithms;
 pub mod cluster;
 pub mod ems;
+pub mod partition;
 pub mod qc;
 pub mod quality;
 pub mod report;
@@ -57,6 +58,7 @@ pub use algorithms::{
 };
 pub use cluster::{alpha_clustering, Cluster, Clustering};
 pub use ems::EvolvingMatrixSequence;
+pub use partition::edge_locality_partition;
 pub use qc::{beta_clustering_cinc, beta_clustering_clude, CincQc, CludeQc};
 pub use quality::{
     evaluate_orderings, quality_loss_from_sizes, quality_loss_with_reference, refresh_decision,

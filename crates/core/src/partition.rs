@@ -1,0 +1,145 @@
+//! Graph-aware construction of node partitions.
+//!
+//! CLUDE's clustering (Algorithm 1) groups *consecutive snapshots* so one
+//! ordering serves many matrices; the streaming engine's sharding applies the
+//! same locality idea to the *node universe* of a single live snapshot:
+//! updates to an evolving graph are spatially local, so grouping
+//! well-connected nodes into one shard confines most Bennett work to that
+//! shard's factors and keeps the cross-shard coupling small.
+//!
+//! [`edge_locality_partition`] is the greedy analogue of the α-clustering
+//! sweep: it grows balanced regions breadth-first over the (undirected view
+//! of the) graph, pulling in the neighbours of already-assigned nodes before
+//! opening a new region, so each shard ends up a connected patch wherever the
+//! graph allows it.
+
+use clude_graph::{DiGraph, NodePartition};
+use std::collections::VecDeque;
+
+/// Partitions `graph`'s node universe into `k` balanced shards by greedy
+/// breadth-first region growing.
+///
+/// Regions are grown one at a time up to their balanced target size
+/// (`⌈n/k⌉` for the first `n mod k` shards, `⌊n/k⌋` after), always expanding
+/// from the frontier of the current region across *either* edge direction;
+/// when a region's frontier empties before the target is reached (its
+/// component is exhausted), growth restarts from the smallest unassigned node
+/// id.  The construction is deterministic.
+///
+/// # Panics
+/// Panics when `k` is zero or exceeds the number of nodes of a non-empty
+/// graph.
+pub fn edge_locality_partition(graph: &DiGraph, k: usize) -> NodePartition {
+    let n = graph.n_nodes();
+    assert!(k >= 1, "need at least one shard");
+    assert!(k <= n || n == 0, "cannot split {n} nodes into {k} shards");
+    if n == 0 || k == 1 {
+        return NodePartition::singleton(n);
+    }
+    let base = n / k;
+    let extra = n % k;
+    let mut shard_of = vec![usize::MAX; n];
+    let mut next_unassigned = 0usize;
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for s in 0..k {
+        let target = base + usize::from(s < extra);
+        let mut size = 0usize;
+        queue.clear();
+        while size < target {
+            let u = match queue.pop_front() {
+                Some(u) if shard_of[u] == usize::MAX => u,
+                Some(_) => continue, // claimed meanwhile (duplicate frontier entry)
+                None => {
+                    // Frontier exhausted: restart from the smallest free id.
+                    while shard_of[next_unassigned] != usize::MAX {
+                        next_unassigned += 1;
+                    }
+                    next_unassigned
+                }
+            };
+            shard_of[u] = s;
+            size += 1;
+            // Expand across both directions so undirected locality is kept
+            // even on directed snapshots.
+            for v in graph.successors(u).chain(graph.predecessors(u)) {
+                if shard_of[v] == usize::MAX {
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    NodePartition::from_assignments(shard_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> DiGraph {
+        // Nodes 0..4 densely linked, nodes 4..8 densely linked, one bridge.
+        let mut g = DiGraph::new(8);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        for u in 4..8 {
+            for v in 4..8 {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g.add_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn clusters_stay_together() {
+        let g = two_cliques();
+        let p = edge_locality_partition(&g, 2);
+        assert_eq!(p.n_shards(), 2);
+        assert_eq!(p.shard_sizes(), vec![4, 4]);
+        // Each clique lands in one shard.
+        for u in 1..4 {
+            assert!(p.is_intra(0, u));
+        }
+        for u in 5..8 {
+            assert!(p.is_intra(4, u));
+        }
+        assert!(!p.is_intra(0, 4));
+    }
+
+    #[test]
+    fn balanced_sizes_on_odd_split() {
+        let g = DiGraph::from_edges(10, (0..10).map(|i| (i, (i + 1) % 10)).collect::<Vec<_>>());
+        let p = edge_locality_partition(&g, 3);
+        let mut sizes = p.shard_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_still_assigned() {
+        let g = DiGraph::new(5); // no edges at all
+        let p = edge_locality_partition(&g, 2);
+        assert_eq!(p.n_nodes(), 5);
+        assert_eq!(p.n_shards(), 2);
+        let covered: usize = p.shard_sizes().iter().sum();
+        assert_eq!(covered, 5);
+    }
+
+    #[test]
+    fn single_shard_is_the_singleton_partition() {
+        let g = two_cliques();
+        assert_eq!(edge_locality_partition(&g, 1), NodePartition::singleton(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_shards_panic() {
+        edge_locality_partition(&DiGraph::new(2), 5);
+    }
+}

@@ -15,9 +15,11 @@
 use crate::error::{EngineError, EngineResult};
 use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 use crate::query::QueryService;
+use crate::sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 use crate::stats::{EngineCounters, EngineStats};
 use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
-use clude_graph::{DiGraph, GraphDelta, MatrixKind};
+use clude::partition::edge_locality_partition;
+use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, RwLock};
@@ -39,6 +41,12 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// LRU capacity per cache shard.
     pub cache_capacity_per_shard: usize,
+    /// Number of factor-store shards.  `1` keeps the monolithic
+    /// [`FactorStore`]; `>1` partitions the node universe by
+    /// [`edge_locality_partition`] and maintains a [`ShardedFactorStore`]
+    /// whose disjoint-shard delta batches apply in parallel.  Clamped to
+    /// the number of nodes of the base graph.
+    pub n_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -50,18 +58,77 @@ impl Default for EngineConfig {
             ring_capacity: 8,
             cache_shards: 8,
             cache_capacity_per_shard: 128,
+            n_shards: 1,
+        }
+    }
+}
+
+/// The factor store behind the ingest path: monolithic or partitioned
+/// (boxed: the stores are large and live once per engine).
+enum StoreBackend {
+    Monolithic(Box<FactorStore>),
+    Sharded(Box<ShardedFactorStore>),
+}
+
+impl StoreBackend {
+    fn graph(&self) -> &DiGraph {
+        match self {
+            StoreBackend::Monolithic(s) => s.graph(),
+            StoreBackend::Sharded(s) => s.graph(),
+        }
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        match self {
+            StoreBackend::Monolithic(s) => s.snapshot(),
+            StoreBackend::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    fn n_shards(&self) -> usize {
+        match self {
+            StoreBackend::Monolithic(_) => 1,
+            StoreBackend::Sharded(s) => s.n_shards(),
+        }
+    }
+
+    /// Advances the store, normalising both backends' reports to the
+    /// per-shard shape (the monolithic store is one big shard).
+    fn advance(&mut self, delta: &GraphDelta) -> EngineResult<ShardedAdvanceReport> {
+        match self {
+            StoreBackend::Monolithic(s) => {
+                let r = s.advance(delta)?;
+                Ok(ShardedAdvanceReport {
+                    snapshot_id: r.snapshot_id,
+                    bennett: r.bennett,
+                    per_shard: vec![ShardAdvance {
+                        shard: 0,
+                        entries_applied: r.entries_applied as u64,
+                        sweeps: r.bennett.rank_one_updates as u64,
+                        cross_edges_seen: 0,
+                        refreshed: r.refreshed,
+                        quality_loss: r.quality_loss,
+                    }],
+                    refreshed: r.refreshed,
+                    quality_loss: r.quality_loss,
+                    coupling_writes: 0,
+                })
+            }
+            StoreBackend::Sharded(s) => s.advance(delta),
         }
     }
 }
 
 struct IngestState {
     ingestor: DeltaIngestor,
-    store: FactorStore,
+    store: StoreBackend,
 }
 
 /// The streaming measure-serving engine.
 pub struct CludeEngine {
     kind: MatrixKind,
+    /// Fixed at construction (a partition change is a full re-shard).
+    n_shards: usize,
     inner: Mutex<IngestState>,
     ring: RwLock<VecDeque<Arc<EngineSnapshot>>>,
     ring_capacity: usize,
@@ -72,18 +139,50 @@ pub struct CludeEngine {
 impl CludeEngine {
     /// Builds the engine over a base graph: factorizes it as snapshot 0 and
     /// starts accepting edge operations and queries.
+    ///
+    /// With `config.n_shards > 1` the node universe is partitioned by
+    /// [`edge_locality_partition`] (balanced breadth-first regions, so
+    /// well-connected nodes share a shard) and the factors are maintained in
+    /// a [`ShardedFactorStore`]; use [`CludeEngine::with_partition`] to bring
+    /// a custom partition instead.
     pub fn new(base: DiGraph, config: EngineConfig) -> EngineResult<Self> {
+        assert!(config.n_shards >= 1, "need at least one factor shard");
+        // Callers often size n_shards from the CPU count; a universe smaller
+        // than that caps at one node per shard rather than failing.
+        let n_shards = config.n_shards.min(base.n_nodes().max(1));
+        if n_shards <= 1 {
+            let store = FactorStore::new(base, config.matrix_kind, config.refresh)?;
+            Self::from_backend(StoreBackend::Monolithic(Box::new(store)), config)
+        } else {
+            let partition = edge_locality_partition(&base, n_shards);
+            Self::with_partition(base, config, partition)
+        }
+    }
+
+    /// Builds a sharded engine over an explicit node partition (the
+    /// partition's shard count overrides `config.n_shards`).
+    pub fn with_partition(
+        base: DiGraph,
+        config: EngineConfig,
+        partition: NodePartition,
+    ) -> EngineResult<Self> {
+        let store = ShardedFactorStore::new(base, config.matrix_kind, config.refresh, partition)?;
+        Self::from_backend(StoreBackend::Sharded(Box::new(store)), config)
+    }
+
+    fn from_backend(store: StoreBackend, config: EngineConfig) -> EngineResult<Self> {
         assert!(
             config.ring_capacity > 0,
             "need at least one retained snapshot"
         );
-        let counters = Arc::new(EngineCounters::default());
-        let store = FactorStore::new(base, config.matrix_kind, config.refresh)?;
+        let n_shards = store.n_shards();
+        let counters = Arc::new(EngineCounters::with_shards(n_shards));
         let first = Arc::new(store.snapshot());
         let mut ring = VecDeque::with_capacity(config.ring_capacity);
         ring.push_back(first);
         Ok(CludeEngine {
             kind: config.matrix_kind,
+            n_shards,
             inner: Mutex::new(IngestState {
                 ingestor: DeltaIngestor::new(config.batch),
                 store,
@@ -97,6 +196,12 @@ impl CludeEngine {
             ),
             counters,
         })
+    }
+
+    /// Number of factor-store shards the ingest path maintains (fixed at
+    /// construction; never blocks on the ingest lock).
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
     }
 
     /// Streams one edge insertion.  Returns the new snapshot id when the
@@ -158,6 +263,15 @@ impl CludeEngine {
             report.bennett.pivots_processed as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
+        for shard in &report.per_shard {
+            let c = &self.counters.per_shard[shard.shard];
+            EngineCounters::add(&c.deltas_applied, shard.entries_applied);
+            EngineCounters::add(&c.sweeps_run, shard.sweeps);
+            EngineCounters::add(&c.cross_shard_edges, shard.cross_edges_seen);
+            if shard.refreshed {
+                EngineCounters::bump(&c.refreshes);
+            }
+        }
 
         let snapshot = Arc::new(state.store.snapshot());
         let oldest_retained = {
@@ -352,8 +466,142 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_matches_monolithic_answers() {
+        let base = ring_graph(16);
+        let mono = CludeEngine::new(base.clone(), small_config(3)).unwrap();
+        let sharded = CludeEngine::new(
+            base,
+            EngineConfig {
+                n_shards: 4,
+                ..small_config(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(mono.n_shards(), 1);
+        assert_eq!(sharded.n_shards(), 4);
+        // Same stream into both engines: intra- and cross-shard edges.
+        for i in 0..12 {
+            let (u, v) = (i, (i * 5 + 2) % 16);
+            if u != v {
+                mono.insert_edge(u, v).unwrap();
+                sharded.insert_edge(u, v).unwrap();
+            }
+        }
+        mono.flush().unwrap();
+        sharded.flush().unwrap();
+        assert_eq!(mono.current_snapshot_id(), sharded.current_snapshot_id());
+        for q in [
+            MeasureQuery::PageRank { damping: 0.85 },
+            MeasureQuery::Rwr {
+                seed: 3,
+                damping: 0.85,
+            },
+            MeasureQuery::PprSeedSet {
+                seeds: vec![0, 9],
+                damping: 0.85,
+            },
+        ] {
+            let a = mono.query(&q).unwrap();
+            let b = sharded.query(&q).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() <= 1e-9, "{q:?}: {x} vs {y}");
+            }
+        }
+        // Per-shard stats flow through to the engine's counters.
+        let stats = sharded.stats();
+        assert_eq!(stats.per_shard.len(), 4);
+        let applied: u64 = stats.per_shard.iter().map(|s| s.deltas_applied).sum();
+        assert!(applied > 0, "no shard recorded applied entries");
+        assert!(
+            stats.per_shard.iter().any(|s| s.cross_shard_edges > 0),
+            "the stream crossed shards"
+        );
+        assert_eq!(mono.stats().per_shard.len(), 1);
+    }
+
+    #[test]
+    fn sharded_engine_error_paths_and_time_travel() {
+        let engine = CludeEngine::new(
+            ring_graph(12),
+            EngineConfig {
+                n_shards: 3,
+                ..small_config(1)
+            },
+        )
+        .unwrap();
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let before = engine.query(&q).unwrap();
+        for i in 0..5 {
+            engine.insert_edge(i, (i + 5) % 12).unwrap();
+        }
+        // Ring capacity 3: snapshot 0 has expired.
+        assert!(matches!(
+            engine.query_at(0, &q),
+            Err(EngineError::UnknownSnapshot { requested: 0, .. })
+        ));
+        // Retained snapshots still answer, and differ from snapshot 0.
+        let travelled = engine.query_at(3, &q).unwrap();
+        assert!(before
+            .iter()
+            .zip(travelled.iter())
+            .any(|(a, b)| (a - b).abs() > 1e-12));
+        assert!(matches!(
+            engine.query(&MeasureQuery::Rwr {
+                seed: 0,
+                damping: 0.5
+            }),
+            Err(EngineError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            engine.insert_edge(0, 99),
+            Err(EngineError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn custom_partition_is_respected() {
+        let base = ring_graph(8);
+        // Interleaved (non-contiguous) partition: evens | odds.
+        let assignments = (0..8).map(|u| u % 2).collect::<Vec<_>>();
+        let engine = CludeEngine::with_partition(
+            base,
+            small_config(2),
+            clude_graph::NodePartition::from_assignments(assignments),
+        )
+        .unwrap();
+        assert_eq!(engine.n_shards(), 2);
+        engine.insert_edge(0, 4).unwrap(); // intra (evens)
+        engine.insert_edge(1, 4).unwrap(); // cross (odd -> even)
+        engine.flush().unwrap();
+        let scores = engine
+            .query(&MeasureQuery::PageRank { damping: 0.85 })
+            .unwrap();
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let stats = engine.stats();
+        assert!(stats.per_shard.iter().any(|s| s.cross_shard_edges > 0));
+    }
+
+    #[test]
     fn concurrent_readers_and_writer() {
-        let engine = Arc::new(CludeEngine::new(ring_graph(16), small_config(3)).unwrap());
+        concurrent_readers_and_writer_impl(1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_sharded() {
+        concurrent_readers_and_writer_impl(4);
+    }
+
+    fn concurrent_readers_and_writer_impl(n_shards: usize) {
+        let engine = Arc::new(
+            CludeEngine::new(
+                ring_graph(16),
+                EngineConfig {
+                    n_shards,
+                    ..small_config(3)
+                },
+            )
+            .unwrap(),
+        );
         let writer = {
             let engine = Arc::clone(&engine);
             thread::spawn(move || {

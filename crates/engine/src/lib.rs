@@ -12,21 +12,26 @@
 //!
 //! ```text
 //!   edge ops                  delta batches                  queries
-//!  ───────────►  DeltaIngestor ───────────►  FactorStore  ◄───────────
-//!  insert/remove  coalesce adds/removes,      Bennett updates under a
-//!                 cut batch at max_ops or     fixed ordering; refresh
-//!                 similarity threshold        (fresh Markowitz + LU) when
-//!                        │                    quality-loss > budget
+//!  ───────────►  DeltaIngestor ───────────►  factor store ◄───────────
+//!  insert/remove  coalesce adds/removes,    FactorStore (1 shard) or
+//!                 cut batch at max_ops or   ShardedFactorStore (k shards):
+//!                 similarity threshold      entries routed by NodePartition,
+//!                        │                  per-shard Bennett sweeps run in
+//!                        │                  parallel, cross-shard entries go
+//!                        │                  to the coupling store; per-shard
+//!                        │                  refresh when quality-loss > budget
 //!                        │                           │ publishes
 //!                        ▼                           ▼
 //!                 snapshot counter          ring of EngineSnapshots
-//!                                           (bounded time travel)
+//!                                           (per-shard factors + coupling,
+//!                                           bounded time travel)
 //!                                                    │
 //!                                                    ▼
 //!                                             QueryService
 //!                                     sharded RwLock LRU cache keyed by
-//!                                     (snapshot, query); solves run
-//!                                     outside locks, results are Arc-shared
+//!                                     (snapshot, query); solves combine the
+//!                                     shard blocks exactly (block-Jacobi on
+//!                                     the coupling) outside any lock
 //! ```
 //!
 //! * [`ingest::DeltaIngestor`] coalesces single edge operations into
@@ -37,6 +42,10 @@
 //!   choosing between INC-style always-update and CLUDE-style refresh when
 //!   the quality-loss hook (`clude::refresh_decision`) reports degradation
 //!   past the budget.
+//! * [`sharded::ShardedFactorStore`] partitions the node universe
+//!   (`clude_graph::NodePartition`) into per-shard factor blocks plus a
+//!   cross-shard coupling store; disjoint-shard delta batches sweep in
+//!   parallel, and queries recombine the blocks exactly.
 //! * [`query::QueryService`] answers typed
 //!   [`clude_measures::MeasureQuery`]s against immutable snapshots with a
 //!   sharded LRU result cache.
@@ -68,6 +77,7 @@ pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod query;
+pub mod sharded;
 pub mod stats;
 pub mod store;
 
@@ -75,5 +85,6 @@ pub use engine::{CludeEngine, EngineConfig};
 pub use error::{EngineError, EngineResult};
 pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 pub use query::QueryService;
-pub use stats::{EngineCounters, EngineStats};
-pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy};
+pub use sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
+pub use stats::{EngineCounters, EngineStats, ShardCounters, ShardStats};
+pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy, ShardSnapshot};

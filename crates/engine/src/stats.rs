@@ -9,6 +9,46 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Lock-free per-shard counters of the partitioned ingest path.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Changed matrix entries applied to this shard's factors.
+    pub deltas_applied: AtomicU64,
+    /// Bennett rank-one updates (sweeps) run on this shard.
+    pub sweeps_run: AtomicU64,
+    /// Cross-shard edge changes sourced from this shard's nodes.
+    pub cross_shard_edges: AtomicU64,
+    /// Refreshes (fresh ordering + factorization) of this shard's block.
+    pub refreshes: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self, shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            sweeps_run: self.sweeps_run.load(Ordering::Relaxed),
+            cross_shard_edges: self.cross_shard_edges.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard id.
+    pub shard: usize,
+    /// Changed matrix entries applied to this shard's factors.
+    pub deltas_applied: u64,
+    /// Bennett rank-one updates (sweeps) run on this shard.
+    pub sweeps_run: u64,
+    /// Cross-shard edge changes sourced from this shard's nodes.
+    pub cross_shard_edges: u64,
+    /// Refreshes of this shard's block.
+    pub refreshes: u64,
+}
+
 /// Lock-free counters shared by the ingest and query paths.
 #[derive(Debug, Default)]
 pub struct EngineCounters {
@@ -39,9 +79,20 @@ pub struct EngineCounters {
     pub refresh_nanos: AtomicU64,
     /// Nanoseconds spent solving queries (cache misses only).
     pub query_nanos: AtomicU64,
+    /// Per-shard ingest counters (one entry per factor shard; a single entry
+    /// for the monolithic store).
+    pub per_shard: Vec<ShardCounters>,
 }
 
 impl EngineCounters {
+    /// Counters for an engine whose factor store has `n_shards` shards.
+    pub fn with_shards(n_shards: usize) -> Self {
+        EngineCounters {
+            per_shard: (0..n_shards).map(|_| ShardCounters::default()).collect(),
+            ..EngineCounters::default()
+        }
+    }
+
     /// Adds `d` to a duration counter.
     pub fn add_nanos(counter: &AtomicU64, d: Duration) {
         counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -52,9 +103,20 @@ impl EngineCounters {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `v` to a counter.
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> EngineStats {
         EngineStats {
+            per_shard: self
+                .per_shard
+                .iter()
+                .enumerate()
+                .map(|(s, c)| c.snapshot(s))
+                .collect(),
             ops_ingested: self.ops_ingested.load(Ordering::Relaxed),
             ops_coalesced: self.ops_coalesced.load(Ordering::Relaxed),
             batches_applied: self.batches_applied.load(Ordering::Relaxed),
@@ -72,7 +134,7 @@ impl EngineCounters {
 }
 
 /// A point-in-time copy of the engine counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Edge operations accepted.
     pub ops_ingested: u64,
@@ -99,6 +161,8 @@ pub struct EngineStats {
     pub refresh_time: Duration,
     /// Wall-clock spent solving queries.
     pub query_time: Duration,
+    /// Per-shard ingest breakdown, indexed by shard id.
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl EngineStats {
@@ -141,7 +205,17 @@ impl fmt::Display for EngineStats {
             self.cache_misses,
             100.0 * self.hit_rate(),
             self.query_time
-        )
+        )?;
+        if self.per_shard.len() > 1 {
+            for s in &self.per_shard {
+                write!(
+                    f,
+                    "\nshard {:>3} | deltas {:>10}  sweeps {:>10}  cross-edges {:>8}  refreshes {:>4}",
+                    s.shard, s.deltas_applied, s.sweeps_run, s.cross_shard_edges, s.refreshes
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -174,6 +248,29 @@ mod tests {
             ..EngineStats::default()
         };
         assert_eq!(with_batches.avg_batch_time(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn per_shard_counters_snapshot_and_render() {
+        let c = EngineCounters::with_shards(2);
+        EngineCounters::add(&c.per_shard[1].deltas_applied, 5);
+        EngineCounters::add(&c.per_shard[1].sweeps_run, 3);
+        EngineCounters::add(&c.per_shard[0].cross_shard_edges, 2);
+        EngineCounters::bump(&c.per_shard[0].refreshes);
+        let s = c.snapshot();
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_shard[0].shard, 0);
+        assert_eq!(s.per_shard[1].deltas_applied, 5);
+        assert_eq!(s.per_shard[1].sweeps_run, 3);
+        assert_eq!(s.per_shard[0].cross_shard_edges, 2);
+        assert_eq!(s.per_shard[0].refreshes, 1);
+        let text = s.to_string();
+        assert!(text.contains("shard   0"));
+        assert!(text.contains("shard   1"));
+        assert!(text.contains("cross-edges"));
+        // A monolithic engine (one shard) keeps the display compact.
+        let mono = EngineCounters::with_shards(1).snapshot();
+        assert!(!mono.to_string().contains("shard   0"));
     }
 
     #[test]

@@ -18,13 +18,39 @@
 
 use crate::error::EngineResult;
 use clude::{refresh_decision, DecomposedMatrix, MatrixFactors};
-use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind};
+use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_lu::{
     apply_delta_with, markowitz_ordering, BennettStats, BennettWorkspace, DynamicLuFactors,
-    LuResult,
+    LuError, LuResult,
 };
-use clude_measures::{evaluate_query, MeasureQuery};
+use clude_measures::{evaluate_query_with, MeasureQuery, MeasureSolver};
+use clude_sparse::{CooMatrix, CsrMatrix};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Hard runaway guard of the sharded block-Jacobi combination solve; the
+/// real stopping rules below terminate far earlier for every convergent
+/// configuration (a damping factor of 0.9997 — contraction ~0.9997 per
+/// sweep — still reaches [`BLOCK_TOL`] within ~100k sweeps, and anything
+/// slower stagnates at the f64 floor first).
+const MAX_BLOCK_ITERS: usize = 100_000;
+/// Relative iterate-change tolerance of the combination solve.  Because the
+/// block splitting of the engine's measure matrices contracts strictly, a
+/// change this small bounds the remaining error by `diff·ρ/(1−ρ)`: under
+/// the 1e-9 equivalence bar by three decades at ρ = 0.99 and still by one
+/// decade at ρ = 0.999.  Deliberately *not* combined with an
+/// observed-contraction early exit: the instantaneous ∞-norm ratio
+/// oscillates for nonsymmetric couplings and any finite sample can
+/// transiently under-estimate the asymptotic rate.
+const BLOCK_TOL: f64 = 1e-13;
+/// Floor-stagnation acceptance threshold: when the change stops shrinking
+/// while already below this (rounding noise dominates), the iterate is as
+/// converged as f64 allows.  Kept within 2× of [`BLOCK_TOL`] so the error
+/// bound stays under the 1e-9 bar for every contraction rate reachable
+/// inside [`MAX_BLOCK_ITERS`] (`2e-13·ρ/(1−ρ)` ≈ 6.7e-10 at ρ = 0.9997);
+/// slower-converging configurations fail loudly at the cap instead of
+/// silently accepting a drifted iterate.
+const BLOCK_STAGNATION_TOL: f64 = 2e-13;
 
 /// When the store abandons its ordering and re-factorizes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,15 +75,62 @@ impl Default for RefreshPolicy {
     }
 }
 
-/// One immutable, queryable snapshot: the graph plus its decomposed factors.
+/// One shard's slice of an [`EngineSnapshot`]: the decomposed principal
+/// submatrix over the shard's nodes, in local coordinates.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    decomposed: DecomposedMatrix,
+}
+
+impl ShardSnapshot {
+    pub(crate) fn new(decomposed: DecomposedMatrix) -> Self {
+        ShardSnapshot { decomposed }
+    }
+
+    /// The shard's decomposed block (ordering + factors, local coordinates).
+    pub fn decomposed(&self) -> &DecomposedMatrix {
+        &self.decomposed
+    }
+}
+
+/// One immutable, queryable snapshot: the graph plus per-shard decomposed
+/// factors sharing one snapshot id.
+///
+/// A monolithic [`FactorStore`] publishes a single shard over the
+/// [`NodePartition::singleton`] partition with an empty coupling matrix; a
+/// `ShardedFactorStore` publishes one [`ShardSnapshot`] per shard plus the
+/// cross-shard coupling entries.  Queries solve `A x = b` exactly either by
+/// one pair of substitutions (no coupling) or by a block-Jacobi combination
+/// of per-shard solves with the coupling as the correction term.
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot {
     id: u64,
     graph: DiGraph,
-    decomposed: DecomposedMatrix,
+    partition: Arc<NodePartition>,
+    shards: Vec<ShardSnapshot>,
+    /// Cross-shard entries of the measure matrix, global coordinates (empty
+    /// for monolithic snapshots).
+    coupling: Arc<CsrMatrix>,
 }
 
 impl EngineSnapshot {
+    pub(crate) fn from_parts(
+        id: u64,
+        graph: DiGraph,
+        partition: Arc<NodePartition>,
+        shards: Vec<ShardSnapshot>,
+        coupling: Arc<CsrMatrix>,
+    ) -> Self {
+        debug_assert_eq!(partition.n_shards(), shards.len());
+        EngineSnapshot {
+            id,
+            graph,
+            partition,
+            shards,
+            coupling,
+        }
+    }
+
     /// The snapshot counter value this snapshot was produced at.
     pub fn id(&self) -> u64 {
         self.id
@@ -68,9 +141,37 @@ impl EngineSnapshot {
         &self.graph
     }
 
-    /// The decomposed measure matrix (ordering + factors).
+    /// The node partition the factors are sharded by.
+    pub fn partition(&self) -> &NodePartition {
+        &self.partition
+    }
+
+    /// The per-shard decomposed blocks, in shard order.
+    pub fn shards(&self) -> &[ShardSnapshot] {
+        &self.shards
+    }
+
+    /// Number of factor shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cross-shard coupling entries (global coordinates).
+    pub fn coupling(&self) -> &CsrMatrix {
+        &self.coupling
+    }
+
+    /// The decomposed measure matrix of a monolithic snapshot.
+    ///
+    /// # Panics
+    /// Panics when the snapshot is sharded — use [`EngineSnapshot::shards`].
     pub fn decomposed(&self) -> &DecomposedMatrix {
-        &self.decomposed
+        assert_eq!(
+            self.shards.len(),
+            1,
+            "decomposed() is only defined for single-shard snapshots"
+        );
+        self.shards[0].decomposed()
     }
 
     /// Number of nodes of the fixed universe.
@@ -80,7 +181,96 @@ impl EngineSnapshot {
 
     /// Answers a measure query against this snapshot by substitutions.
     pub fn query(&self, query: &MeasureQuery) -> LuResult<Vec<f64>> {
-        evaluate_query(&self.decomposed, &self.graph, query)
+        evaluate_query_with(self, &self.graph, query)
+    }
+
+    /// Runs every shard's solve against `rhs` restricted to its nodes and
+    /// scatters the local solutions into `out`.  `local` is reused gather
+    /// scratch (cleared per shard).
+    fn solve_blocks(&self, rhs: &[f64], out: &mut [f64], local: &mut Vec<f64>) -> LuResult<()> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            let nodes = self.partition.nodes_of(s);
+            local.clear();
+            local.extend(nodes.iter().map(|&g| rhs[g]));
+            let xs = shard.decomposed.solve(local)?;
+            for (l, &g) in nodes.iter().enumerate() {
+                out[g] = xs[l];
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` for the snapshot's full measure matrix
+    /// `A = blockdiag(A_ss) + C`.
+    ///
+    /// Without coupling entries the block solves are already exact.  With
+    /// coupling, block-Jacobi iteration `x ← blockdiag⁻¹(b − C·x)` is run to
+    /// [`BLOCK_TOL`]; for the engine's measure matrices (column-wise strictly
+    /// diagonally dominant M-matrices) this is a convergent regular
+    /// splitting, contracting at least as fast as point Jacobi (rate ≤ the
+    /// damping factor for `I − d·W`).
+    fn block_solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let n = self.graph.n_nodes();
+        if b.len() != n {
+            return Err(LuError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        if self.shards.len() == 1 && self.coupling.nnz() == 0 {
+            // Monolithic fast path: identical to the pre-sharding solve.
+            return self.shards[0].decomposed.solve(b);
+        }
+        let mut x = vec![0.0; n];
+        let mut local = Vec::new();
+        if self.coupling.nnz() == 0 {
+            // Fully decoupled shards: one round of block solves is exact.
+            self.solve_blocks(b, &mut x, &mut local)?;
+            return Ok(x);
+        }
+        let mut next = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        let mut last_diff = f64::INFINITY;
+        for _ in 0..MAX_BLOCK_ITERS {
+            // rhs = b − C·x, accumulated into the reused buffer (the
+            // remaining per-sweep allocations live inside the per-shard
+            // triangular solves; see the ROADMAP latency item).
+            rhs.copy_from_slice(b);
+            for (i, j, v) in self.coupling.iter() {
+                rhs[i] -= v * x[j];
+            }
+            self.solve_blocks(&rhs, &mut next, &mut local)?;
+            let mut diff = 0.0f64;
+            let mut scale = 1.0f64;
+            for (new, old) in next.iter().zip(x.iter()) {
+                diff = diff.max((new - old).abs());
+                scale = scale.max(new.abs());
+            }
+            std::mem::swap(&mut x, &mut next);
+            if diff <= BLOCK_TOL * scale {
+                return Ok(x);
+            }
+            // Stagnation at the rounding floor: the change is no longer
+            // shrinking while already under [`BLOCK_STAGNATION_TOL`], so
+            // rounding noise dominates — the iterate is as converged as f64
+            // allows even when BLOCK_TOL itself is out of reach.  (The
+            // floor guard keeps a transient non-monotone step early in the
+            // iteration from exiting prematurely.)
+            if diff >= last_diff && diff <= BLOCK_STAGNATION_TOL * scale {
+                return Ok(x);
+            }
+            last_diff = diff;
+        }
+        Err(LuError::ConvergenceFailure {
+            iterations: MAX_BLOCK_ITERS,
+            last_diff,
+        })
+    }
+}
+
+impl MeasureSolver for EngineSnapshot {
+    fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        self.block_solve(b)
     }
 }
 
@@ -96,6 +286,9 @@ pub struct AdvanceReport {
     /// Quality-loss of the factors after the advance (0 right after a
     /// refresh).
     pub quality_loss: f64,
+    /// Number of changed matrix entries the batch translated into factor
+    /// updates.
+    pub entries_applied: usize,
 }
 
 /// The current snapshot's factors, maintained under a fixed ordering until
@@ -105,17 +298,16 @@ pub struct FactorStore {
     kind: MatrixKind,
     policy: RefreshPolicy,
     graph: DiGraph,
-    ordering: clude_sparse::Ordering,
-    /// `old → new` index maps of `ordering` (cached; advances translate
-    /// original-coordinate matrix deltas into factor coordinates with them).
-    row_old_to_new: Vec<usize>,
-    col_old_to_new: Vec<usize>,
-    factors: DynamicLuFactors,
+    /// The ordering, factors and coordinate/quality bookkeeping, replaced
+    /// wholesale on refresh.
+    of: OrderedFactors,
     /// Reused Bennett scratch: advances allocate nothing per pivot.
     workspace: BennettWorkspace,
-    /// Factor size right after the last refresh (quality-loss reference).
-    reference_nnz: usize,
     snapshot_id: u64,
+    /// Cached singleton partition shared by every published snapshot.
+    partition: Arc<NodePartition>,
+    /// Cached empty coupling matrix shared by every published snapshot.
+    empty_coupling: Arc<CsrMatrix>,
 }
 
 impl FactorStore {
@@ -123,23 +315,17 @@ impl FactorStore {
     /// computes its Markowitz ordering, and factorizes it fully.
     pub fn new(graph: DiGraph, kind: MatrixKind, policy: RefreshPolicy) -> EngineResult<Self> {
         let matrix = measure_matrix(&graph, kind);
-        let ordering = markowitz_ordering(&matrix.pattern()).ordering;
-        let reordered = matrix
-            .reorder(&ordering)
-            .expect("ordering was computed for this matrix");
-        let factors = DynamicLuFactors::factorize(&reordered)?;
-        let reference_nnz = factors.nnz();
-        let workspace = BennettWorkspace::with_order(factors.n());
+        let of = order_and_factorize(&matrix)?;
+        let workspace = BennettWorkspace::with_order(of.factors.n());
+        let n = graph.n_nodes();
         Ok(FactorStore {
             kind,
             policy,
+            partition: Arc::new(NodePartition::singleton(n)),
+            empty_coupling: Arc::new(CsrMatrix::from_coo(&CooMatrix::new(n, n))),
             graph,
-            row_old_to_new: ordering.row().old_to_new(),
-            col_old_to_new: ordering.col().old_to_new(),
-            ordering,
-            factors,
+            of,
             workspace,
-            reference_nnz,
             snapshot_id: 0,
         })
     }
@@ -166,25 +352,27 @@ impl FactorStore {
 
     /// Current factor size `|sp(Â)|`.
     pub fn factor_nnz(&self) -> usize {
-        self.factors.nnz()
+        self.of.factors.nnz()
     }
 
     /// Quality-loss of the current factors against the last refresh.
     pub fn quality_loss(&self) -> f64 {
-        clude::quality_loss_from_sizes(self.factors.nnz(), self.reference_nnz)
+        clude::quality_loss_from_sizes(self.of.factors.nnz(), self.of.reference_nnz)
     }
 
     /// An immutable snapshot of the current state for the query side.
     pub fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot {
-            id: self.snapshot_id,
-            graph: self.graph.clone(),
-            decomposed: DecomposedMatrix {
+        EngineSnapshot::from_parts(
+            self.snapshot_id,
+            self.graph.clone(),
+            Arc::clone(&self.partition),
+            vec![ShardSnapshot::new(DecomposedMatrix {
                 index: self.snapshot_id as usize,
-                ordering: self.ordering.clone(),
-                factors: Some(MatrixFactors::Dynamic(self.factors.clone())),
-            },
-        }
+                ordering: self.of.ordering.clone(),
+                factors: Some(MatrixFactors::Dynamic(self.of.factors.clone())),
+            })],
+            Arc::clone(&self.empty_coupling),
+        )
     }
 
     /// Applies one coalesced delta batch, advancing the snapshot counter.
@@ -198,6 +386,12 @@ impl FactorStore {
     /// the refresh policy trips afterwards, the store falls back to a full
     /// refresh — a fresh Markowitz ordering and factorization of the new
     /// matrix — so an `Ok` return always leaves servable factors.
+    ///
+    /// An `Err` (the rebuild itself failed, which a diagonally dominant
+    /// measure matrix cannot trigger in practice) leaves the store
+    /// mid-batch — the graph already advanced, the factors not — and must be
+    /// treated as fatal for this store; only out-of-range deltas are
+    /// rejected before any mutation.
     pub fn advance(&mut self, delta: &GraphDelta) -> EngineResult<AdvanceReport> {
         // Reject deltas naming nodes outside the universe before mutating
         // anything (the engine's ingestor pre-validates, but the store is a
@@ -220,33 +414,20 @@ impl FactorStore {
         delta.apply(&mut self.graph);
         self.snapshot_id += 1;
         let matrix_delta = self.matrix_delta(&old_info);
+        let entries_applied = matrix_delta.len();
 
-        let mut refreshed = false;
-        let bennett = match apply_delta_with(&mut self.factors, &mut self.workspace, &matrix_delta)
-        {
-            Ok(stats) => stats,
-            Err(_) => {
-                // Numeric fallback: rebuild under a fresh ordering.
-                self.refresh()?;
-                refreshed = true;
-                BennettStats::default()
-            }
-        };
-        if !refreshed {
-            if let RefreshPolicy::QualityTriggered { max_quality_loss } = self.policy {
-                let decision =
-                    refresh_decision(self.factors.nnz(), self.reference_nnz, max_quality_loss);
-                if decision.should_refresh {
-                    self.refresh()?;
-                    refreshed = true;
-                }
-            }
-        }
+        let (graph, kind) = (&self.graph, self.kind);
+        let (bennett, refreshed) =
+            self.of
+                .apply_or_refresh(&mut self.workspace, &matrix_delta, self.policy, || {
+                    measure_matrix(graph, kind)
+                })?;
         Ok(AdvanceReport {
             snapshot_id: self.snapshot_id,
             refreshed,
             bennett,
             quality_loss: self.quality_loss(),
+            entries_applied,
         })
     }
 
@@ -257,77 +438,156 @@ impl FactorStore {
         &self,
         old_info: &BTreeMap<usize, Vec<usize>>,
     ) -> Vec<(usize, usize, f64, f64)> {
-        let mut out = Vec::new();
-        for (&u, old_succ) in old_info {
-            let new_succ: Vec<usize> = self.graph.successors(u).collect();
-            match self.kind {
-                MatrixKind::RandomWalk { damping } => {
-                    // Column u of A = I − d·W holds −d/deg(u) at each
-                    // successor's row; a degree change rescales the whole
-                    // column, an edge change moves its support.
-                    let old_w = column_weight(damping, old_succ.len());
-                    let new_w = column_weight(damping, new_succ.len());
-                    let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
-                    let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
-                    for &v in old_set.union(&new_set) {
-                        let old = if old_set.contains(&v) { old_w } else { 0.0 };
-                        let new = if new_set.contains(&v) { new_w } else { 0.0 };
-                        if old != new {
-                            out.push((self.row_old_to_new[v], self.col_old_to_new[u], old, new));
-                        }
-                    }
-                }
-                MatrixKind::SymmetricLaplacian { shift } => {
-                    // Row u of A = σ·I + D − Adj: −1 at each successor and
-                    // the degree on the diagonal.
-                    let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
-                    let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
-                    for &v in old_set.union(&new_set) {
-                        if v == u {
-                            continue; // folded into the diagonal below
-                        }
-                        let old = if old_set.contains(&v) { -1.0 } else { 0.0 };
-                        let new = if new_set.contains(&v) { -1.0 } else { 0.0 };
-                        if old != new {
-                            out.push((self.row_old_to_new[u], self.col_old_to_new[v], old, new));
-                        }
-                    }
-                    let diag = |set: &BTreeSet<usize>| {
-                        let self_loop = if set.contains(&u) { 1.0 } else { 0.0 };
-                        shift + set.len() as f64 - self_loop
-                    };
-                    if diag(&old_set) != diag(&new_set) {
-                        out.push((
-                            self.row_old_to_new[u],
-                            self.col_old_to_new[u],
-                            diag(&old_set),
-                            diag(&new_set),
-                        ));
-                    }
+        global_matrix_delta(&self.graph, self.kind, old_info)
+            .into_iter()
+            .map(|(r, c, old, new)| {
+                (
+                    self.of.row_old_to_new[r],
+                    self.of.col_old_to_new[c],
+                    old,
+                    new,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A matrix's fill-reducing ordering, its dynamic factors under that
+/// ordering, and the derived bookkeeping every factor (shard or monolith)
+/// keeps: the `old → new` index maps advances translate coordinates with,
+/// and the factor size that anchors the quality-loss metric.
+#[derive(Debug, Clone)]
+pub(crate) struct OrderedFactors {
+    pub ordering: clude_sparse::Ordering,
+    pub row_old_to_new: Vec<usize>,
+    pub col_old_to_new: Vec<usize>,
+    pub factors: DynamicLuFactors,
+    pub reference_nnz: usize,
+}
+
+impl OrderedFactors {
+    /// Applies a factor-coordinate Bennett delta, falling back to a full
+    /// rebuild from `rebuild_matrix()` on numeric failure, and refreshing
+    /// again when the quality policy trips afterwards — the one maintenance
+    /// step shared by the monolithic store and every shard.  Returns the
+    /// Bennett work done and whether a refresh happened; an `Ok` return
+    /// always leaves servable factors.
+    pub(crate) fn apply_or_refresh(
+        &mut self,
+        ws: &mut BennettWorkspace,
+        delta: &[(usize, usize, f64, f64)],
+        policy: RefreshPolicy,
+        rebuild_matrix: impl Fn() -> CsrMatrix,
+    ) -> LuResult<(BennettStats, bool)> {
+        let mut refreshed = false;
+        let bennett = match apply_delta_with(&mut self.factors, ws, delta) {
+            Ok(stats) => stats,
+            Err(_) => {
+                // Numeric fallback: rebuild under a fresh ordering.
+                *self = order_and_factorize(&rebuild_matrix())?;
+                refreshed = true;
+                BennettStats::default()
+            }
+        };
+        if !refreshed {
+            if let RefreshPolicy::QualityTriggered { max_quality_loss } = policy {
+                let decision =
+                    refresh_decision(self.factors.nnz(), self.reference_nnz, max_quality_loss);
+                if decision.should_refresh {
+                    *self = order_and_factorize(&rebuild_matrix())?;
+                    refreshed = true;
                 }
             }
         }
-        out
+        Ok((bennett, refreshed))
     }
+}
 
-    /// Re-orders and re-factorizes the current graph's matrix from scratch.
-    fn refresh(&mut self) -> EngineResult<()> {
-        let matrix = measure_matrix(&self.graph, self.kind);
-        self.ordering = markowitz_ordering(&matrix.pattern()).ordering;
-        self.row_old_to_new = self.ordering.row().old_to_new();
-        self.col_old_to_new = self.ordering.col().old_to_new();
-        let reordered = matrix
-            .reorder(&self.ordering)
-            .expect("ordering was computed for this matrix");
-        self.factors = DynamicLuFactors::factorize(&reordered)?;
-        self.reference_nnz = self.factors.nnz();
-        Ok(())
+/// Markowitz-orders `matrix`, factorizes it, and packages the bookkeeping —
+/// the one construction path shared by initial builds and refreshes of both
+/// the monolithic and the sharded store.
+pub(crate) fn order_and_factorize(matrix: &CsrMatrix) -> LuResult<OrderedFactors> {
+    let ordering = markowitz_ordering(&matrix.pattern()).ordering;
+    let reordered = matrix
+        .reorder(&ordering)
+        .expect("ordering was computed for this matrix");
+    let factors = DynamicLuFactors::factorize(&reordered)?;
+    let reference_nnz = factors.nnz();
+    Ok(OrderedFactors {
+        row_old_to_new: ordering.row().old_to_new(),
+        col_old_to_new: ordering.col().old_to_new(),
+        ordering,
+        factors,
+        reference_nnz,
+    })
+}
+
+/// The changed entries `(row, col, old, new)` of the measure matrix, in
+/// *global* (original graph) coordinates, given the pre-delta successor lists
+/// of the affected sources and the already-updated graph.
+///
+/// An edge operation only perturbs entries keyed by its source: for
+/// `I − d·W` the source's column (the degree normalisation rescales the whole
+/// column), for the Laplacian the source's row plus its diagonal.  Both the
+/// monolithic and the sharded store derive their Bennett updates from this
+/// list — the monolithic store maps it through its ordering, the sharded
+/// store routes each entry to its owning shard or the coupling store.
+pub(crate) fn global_matrix_delta(
+    graph: &DiGraph,
+    kind: MatrixKind,
+    old_info: &BTreeMap<usize, Vec<usize>>,
+) -> Vec<(usize, usize, f64, f64)> {
+    let mut out = Vec::new();
+    for (&u, old_succ) in old_info {
+        let new_succ: Vec<usize> = graph.successors(u).collect();
+        match kind {
+            MatrixKind::RandomWalk { damping } => {
+                // Column u of A = I − d·W holds −d/deg(u) at each
+                // successor's row; a degree change rescales the whole
+                // column, an edge change moves its support.
+                let old_w = column_weight(damping, old_succ.len());
+                let new_w = column_weight(damping, new_succ.len());
+                let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
+                let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
+                for &v in old_set.union(&new_set) {
+                    let old = if old_set.contains(&v) { old_w } else { 0.0 };
+                    let new = if new_set.contains(&v) { new_w } else { 0.0 };
+                    if old != new {
+                        out.push((v, u, old, new));
+                    }
+                }
+            }
+            MatrixKind::SymmetricLaplacian { shift } => {
+                // Row u of A = σ·I + D − Adj: −1 at each successor and
+                // the degree on the diagonal.
+                let old_set: BTreeSet<usize> = old_succ.iter().copied().collect();
+                let new_set: BTreeSet<usize> = new_succ.iter().copied().collect();
+                for &v in old_set.union(&new_set) {
+                    if v == u {
+                        continue; // folded into the diagonal below
+                    }
+                    let old = if old_set.contains(&v) { -1.0 } else { 0.0 };
+                    let new = if new_set.contains(&v) { -1.0 } else { 0.0 };
+                    if old != new {
+                        out.push((u, v, old, new));
+                    }
+                }
+                let diag = |set: &BTreeSet<usize>| {
+                    let self_loop = if set.contains(&u) { 1.0 } else { 0.0 };
+                    shift + set.len() as f64 - self_loop
+                };
+                if diag(&old_set) != diag(&new_set) {
+                    out.push((u, u, diag(&old_set), diag(&new_set)));
+                }
+            }
+        }
     }
+    out
 }
 
 /// The nodes whose matrix column/row a delta perturbs: the source endpoint
 /// of every changed edge.
-fn affected_sources(delta: &GraphDelta) -> BTreeSet<usize> {
+pub(crate) fn affected_sources(delta: &GraphDelta) -> BTreeSet<usize> {
     delta
         .added
         .iter()

@@ -6,6 +6,7 @@
 //! their edges.
 
 use crate::digraph::DiGraph;
+use crate::partition::NodePartition;
 use std::collections::BTreeSet;
 
 /// The set of edge insertions and deletions turning one snapshot into the next.
@@ -83,8 +84,14 @@ impl GraphDelta {
     ///
     /// For deltas that are valid against some graph `G` (adds of absent
     /// edges, removals of present edges), `merged.apply(G)` is equivalent to
-    /// `self.apply(G); later.apply(G)`.  The merged edge lists are sorted and
-    /// deduplicated.
+    /// `self.apply(G); later.apply(G)`.
+    ///
+    /// # Order stability
+    /// The merged edge lists are *canonical*: always sorted ascending and
+    /// deduplicated, regardless of the order the input lists stored their
+    /// edges in.  Two merges over inputs that are equal as edge *sets*
+    /// therefore produce identical `GraphDelta` values — the engine's
+    /// ingestor relies on this to keep coalesced batches deterministic.
     pub fn merge(&self, later: &GraphDelta) -> GraphDelta {
         let mut added: BTreeSet<(usize, usize)> = self.added.iter().copied().collect();
         let mut removed: BTreeSet<(usize, usize)> = self.removed.iter().copied().collect();
@@ -104,6 +111,39 @@ impl GraphDelta {
             added: added.into_iter().collect(),
             removed: removed.into_iter().collect(),
         }
+    }
+
+    /// Splits the delta by a node partition into per-shard intra deltas plus
+    /// the cross-shard remainder.
+    ///
+    /// An edge change is *intra* when both endpoints live in the same shard;
+    /// it lands in that shard's delta (indexed by shard id in the returned
+    /// `Vec`).  Changes whose endpoints straddle two shards form the second
+    /// return value.  The relative order of `self`'s edge lists is preserved
+    /// within every output, and the outputs together hold exactly `self`'s
+    /// changes: applying all per-shard deltas plus the remainder (in any
+    /// order — they touch disjoint edges) equals applying `self`.
+    ///
+    /// # Panics
+    /// Panics when an edge endpoint lies outside the partition's universe.
+    pub fn split_by(&self, partition: &NodePartition) -> (Vec<GraphDelta>, GraphDelta) {
+        let mut intra = vec![GraphDelta::empty(); partition.n_shards()];
+        let mut cross = GraphDelta::empty();
+        for &(u, v) in &self.added {
+            if partition.is_intra(u, v) {
+                intra[partition.shard_of(u)].added.push((u, v));
+            } else {
+                cross.added.push((u, v));
+            }
+        }
+        for &(u, v) in &self.removed {
+            if partition.is_intra(u, v) {
+                intra[partition.shard_of(u)].removed.push((u, v));
+            } else {
+                cross.removed.push((u, v));
+            }
+        }
+        (intra, cross)
     }
 }
 
@@ -207,6 +247,69 @@ mod tests {
         // (4,0) and (1,2) cancelled: only (0,2) added, only (3,4) removed.
         assert_eq!(merged.added, vec![(0, 2)]);
         assert_eq!(merged.removed, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn merge_output_is_order_stable() {
+        // The same edge sets in different list orders must merge to the same
+        // canonical (sorted, deduplicated) delta.
+        let shuffled = GraphDelta {
+            added: vec![(3, 1), (0, 2), (3, 1)],
+            removed: vec![(2, 0), (1, 4)],
+        };
+        let sorted = GraphDelta {
+            added: vec![(0, 2), (3, 1)],
+            removed: vec![(1, 4), (2, 0)],
+        };
+        let later = GraphDelta {
+            added: vec![(4, 4), (1, 4)],
+            removed: vec![(3, 1)],
+        };
+        let a = shuffled.merge(&later);
+        let b = sorted.merge(&later);
+        assert_eq!(a, b);
+        // And the outputs themselves are sorted ascending.
+        assert!(a.added.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.removed.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn split_by_partitions_changes_and_preserves_order() {
+        let p = NodePartition::contiguous(6, 2); // {0,1,2} | {3,4,5}
+        let d = GraphDelta {
+            added: vec![(5, 4), (0, 3), (1, 0), (2, 1)],
+            removed: vec![(3, 5), (4, 0)],
+        };
+        let (intra, cross) = d.split_by(&p);
+        assert_eq!(intra.len(), 2);
+        assert_eq!(intra[0].added, vec![(1, 0), (2, 1)]);
+        assert!(intra[0].removed.is_empty());
+        assert_eq!(intra[1].added, vec![(5, 4)]);
+        assert_eq!(intra[1].removed, vec![(3, 5)]);
+        assert_eq!(cross.added, vec![(0, 3)]);
+        assert_eq!(cross.removed, vec![(4, 0)]);
+        // Nothing lost, nothing invented.
+        let total: usize = intra.iter().map(GraphDelta::size).sum::<usize>() + cross.size();
+        assert_eq!(total, d.size());
+    }
+
+    #[test]
+    fn split_by_application_equals_direct_application() {
+        let p = NodePartition::contiguous(6, 3);
+        let base = DiGraph::from_edges(6, vec![(0, 1), (2, 3), (4, 5), (1, 4)]);
+        let d = GraphDelta {
+            added: vec![(1, 0), (3, 2), (5, 0), (2, 4)],
+            removed: vec![(2, 3), (1, 4)],
+        };
+        let mut direct = base.clone();
+        d.apply(&mut direct);
+        let (intra, cross) = d.split_by(&p);
+        let mut pieced = base;
+        for shard_delta in &intra {
+            shard_delta.apply(&mut pieced);
+        }
+        cross.apply(&mut pieced);
+        assert_eq!(direct, pieced);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * [`egs::EvolvingGraphSequence`] — the archived sequence `{G_1, …, G_T}`.
 //! * [`matrix`] — graph → matrix composition (`A = I − dW`, symmetric
 //!   Laplacian) producing the evolving matrix sequence the LU machinery
-//!   consumes.
+//!   consumes, plus the sharded block/coupling split of that composition.
+//! * [`partition`] — [`partition::NodePartition`], the node→shard map the
+//!   streaming engine shards its factor store by.
 //! * [`generators`] — the paper's synthetic generator plus Wiki-like,
 //!   DBLP-like and patent-citation-like dataset simulators.
 
@@ -20,8 +22,12 @@ pub mod digraph;
 pub mod egs;
 pub mod generators;
 pub mod matrix;
+pub mod partition;
 
 pub use delta::GraphDelta;
 pub use digraph::DiGraph;
 pub use egs::EvolvingGraphSequence;
-pub use matrix::{evolving_matrix_sequence, measure_matrix, MatrixKind};
+pub use matrix::{
+    coupling_matrix, evolving_matrix_sequence, measure_matrix, shard_measure_matrix, MatrixKind,
+};
+pub use partition::NodePartition;

@@ -15,6 +15,7 @@
 
 use crate::digraph::DiGraph;
 use crate::egs::EvolvingGraphSequence;
+use crate::partition::NodePartition;
 use clude_sparse::{CooMatrix, CsrMatrix};
 
 /// Which matrix to derive from a snapshot graph.
@@ -70,47 +71,115 @@ pub fn column_normalized_adjacency(graph: &DiGraph) -> CsrMatrix {
     CsrMatrix::from_coo(&coo)
 }
 
-/// Derives the measure matrix `A` of the requested kind from a snapshot.
-pub fn measure_matrix(graph: &DiGraph, kind: MatrixKind) -> CsrMatrix {
-    let n = graph.n_nodes();
+/// Streams the measure-matrix entries keyed by each source node in
+/// `sources`: the node's diagonal entry plus the off-diagonal entries its
+/// out-edges induce (column `u` of `I − d·W` — the entry `(v, u)` of `W`
+/// contributes `-d·W` — or row `u` of `σ·I + D − Adj`, whose diagonal counts
+/// undirected neighbours, the out-degree of a symmetric `DiGraph`).
+///
+/// The single source of truth for the composition: [`measure_matrix`],
+/// [`shard_measure_matrix`] and [`coupling_matrix`] all feed from it, so the
+/// sharded block/coupling split can never drift from the full matrix.
+fn for_each_measure_entry(
+    graph: &DiGraph,
+    kind: MatrixKind,
+    sources: impl Iterator<Item = usize>,
+    mut emit: impl FnMut(usize, usize, f64),
+) {
     match kind {
         MatrixKind::RandomWalk { damping } => {
             assert!(
                 (0.0..1.0).contains(&damping),
                 "damping factor must lie in [0, 1)"
             );
-            let mut coo = CooMatrix::with_capacity(n, n, graph.n_edges() + n);
-            for i in 0..n {
-                coo.push(i, i, 1.0).expect("diagonal in bounds");
-            }
-            for u in 0..n {
+            for u in sources {
+                emit(u, u, 1.0);
                 let deg = graph.out_degree(u);
                 if deg == 0 {
                     continue;
                 }
                 let w = damping / deg as f64;
                 for v in graph.successors(u) {
-                    // Entry (v, u) of W contributes -d*W to A = I - dW.
-                    coo.push(v, u, -w).expect("edge endpoints in bounds");
+                    emit(v, u, -w);
                 }
             }
-            CsrMatrix::from_coo(&coo)
         }
         MatrixKind::SymmetricLaplacian { shift } => {
             assert!(shift > 0.0, "the diagonal shift must be positive");
-            let mut coo = CooMatrix::with_capacity(n, n, 2 * graph.n_edges() + n);
-            for i in 0..n {
-                // D(i,i) counts undirected neighbours; for a symmetric DiGraph
-                // that is the out-degree.
-                let deg = graph.out_degree(i) as f64;
-                coo.push(i, i, shift + deg).expect("diagonal in bounds");
+            for u in sources {
+                emit(u, u, shift + graph.out_degree(u) as f64);
+                for v in graph.successors(u) {
+                    emit(u, v, -1.0);
+                }
             }
-            for (u, v) in graph.edges() {
-                coo.push(u, v, -1.0).expect("edge endpoints in bounds");
-            }
-            CsrMatrix::from_coo(&coo)
         }
     }
+}
+
+/// Derives the measure matrix `A` of the requested kind from a snapshot.
+pub fn measure_matrix(graph: &DiGraph, kind: MatrixKind) -> CsrMatrix {
+    let n = graph.n_nodes();
+    let mut coo = CooMatrix::with_capacity(n, n, graph.n_edges() + n);
+    for_each_measure_entry(graph, kind, 0..n, |i, j, v| {
+        coo.push(i, j, v).expect("entries are in bounds");
+    });
+    CsrMatrix::from_coo(&coo)
+}
+
+/// The principal submatrix `A[S_s, S_s]` of the measure matrix over one
+/// shard's nodes, in that shard's *local* coordinates.
+///
+/// Degree-dependent entries use the node's **global** degree (the RandomWalk
+/// column weight `-d/λ(u)` counts cross-shard successors too, and the
+/// Laplacian diagonal counts cross-shard neighbours), so the block-diagonal
+/// of all shard matrices plus [`coupling_matrix`] reassembles
+/// [`measure_matrix`] exactly.
+pub fn shard_measure_matrix(
+    graph: &DiGraph,
+    kind: MatrixKind,
+    partition: &NodePartition,
+    shard: usize,
+) -> CsrMatrix {
+    assert_eq!(
+        graph.n_nodes(),
+        partition.n_nodes(),
+        "partition must cover the graph's node universe"
+    );
+    let nodes = partition.nodes_of(shard);
+    let m = nodes.len();
+    let mut coo = CooMatrix::new(m, m);
+    // Entries are keyed by their source node, so streaming the shard's own
+    // nodes and keeping the rows/columns that stay inside the shard yields
+    // exactly the principal submatrix.
+    for_each_measure_entry(graph, kind, nodes.iter().copied(), |i, j, v| {
+        if partition.shard_of(i) == shard && partition.shard_of(j) == shard {
+            coo.push(partition.local_of(i), partition.local_of(j), v)
+                .expect("local indices are in bounds");
+        }
+    });
+    CsrMatrix::from_coo(&coo)
+}
+
+/// The cross-shard coupling matrix: [`measure_matrix`] restricted to the
+/// entries whose row and column nodes live in *different* shards, in global
+/// coordinates.  Diagonal entries are always intra-shard, so the coupling
+/// holds only (negated, scaled) cross-shard adjacency.
+pub fn coupling_matrix(graph: &DiGraph, kind: MatrixKind, partition: &NodePartition) -> CsrMatrix {
+    assert_eq!(
+        graph.n_nodes(),
+        partition.n_nodes(),
+        "partition must cover the graph's node universe"
+    );
+    let n = graph.n_nodes();
+    let mut coo = CooMatrix::new(n, n);
+    // Diagonal entries are always intra-shard, so the cross-shard filter
+    // keeps exactly the (negated, scaled) cross-shard adjacency.
+    for_each_measure_entry(graph, kind, 0..n, |i, j, v| {
+        if !partition.is_intra(i, j) {
+            coo.push(i, j, v).expect("edge endpoints are in bounds");
+        }
+    });
+    CsrMatrix::from_coo(&coo)
 }
 
 /// Derives the evolving matrix sequence `M = {A_1, …, A_T}` from an EGS.
@@ -218,6 +287,63 @@ mod tests {
         // Second snapshot has the extra edge reflected.
         assert!(ems[1].get(0, 2) < 0.0);
         assert_eq!(ems[0].get(0, 2), 0.0);
+    }
+
+    /// Reassembles the global matrix from per-shard blocks plus coupling and
+    /// compares against the direct composition.
+    fn assert_sharding_reassembles(graph: &DiGraph, kind: MatrixKind, partition: &NodePartition) {
+        let n = graph.n_nodes();
+        let full = measure_matrix(graph, kind);
+        let coupling = coupling_matrix(graph, kind, partition);
+        let mut coo = CooMatrix::new(n, n);
+        for s in 0..partition.n_shards() {
+            let block = shard_measure_matrix(graph, kind, partition, s);
+            let nodes = partition.nodes_of(s);
+            for (li, lj, v) in block.iter() {
+                coo.push(nodes[li], nodes[lj], v).unwrap();
+            }
+        }
+        for (i, j, v) in coupling.iter() {
+            assert!(
+                !partition.is_intra(i, j),
+                "coupling entry ({i}, {j}) is intra-shard"
+            );
+            coo.push(i, j, v).unwrap();
+        }
+        let reassembled = CsrMatrix::from_coo(&coo);
+        assert_eq!(reassembled.max_abs_diff(&full).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shard_blocks_plus_coupling_reassemble_random_walk_matrix() {
+        let mut g = DiGraph::from_edges(9, (0..9).map(|i| (i, (i + 1) % 9)).collect::<Vec<_>>());
+        g.add_edge(0, 4);
+        g.add_edge(7, 2);
+        g.add_edge(3, 8);
+        let p = NodePartition::contiguous(9, 3);
+        assert_sharding_reassembles(&g, MatrixKind::random_walk_default(), &p);
+    }
+
+    #[test]
+    fn shard_blocks_plus_coupling_reassemble_laplacian() {
+        let mut g = DiGraph::new(8);
+        for i in 0..7 {
+            g.add_undirected_edge(i, i + 1);
+        }
+        g.add_undirected_edge(0, 5);
+        g.add_undirected_edge(2, 7);
+        let p = NodePartition::contiguous(8, 2);
+        assert_sharding_reassembles(&g, MatrixKind::symmetric_default(), &p);
+    }
+
+    #[test]
+    fn singleton_partition_has_empty_coupling() {
+        let g = chain_graph();
+        let p = NodePartition::singleton(3);
+        let kind = MatrixKind::random_walk_default();
+        assert_eq!(coupling_matrix(&g, kind, &p).nnz(), 0);
+        let block = shard_measure_matrix(&g, kind, &p, 0);
+        assert_eq!(block.max_abs_diff(&measure_matrix(&g, kind)).unwrap(), 0.0);
     }
 
     #[test]

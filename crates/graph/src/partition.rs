@@ -1,0 +1,205 @@
+//! Partitioning the node universe into shards.
+//!
+//! The streaming engine shards its factor store by splitting the fixed node
+//! universe `0..n` into disjoint groups.  A [`NodePartition`] is the
+//! node→shard map plus, per shard, the sorted list of member nodes — so a
+//! shard's principal submatrix can be addressed in *local* coordinates
+//! `0..shard_len(s)` while deltas and queries arrive in *global* node ids.
+//!
+//! Construction lives in two places: the trivial [`NodePartition::contiguous`]
+//! range split here, and the graph-locality-aware greedy growth (the
+//! streaming analogue of the paper's α-clustering) in `clude::partition`.
+
+use std::fmt;
+
+/// A partition of the node universe `0..n` into `k` disjoint shards.
+///
+/// Every node belongs to exactly one shard; within a shard, nodes are kept in
+/// ascending order and addressed by their *local index* (their rank in that
+/// order).  The partition is immutable once built — the engine treats a
+/// change of partition as a full re-shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePartition {
+    /// `node → shard` map.
+    shard_of: Vec<usize>,
+    /// `node → local index` within its shard.
+    local_of: Vec<usize>,
+    /// `shard → sorted member nodes` (the inverse of `local_of`).
+    nodes: Vec<Vec<usize>>,
+}
+
+impl NodePartition {
+    /// Builds a partition from an explicit `node → shard` assignment.
+    ///
+    /// Shard ids must form the dense range `0..k` with every shard
+    /// non-empty.
+    ///
+    /// # Panics
+    /// Panics when a shard id is out of the dense range or a shard ends up
+    /// empty.
+    pub fn from_assignments(shard_of: Vec<usize>) -> Self {
+        let k = shard_of.iter().copied().max().map_or(1, |m| m + 1);
+        let mut nodes: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut local_of = vec![0usize; shard_of.len()];
+        for (node, &s) in shard_of.iter().enumerate() {
+            local_of[node] = nodes[s].len();
+            nodes[s].push(node); // ascending by construction
+        }
+        for (s, members) in nodes.iter().enumerate() {
+            assert!(
+                !members.is_empty() || shard_of.is_empty(),
+                "shard {s} of {k} has no nodes"
+            );
+        }
+        NodePartition {
+            shard_of,
+            local_of,
+            nodes,
+        }
+    }
+
+    /// Splits `0..n` into `k` contiguous, balanced ranges (the first
+    /// `n mod k` shards get one extra node).
+    ///
+    /// # Panics
+    /// Panics when `k` is zero or exceeds `n` (for non-empty universes).
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "need at least one shard");
+        assert!(k <= n || n == 0, "cannot split {n} nodes into {k} shards");
+        if n == 0 {
+            return NodePartition {
+                shard_of: Vec::new(),
+                local_of: Vec::new(),
+                nodes: vec![Vec::new()],
+            };
+        }
+        let base = n / k;
+        let extra = n % k;
+        let mut shard_of = Vec::with_capacity(n);
+        for s in 0..k {
+            let len = base + usize::from(s < extra);
+            shard_of.extend(std::iter::repeat_n(s, len));
+        }
+        NodePartition::from_assignments(shard_of)
+    }
+
+    /// The single-shard (monolithic) partition of `0..n`.
+    pub fn singleton(n: usize) -> Self {
+        NodePartition::contiguous(n, 1)
+    }
+
+    /// Number of nodes in the universe.
+    pub fn n_nodes(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.shard_of[node]
+    }
+
+    /// The local index of `node` within its shard.
+    pub fn local_of(&self, node: usize) -> usize {
+        self.local_of[node]
+    }
+
+    /// The sorted member nodes of `shard` (local index → global node).
+    pub fn nodes_of(&self, shard: usize) -> &[usize] {
+        &self.nodes[shard]
+    }
+
+    /// Number of nodes in `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.nodes[shard].len()
+    }
+
+    /// The sizes of all shards, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.nodes.iter().map(Vec::len).collect()
+    }
+
+    /// Returns `true` when both endpoints lie in the same shard.
+    pub fn is_intra(&self, u: usize, v: usize) -> bool {
+        self.shard_of[u] == self.shard_of[v]
+    }
+}
+
+impl fmt::Display for NodePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes over {} shards (sizes {:?})",
+            self.n_nodes(),
+            self.n_shards(),
+            self.shard_sizes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_balanced_and_consistent() {
+        let p = NodePartition::contiguous(10, 3);
+        assert_eq!(p.n_nodes(), 10);
+        assert_eq!(p.n_shards(), 3);
+        assert_eq!(p.shard_sizes(), vec![4, 3, 3]);
+        for node in 0..10 {
+            let s = p.shard_of(node);
+            let l = p.local_of(node);
+            assert_eq!(p.nodes_of(s)[l], node);
+        }
+        assert!(p.is_intra(0, 3));
+        assert!(!p.is_intra(3, 4));
+    }
+
+    #[test]
+    fn from_assignments_round_trips() {
+        let p = NodePartition::from_assignments(vec![1, 0, 1, 0, 2]);
+        assert_eq!(p.n_shards(), 3);
+        assert_eq!(p.nodes_of(0), &[1, 3]);
+        assert_eq!(p.nodes_of(1), &[0, 2]);
+        assert_eq!(p.nodes_of(2), &[4]);
+        assert_eq!(p.local_of(3), 1);
+        assert_eq!(p.shard_len(2), 1);
+    }
+
+    #[test]
+    fn singleton_covers_everything_in_one_shard() {
+        let p = NodePartition::singleton(5);
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.nodes_of(0), &[0, 1, 2, 3, 4]);
+        // Local and global coordinates coincide.
+        for node in 0..5 {
+            assert_eq!(p.local_of(node), node);
+        }
+    }
+
+    #[test]
+    fn empty_universe_is_allowed() {
+        let p = NodePartition::contiguous(0, 1);
+        assert_eq!(p.n_nodes(), 0);
+        assert_eq!(p.n_shards(), 1);
+        assert!(p.nodes_of(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_shards_than_nodes_panics() {
+        NodePartition::contiguous(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn sparse_shard_ids_panic() {
+        // Shard 1 is skipped.
+        NodePartition::from_assignments(vec![0, 2, 0]);
+    }
+}

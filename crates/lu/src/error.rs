@@ -46,6 +46,14 @@ pub enum LuError {
         /// What was provided.
         actual: usize,
     },
+    /// An iterative solve (e.g. the sharded block-Jacobi combination) did not
+    /// reach its tolerance within the iteration budget.
+    ConvergenceFailure {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Last observed iterate change (∞-norm).
+        last_diff: f64,
+    },
 }
 
 impl fmt::Display for LuError {
@@ -67,6 +75,13 @@ impl fmt::Display for LuError {
             LuError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
+            LuError::ConvergenceFailure {
+                iterations,
+                last_diff,
+            } => write!(
+                f,
+                "iterative solve did not converge within {iterations} iterations (last change {last_diff:e})"
+            ),
         }
     }
 }
@@ -110,6 +125,12 @@ mod tests {
         }
         .to_string()
         .contains("expected 5"));
+        assert!(LuError::ConvergenceFailure {
+            iterations: 512,
+            last_diff: 1e-3
+        }
+        .to_string()
+        .contains("512 iterations"));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod symbolic;
 
 pub use bennett::{
     apply_delta, apply_delta_with, rank_one_update, rank_one_update_with, BennettStats,
-    BennettWorkspace, LuStorage,
+    BennettWorkspace, LuStorage, ShardWorkspaces,
 };
 pub use dynamic::DynamicLuFactors;
 pub use error::{LuError, LuResult};

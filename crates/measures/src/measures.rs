@@ -16,53 +16,58 @@
 //! substitution per snapshot once the sequence has been decomposed.
 
 use crate::linear_system::{group_score, normalize_scores, pagerank_rhs, ppr_rhs, rwr_rhs};
-use clude::DecomposedMatrix;
+use crate::query::MeasureSolver;
 use clude_graph::{DiGraph, MatrixKind};
 use clude_lu::{factorize_fresh, LuResult};
 use clude_sparse::{CooMatrix, CsrMatrix};
 
-/// Global PageRank scores of a snapshot, from its decomposed measure matrix.
-pub fn pagerank(decomposed: &DecomposedMatrix, n: usize, damping: f64) -> LuResult<Vec<f64>> {
+/// Global PageRank scores of a snapshot, from any solver of its measure
+/// system (a decomposed matrix, a sharded engine snapshot, …).
+pub fn pagerank<S: MeasureSolver + ?Sized>(
+    solver: &S,
+    n: usize,
+    damping: f64,
+) -> LuResult<Vec<f64>> {
     let b = pagerank_rhs(n, damping);
-    let raw = decomposed.solve(&b)?;
+    let raw = solver.solve_measure_system(&b)?;
     Ok(normalize_scores(raw))
 }
 
 /// Random walk with restart (single-seed personalised PageRank) scores.
-pub fn rwr(
-    decomposed: &DecomposedMatrix,
+pub fn rwr<S: MeasureSolver + ?Sized>(
+    solver: &S,
     n: usize,
     seed: usize,
     damping: f64,
 ) -> LuResult<Vec<f64>> {
     let b = rwr_rhs(n, seed, damping);
-    let raw = decomposed.solve(&b)?;
+    let raw = solver.solve_measure_system(&b)?;
     Ok(normalize_scores(raw))
 }
 
 /// Personalised PageRank with a uniform restart over a seed set.
-pub fn personalized_pagerank(
-    decomposed: &DecomposedMatrix,
+pub fn personalized_pagerank<S: MeasureSolver + ?Sized>(
+    solver: &S,
     n: usize,
     seeds: &[usize],
     damping: f64,
 ) -> LuResult<Vec<f64>> {
     let b = ppr_rhs(n, seeds, damping);
-    let raw = decomposed.solve(&b)?;
+    let raw = solver.solve_measure_system(&b)?;
     Ok(normalize_scores(raw))
 }
 
 /// Proximity of a group of nodes (e.g. one company's patents) from a seed
 /// set, as used in the paper's §7 case study: the sum of the group's PPR
 /// scores.
-pub fn group_proximity(
-    decomposed: &DecomposedMatrix,
+pub fn group_proximity<S: MeasureSolver + ?Sized>(
+    solver: &S,
     n: usize,
     seeds: &[usize],
     group: &[usize],
     damping: f64,
 ) -> LuResult<f64> {
-    let scores = personalized_pagerank(decomposed, n, seeds, damping)?;
+    let scores = personalized_pagerank(solver, n, seeds, damping)?;
     Ok(group_score(&scores, group))
 }
 

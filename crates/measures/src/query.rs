@@ -175,28 +175,59 @@ impl MeasureQuery {
     }
 }
 
-/// Evaluates a query against one decomposed snapshot.
+/// Anything that can solve the snapshot's measure system `A x = b`.
 ///
-/// `decomposed` must hold factors of the snapshot's `I − d·W` matrix with the
-/// query's damping factor; `graph` is the snapshot graph itself, used by
-/// queries (hitting time) whose linear system is query-specific rather than
-/// snapshot-specific.
-pub fn evaluate_query(
-    decomposed: &DecomposedMatrix,
+/// The random-walk measures only need *some* exact solver for
+/// `(I − d·W) x = b`; a monolithic [`DecomposedMatrix`] answers by one pair
+/// of triangular substitutions, while the engine's sharded snapshots combine
+/// per-shard solves with a cross-shard coupling correction.  Implementing
+/// this trait is what plugs a snapshot representation into
+/// [`evaluate_query_with`].
+pub trait MeasureSolver {
+    /// Solves the snapshot's measure system for one right-hand side.
+    fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>>;
+}
+
+impl MeasureSolver for DecomposedMatrix {
+    fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        self.solve(b)
+    }
+}
+
+/// Evaluates a query through any [`MeasureSolver`].
+///
+/// The solver must hold (or emulate) factors of the snapshot's `I − d·W`
+/// matrix with the query's damping factor; `graph` is the snapshot graph
+/// itself, used by queries (hitting time) whose linear system is
+/// query-specific rather than snapshot-specific.
+pub fn evaluate_query_with<S: MeasureSolver + ?Sized>(
+    solver: &S,
     graph: &DiGraph,
     query: &MeasureQuery,
 ) -> LuResult<Vec<f64>> {
     let n = graph.n_nodes();
     match query {
-        MeasureQuery::PageRank { damping } => pagerank(decomposed, n, *damping),
-        MeasureQuery::Rwr { seed, damping } => rwr(decomposed, n, *seed, *damping),
+        MeasureQuery::PageRank { damping } => pagerank(solver, n, *damping),
+        MeasureQuery::Rwr { seed, damping } => rwr(solver, n, *seed, *damping),
         MeasureQuery::PprSeedSet { seeds, damping } => {
-            personalized_pagerank(decomposed, n, seeds, *damping)
+            personalized_pagerank(solver, n, seeds, *damping)
         }
         MeasureQuery::HittingTime { target, damping } => {
             discounted_hitting_time(graph, *target, *damping)
         }
     }
+}
+
+/// Evaluates a query against one decomposed snapshot.
+///
+/// Convenience wrapper over [`evaluate_query_with`] for the monolithic
+/// representation; kept as the stable entry point of the batch pipeline.
+pub fn evaluate_query(
+    decomposed: &DecomposedMatrix,
+    graph: &DiGraph,
+    query: &MeasureQuery,
+) -> LuResult<Vec<f64>> {
+    evaluate_query_with(decomposed, graph, query)
 }
 
 #[cfg(test)]
