@@ -17,8 +17,8 @@ use crate::cluster::{cluster_union_pattern, Cluster};
 use crate::ems::EvolvingMatrixSequence;
 use crate::report::{RunReport, TimingBreakdown};
 use clude_lu::{
-    apply_delta_with, markowitz_ordering, solve_original, BennettWorkspace, DynamicLuFactors,
-    LuError, LuFactors, LuResult, LuStructure,
+    apply_delta_with, markowitz_ordering, solve_original_into, BennettWorkspace, DynamicLuFactors,
+    LuError, LuFactors, LuResult, LuStructure, SolveScratch,
 };
 use clude_sparse::{CsrMatrix, Ordering};
 use std::sync::Arc;
@@ -74,6 +74,14 @@ impl MatrixFactors {
             MatrixFactors::Dynamic(f) => f.solve(b),
         }
     }
+
+    /// Rough resident size of the decomposed representation in bytes
+    /// (values plus structural indices, ~24 bytes per stored slot).  Used by
+    /// the engine's snapshot-ring accounting, where "approximately right and
+    /// cheap" beats exact heap traversal.
+    pub fn approx_bytes(&self) -> usize {
+        self.nnz() * 24
+    }
 }
 
 /// The decomposition of one matrix of the sequence.
@@ -90,14 +98,39 @@ pub struct DecomposedMatrix {
 impl DecomposedMatrix {
     /// Solves the original system `A_i x = b` through the reordered factors.
     pub fn solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let mut x = Vec::new();
+        let mut scratch = SolveScratch::new();
+        self.solve_into(b, &mut scratch, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free variant of [`DecomposedMatrix::solve`]: permutes and
+    /// substitutes through the reused `scratch`, writing the solution into
+    /// `out` (capacities are reused, previous contents discarded).  This is
+    /// the per-shard solve of the engine's block-Jacobi query path, called
+    /// once per shard per sweep — the reason it must not allocate.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        scratch: &mut SolveScratch,
+        out: &mut Vec<f64>,
+    ) -> LuResult<()> {
         let factors = self.factors.as_ref().ok_or(LuError::DimensionMismatch {
             expected: self.ordering.row().len(),
             actual: 0,
         })?;
         match factors {
-            MatrixFactors::Static(f) => solve_original(f, &self.ordering, b),
-            MatrixFactors::Dynamic(f) => solve_original(f, &self.ordering, b),
+            MatrixFactors::Static(f) => solve_original_into(f, &self.ordering, b, scratch, out),
+            MatrixFactors::Dynamic(f) => solve_original_into(f, &self.ordering, b, scratch, out),
         }
+    }
+
+    /// Rough resident size of this decomposition in bytes: the factors plus
+    /// the ordering's two permutation maps.  See
+    /// [`MatrixFactors::approx_bytes`] for the accounting granularity.
+    pub fn approx_bytes(&self) -> usize {
+        let ordering_bytes = 2 * self.ordering.row().len() * std::mem::size_of::<usize>();
+        self.factors.as_ref().map_or(0, MatrixFactors::approx_bytes) + ordering_bytes
     }
 }
 

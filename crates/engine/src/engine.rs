@@ -7,7 +7,12 @@
 //!   [`DeltaIngestor`] plus the [`FactorStore`]) — one writer at a time;
 //! * cut batches advance the store and publish an immutable
 //!   [`EngineSnapshot`] into an `RwLock`-guarded ring of recent snapshots
-//!   (bounded time-travel window);
+//!   (bounded time-travel window).  The ring is copy-on-write: consecutive
+//!   entries share the `Arc`'d factor blocks of every shard the batch did
+//!   not touch (and the frozen coupling when no cross-shard entry changed),
+//!   so retaining a deep ring costs O(touched shards) *factor* memory per
+//!   snapshot (each entry still carries its own copy of the graph, which
+//!   changes every batch and is far smaller than the factors);
 //! * queries grab an `Arc` to a snapshot under a brief read lock and solve
 //!   through the sharded, cached [`QueryService`] without blocking the
 //!   writer or each other.
@@ -21,7 +26,7 @@ use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
 use clude::partition::edge_locality_partition;
 use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -35,7 +40,11 @@ pub struct EngineConfig {
     pub batch: BatchPolicy,
     /// When to abandon the ordering and re-factorize.
     pub refresh: RefreshPolicy,
-    /// How many recent snapshots stay queryable (time-travel window).
+    /// How many recent snapshots stay queryable (time-travel window).  The
+    /// ring shares untouched shards' factor blocks between entries, so a
+    /// deeper ring costs O(touched shards) — not O(all shards) — *factor*
+    /// memory per retained snapshot; each entry does keep its own copy of
+    /// the (much smaller) snapshot graph.
     pub ring_capacity: usize,
     /// Number of result-cache shards.
     pub cache_shards: usize,
@@ -112,6 +121,8 @@ impl StoreBackend {
                     refreshed: r.refreshed,
                     quality_loss: r.quality_loss,
                     coupling_writes: 0,
+                    shards_republished: r.republished as u64,
+                    coupling_republished: false,
                 })
             }
             StoreBackend::Sharded(s) => s.advance(delta),
@@ -272,6 +283,14 @@ impl CludeEngine {
                 EngineCounters::bump(&c.refreshes);
             }
         }
+        // Snapshot-ring sharing accounting: the batch cloned (re-froze) the
+        // factor blocks of the shards it touched and shared the rest with the
+        // previous ring entry.
+        EngineCounters::add(&self.counters.cow_shards_cloned, report.shards_republished);
+        EngineCounters::add(
+            &self.counters.cow_shards_shared,
+            self.n_shards as u64 - report.shards_republished,
+        );
 
         let snapshot = Arc::new(state.store.snapshot());
         let oldest_retained = {
@@ -359,9 +378,31 @@ impl CludeEngine {
         Ok(())
     }
 
-    /// A point-in-time copy of the operation counters.
+    /// A point-in-time copy of the operation counters, completed with the
+    /// snapshot-ring occupancy: ring depth and the approximate resident
+    /// factor bytes across the ring, counting every shared factor block and
+    /// frozen coupling exactly once (deduplicated by [`Arc`] identity —
+    /// this is where the copy-on-write sharing becomes visible as memory).
     pub fn stats(&self) -> EngineStats {
-        self.counters.snapshot()
+        let mut stats = self.counters.snapshot();
+        let ring = self.ring.read().expect("snapshot ring poisoned");
+        stats.ring_depth = ring.len() as u64;
+        let mut seen: HashSet<*const ()> = HashSet::new();
+        let mut bytes = 0u64;
+        for snapshot in ring.iter() {
+            for shard in snapshot.shards() {
+                if seen.insert(Arc::as_ptr(shard.shared()).cast()) {
+                    bytes += shard.decomposed().approx_bytes() as u64;
+                }
+            }
+            let coupling = snapshot.shared_coupling();
+            if seen.insert(Arc::as_ptr(coupling).cast()) {
+                // CSR: ~16 bytes per entry (column + value) plus row offsets.
+                bytes += (coupling.nnz() * 16 + (coupling.n_rows() + 1) * 8) as u64;
+            }
+        }
+        stats.resident_factor_bytes = bytes;
+        stats
     }
 
     /// Number of results currently cached.
@@ -432,6 +473,36 @@ mod tests {
             })
         ));
         assert!(engine.query_at(4, &q).is_ok());
+    }
+
+    #[test]
+    fn stats_report_ring_occupancy_and_sharing() {
+        let engine = CludeEngine::new(
+            ring_graph(12),
+            EngineConfig {
+                n_shards: 3,
+                ..small_config(1)
+            },
+        )
+        .unwrap();
+        let before = engine.stats();
+        assert_eq!(before.ring_depth, 1);
+        assert!(before.resident_factor_bytes > 0);
+        assert_eq!(before.cow_shards_cloned + before.cow_shards_shared, 0);
+        // Each single-edge batch touches one or two shards; the rest of each
+        // snapshot's blocks are shared with the previous ring entry.
+        for i in 0..4 {
+            engine.insert_edge(i, (i + 5) % 12).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.ring_depth, 3); // capped by ring_capacity
+        assert_eq!(
+            stats.cow_shards_cloned + stats.cow_shards_shared,
+            4 * engine.n_shards() as u64
+        );
+        assert!(stats.cow_shards_shared > 0, "no snapshot shared any shard");
+        assert!(stats.resident_factor_bytes > 0);
+        assert!(stats.to_string().contains("cow-clones"));
     }
 
     #[test]

@@ -23,8 +23,11 @@
 //!                        │                           │ publishes
 //!                        ▼                           ▼
 //!                 snapshot counter          ring of EngineSnapshots
-//!                                           (per-shard factors + coupling,
-//!                                           bounded time travel)
+//!                                           (copy-on-write: per-shard Arc'd
+//!                                           factor blocks + frozen coupling,
+//!                                           untouched shards shared with the
+//!                                           previous entry; bounded time
+//!                                           travel)
 //!                                                    │
 //!                                                    ▼
 //!                                             QueryService
@@ -46,11 +49,23 @@
 //!   (`clude_graph::NodePartition`) into per-shard factor blocks plus a
 //!   cross-shard coupling store; disjoint-shard delta batches sweep in
 //!   parallel, and queries recombine the blocks exactly.
+//! * [`store::EngineSnapshot`] is the immutable unit the ring retains: the
+//!   per-shard factor blocks and the frozen coupling are shared [`Arc`]
+//!   handles (see [`store::ShardSnapshot::shared`]), re-frozen by an advance
+//!   for exactly the shards the batch touched — so a long time-travel window
+//!   costs O(touched shards) factor memory per snapshot, not O(all shards)
+//!   (the snapshot graph itself, much smaller than the factors, is still
+//!   copied per entry).
 //! * [`query::QueryService`] answers typed
 //!   [`clude_measures::MeasureQuery`]s against immutable snapshots with a
-//!   sharded LRU result cache.
+//!   sharded LRU result cache; coupled sharded solves run block-Jacobi
+//!   through reused [`clude_lu::SolveScratch`] buffers, allocation-free per
+//!   sweep.
 //! * [`stats`] exports lock-free ingest/refresh/query counters in the style
-//!   of `clude::report::TimingBreakdown`.
+//!   of `clude::report::TimingBreakdown`, including the snapshot ring's
+//!   sharing behaviour (depth, clone/share counts, resident factor bytes).
+//!
+//! [`Arc`]: std::sync::Arc
 //!
 //! The facade tying it together is [`CludeEngine`]:
 //!

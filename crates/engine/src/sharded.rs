@@ -6,7 +6,7 @@
 //! locality *within one live snapshot*.  The node universe is split by a
 //! [`NodePartition`]; each shard owns the decomposed principal submatrix
 //! `A[S_s, S_s]` of the measure matrix (its own ordering, dynamic factors and
-//! [`BennettWorkspace`](clude_lu::BennettWorkspace)), while the entries whose
+//! [`BennettWorkspace`]), while the entries whose
 //! row and column straddle two shards accumulate in a sparse coupling store:
 //!
 //! ```text
@@ -30,7 +30,7 @@ use crate::store::{
     affected_sources, global_matrix_delta, order_and_factorize, EngineSnapshot, OrderedFactors,
     RefreshPolicy, ShardSnapshot,
 };
-use clude::{DecomposedMatrix, MatrixFactors};
+use clude::DecomposedMatrix;
 use clude_graph::{
     coupling_matrix, shard_measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition,
 };
@@ -191,6 +191,13 @@ pub struct ShardedAdvanceReport {
     pub quality_loss: f64,
     /// Cross-shard coupling entries written by this batch.
     pub coupling_writes: u64,
+    /// Shards whose shared factor handle was re-frozen by this batch; the
+    /// other `n_shards − shards_republished` blocks of the next snapshot are
+    /// pointer-shared with the previous one (copy-on-write ring).
+    pub shards_republished: u64,
+    /// Whether the frozen coupling matrix was rebuilt (any cross-shard entry
+    /// changed); `false` shares the previous snapshot's coupling.
+    pub coupling_republished: bool,
 }
 
 /// Per-shard LU factors over a partitioned node universe, updated in
@@ -211,6 +218,13 @@ pub struct ShardedFactorStore {
     workspaces: ShardWorkspaces,
     coupling: CouplingStore,
     snapshot_id: u64,
+    /// Per-shard shared factor handles snapshots serve from, re-frozen only
+    /// for the shards a batch swept or refreshed; the rest stay shared with
+    /// every earlier snapshot in the ring (copy-on-write).
+    published: Vec<Arc<DecomposedMatrix>>,
+    /// The frozen coupling CSR, rebuilt only by batches that wrote a
+    /// cross-shard entry.
+    published_coupling: Arc<CsrMatrix>,
 }
 
 impl ShardedFactorStore {
@@ -234,6 +248,8 @@ impl ShardedFactorStore {
             .collect::<EngineResult<_>>()?;
         let workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
         let coupling = CouplingStore::from_matrix(&coupling_matrix(&graph, kind, &partition));
+        let published = shards.iter().map(|s| s.of.publish(0)).collect();
+        let published_coupling = Arc::new(coupling.to_csr());
         Ok(ShardedFactorStore {
             kind,
             policy,
@@ -243,6 +259,8 @@ impl ShardedFactorStore {
             workspaces,
             coupling,
             snapshot_id: 0,
+            published,
+            published_coupling,
         })
     }
 
@@ -295,24 +313,25 @@ impl ShardedFactorStore {
     }
 
     /// An immutable snapshot of the current state for the query side.
+    ///
+    /// Cheap by construction: the per-shard factor blocks and the frozen
+    /// coupling are shared [`Arc`] handles re-frozen inside
+    /// [`ShardedFactorStore::advance`] for exactly the shards the batch
+    /// touched, so this clones `n_shards` pointers and the graph — never a
+    /// factor block.  Consecutive snapshots are [`Arc::ptr_eq`] on every
+    /// untouched shard's [`ShardSnapshot::shared`] handle.
     pub fn snapshot(&self) -> EngineSnapshot {
         let shards = self
-            .shards
+            .published
             .iter()
-            .map(|s| {
-                ShardSnapshot::new(DecomposedMatrix {
-                    index: self.snapshot_id as usize,
-                    ordering: s.of.ordering.clone(),
-                    factors: Some(MatrixFactors::Dynamic(s.of.factors.clone())),
-                })
-            })
+            .map(|d| ShardSnapshot::new(Arc::clone(d)))
             .collect();
         EngineSnapshot::from_parts(
             self.snapshot_id,
             self.graph.clone(),
             Arc::clone(&self.partition),
             shards,
-            Arc::new(self.coupling.to_csr()),
+            Arc::clone(&self.published_coupling),
         )
     }
 
@@ -445,6 +464,15 @@ impl ShardedFactorStore {
             report.per_shard[s].sweeps = outcome.bennett.rank_one_updates as u64;
             report.per_shard[s].refreshed = outcome.refreshed;
             report.refreshed |= outcome.refreshed;
+            // Copy-on-write: only the shards this batch swept (or refreshed)
+            // re-freeze their shared handle; every other shard keeps serving
+            // the handle older snapshots already hold.
+            self.published[s] = self.shards[s].of.publish(self.snapshot_id);
+            report.shards_republished += 1;
+        }
+        if coupling_writes > 0 {
+            self.published_coupling = Arc::new(self.coupling.to_csr());
+            report.coupling_republished = true;
         }
         // Quality-loss is a property of the shard's accumulated state, not
         // of this batch's work: report it for idle shards too.
@@ -704,6 +732,73 @@ mod tests {
         assert!(refreshed[0], "densified shard never refreshed");
         assert!(!refreshed[1], "untouched shard refreshed spuriously");
         store.assert_consistent(1e-9);
+    }
+
+    #[test]
+    fn untouched_shards_share_their_snapshot_handles() {
+        let n = 12;
+        let g = base_graph(n);
+        let mut store = ShardedFactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+            NodePartition::contiguous(n, 3),
+        )
+        .unwrap();
+        let snap0 = store.snapshot();
+
+        // Intra-shard-0 batch: only shard 0's block may be re-frozen.
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(0, 3), (1, 2)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert_eq!(report.shards_republished, 1);
+        assert!(!report.coupling_republished);
+        let snap1 = store.snapshot();
+        assert!(!Arc::ptr_eq(
+            snap0.shards()[0].shared(),
+            snap1.shards()[0].shared()
+        ));
+        for s in 1..3 {
+            assert!(
+                Arc::ptr_eq(snap0.shards()[s].shared(), snap1.shards()[s].shared()),
+                "untouched shard {s} was cloned"
+            );
+        }
+        assert!(Arc::ptr_eq(
+            snap0.shared_coupling(),
+            snap1.shared_coupling()
+        ));
+        // The shared blocks record when they were last touched, the snapshot
+        // records when it was taken.
+        assert_eq!(snap1.id(), 1);
+        assert_eq!(snap1.shards()[0].decomposed().index, 1);
+        assert_eq!(snap1.shards()[1].decomposed().index, 0);
+
+        // Cross-shard batch (0 -> 7): shard 0's column rescales, shard 1 is
+        // only a coupling target — its block stays shared, the frozen
+        // coupling does not.
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(0, 7)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert!(report.coupling_republished);
+        let snap2 = store.snapshot();
+        assert!(Arc::ptr_eq(
+            snap1.shards()[1].shared(),
+            snap2.shards()[1].shared()
+        ));
+        assert!(!Arc::ptr_eq(
+            snap1.shared_coupling(),
+            snap2.shared_coupling()
+        ));
+        // Old snapshots still answer from their own (shared) state.
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        assert_ne!(snap0.query(&q).unwrap(), snap2.query(&q).unwrap());
     }
 
     #[test]

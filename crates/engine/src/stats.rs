@@ -79,6 +79,12 @@ pub struct EngineCounters {
     pub refresh_nanos: AtomicU64,
     /// Nanoseconds spent solving queries (cache misses only).
     pub query_nanos: AtomicU64,
+    /// Shard factor blocks cloned (re-frozen) for a new snapshot because the
+    /// batch touched them — the "copy" side of the copy-on-write ring.
+    pub cow_shards_cloned: AtomicU64,
+    /// Shard factor blocks shared with the previous snapshot because the
+    /// batch left them untouched — the "write-free" side of the ring.
+    pub cow_shards_shared: AtomicU64,
     /// Per-shard ingest counters (one entry per factor shard; a single entry
     /// for the monolithic store).
     pub per_shard: Vec<ShardCounters>,
@@ -129,6 +135,12 @@ impl EngineCounters {
             ingest_time: Duration::from_nanos(self.ingest_nanos.load(Ordering::Relaxed)),
             refresh_time: Duration::from_nanos(self.refresh_nanos.load(Ordering::Relaxed)),
             query_time: Duration::from_nanos(self.query_nanos.load(Ordering::Relaxed)),
+            cow_shards_cloned: self.cow_shards_cloned.load(Ordering::Relaxed),
+            cow_shards_shared: self.cow_shards_shared.load(Ordering::Relaxed),
+            // Ring occupancy lives outside the counters; `CludeEngine::stats`
+            // fills these two in from the live ring.
+            ring_depth: 0,
+            resident_factor_bytes: 0,
         }
     }
 }
@@ -161,6 +173,19 @@ pub struct EngineStats {
     pub refresh_time: Duration,
     /// Wall-clock spent solving queries.
     pub query_time: Duration,
+    /// Shard factor blocks cloned (re-frozen) across all published snapshots
+    /// because their shard was swept or refreshed.
+    pub cow_shards_cloned: u64,
+    /// Shard factor blocks shared with the previous snapshot across all
+    /// published snapshots (untouched shards).
+    pub cow_shards_shared: u64,
+    /// Snapshots currently retained in the time-travel ring (filled in by
+    /// `CludeEngine::stats`; 0 when the stats came straight from counters).
+    pub ring_depth: u64,
+    /// Approximate bytes of factor blocks plus frozen couplings resident
+    /// across the ring, counting each shared handle once (filled in by
+    /// `CludeEngine::stats`).
+    pub resident_factor_bytes: u64,
     /// Per-shard ingest breakdown, indexed by shard id.
     pub per_shard: Vec<ShardStats>,
 }
@@ -183,6 +208,35 @@ impl EngineStats {
             self.ingest_time / self.batches_applied as u32
         }
     }
+
+    /// Fraction of per-snapshot shard blocks served by sharing instead of
+    /// cloning, in `[0, 1]` (0 when no snapshot was published).  `1 − rate`
+    /// is the fraction of the old full-clone cost the ring still pays.
+    pub fn cow_share_rate(&self) -> f64 {
+        let total = self.cow_shards_cloned + self.cow_shards_shared;
+        if total == 0 {
+            0.0
+        } else {
+            self.cow_shards_shared as f64 / total as f64
+        }
+    }
+}
+
+/// Renders a byte count with a binary-unit suffix (`4.2 MiB`), for the
+/// resident-memory line of the stats display.
+fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -197,7 +251,7 @@ impl fmt::Display for EngineStats {
             "factors  | refreshes {:>4}  rank-1 {:>10}  pivots {:>10}  refresh time {:>10.3?}",
             self.refreshes, self.bennett_rank_one_updates, self.bennett_pivots, self.refresh_time
         )?;
-        write!(
+        writeln!(
             f,
             "queries  | total {:>8}  hits {:>10}  misses {:>8}  hit-rate {:>5.1}%  solve time {:>10.3?}",
             self.queries,
@@ -205,6 +259,15 @@ impl fmt::Display for EngineStats {
             self.cache_misses,
             100.0 * self.hit_rate(),
             self.query_time
+        )?;
+        write!(
+            f,
+            "ring     | depth {:>8}  cow-clones {:>6}  shared {:>8}  share-rate {:>5.1}%  resident ~{}",
+            self.ring_depth,
+            self.cow_shards_cloned,
+            self.cow_shards_shared,
+            100.0 * self.cow_share_rate(),
+            format_bytes(self.resident_factor_bytes)
         )?;
         if self.per_shard.len() > 1 {
             for s in &self.per_shard {
@@ -287,5 +350,35 @@ mod tests {
         assert!(text.contains("factors"));
         assert!(text.contains("hit-rate"));
         assert!(text.contains("50.0%"));
+        assert!(text.contains("ring"));
+        assert!(text.contains("cow-clones"));
+    }
+
+    #[test]
+    fn ring_section_reports_sharing() {
+        let c = EngineCounters::with_shards(4);
+        EngineCounters::add(&c.cow_shards_cloned, 2);
+        EngineCounters::add(&c.cow_shards_shared, 6);
+        let mut s = c.snapshot();
+        s.ring_depth = 3;
+        s.resident_factor_bytes = 3 * 1024 * 1024 / 2;
+        assert_eq!(s.cow_shards_cloned, 2);
+        assert_eq!(s.cow_shards_shared, 6);
+        assert!((s.cow_share_rate() - 0.75).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("depth        3"));
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("1.5 MiB"));
+        // No snapshots published yet: rate degrades to 0 instead of NaN.
+        assert_eq!(EngineStats::default().cow_share_rate(), 0.0);
+    }
+
+    #[test]
+    fn byte_formatting_picks_binary_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
     }
 }

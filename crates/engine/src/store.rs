@@ -77,18 +77,34 @@ impl Default for RefreshPolicy {
 
 /// One shard's slice of an [`EngineSnapshot`]: the decomposed principal
 /// submatrix over the shard's nodes, in local coordinates.
+///
+/// The block is held behind an [`Arc`], which is what makes the snapshot
+/// ring copy-on-write: consecutive snapshots share the handle for every
+/// shard a batch did not touch, so a long time-travel window costs
+/// O(touched shards) factor memory per snapshot instead of O(all shards).
+/// The [`DecomposedMatrix::index`] of a shared block records the snapshot id
+/// at which the shard's factors last changed (not the id of the snapshot
+/// serving it).
 #[derive(Debug, Clone)]
 pub struct ShardSnapshot {
-    decomposed: DecomposedMatrix,
+    decomposed: Arc<DecomposedMatrix>,
 }
 
 impl ShardSnapshot {
-    pub(crate) fn new(decomposed: DecomposedMatrix) -> Self {
+    pub(crate) fn new(decomposed: Arc<DecomposedMatrix>) -> Self {
         ShardSnapshot { decomposed }
     }
 
     /// The shard's decomposed block (ordering + factors, local coordinates).
     pub fn decomposed(&self) -> &DecomposedMatrix {
+        &self.decomposed
+    }
+
+    /// The shared handle of the decomposed block.  Two snapshots whose
+    /// handles are [`Arc::ptr_eq`] serve the identical factors without
+    /// holding two copies — the observable form of the ring's structural
+    /// sharing.
+    pub fn shared(&self) -> &Arc<DecomposedMatrix> {
         &self.decomposed
     }
 }
@@ -161,6 +177,13 @@ impl EngineSnapshot {
         &self.coupling
     }
 
+    /// The shared handle of the frozen coupling matrix.  Snapshots between
+    /// which no cross-shard entry changed are [`Arc::ptr_eq`] here, the
+    /// coupling-side half of the ring's structural sharing.
+    pub fn shared_coupling(&self) -> &Arc<CsrMatrix> {
+        &self.coupling
+    }
+
     /// The decomposed measure matrix of a monolithic snapshot.
     ///
     /// # Panics
@@ -185,16 +208,26 @@ impl EngineSnapshot {
     }
 
     /// Runs every shard's solve against `rhs` restricted to its nodes and
-    /// scatters the local solutions into `out`.  `local` is reused gather
-    /// scratch (cleared per shard).
-    fn solve_blocks(&self, rhs: &[f64], out: &mut [f64], local: &mut Vec<f64>) -> LuResult<()> {
+    /// scatters the local solutions into `out`.  All intermediate vectors
+    /// live in `scratch`, so one call allocates nothing once the scratch has
+    /// warmed up to the largest shard's order.
+    fn solve_blocks(
+        &self,
+        rhs: &[f64],
+        out: &mut [f64],
+        scratch: &mut BlockScratch,
+    ) -> LuResult<()> {
         for (s, shard) in self.shards.iter().enumerate() {
             let nodes = self.partition.nodes_of(s);
-            local.clear();
-            local.extend(nodes.iter().map(|&g| rhs[g]));
-            let xs = shard.decomposed.solve(local)?;
+            scratch.local_rhs.clear();
+            scratch.local_rhs.extend(nodes.iter().map(|&g| rhs[g]));
+            shard.decomposed.solve_into(
+                &scratch.local_rhs,
+                &mut scratch.lu,
+                &mut scratch.local_x,
+            )?;
             for (l, &g) in nodes.iter().enumerate() {
-                out[g] = xs[l];
+                out[g] = scratch.local_x[l];
             }
         }
         Ok(())
@@ -222,24 +255,25 @@ impl EngineSnapshot {
             return self.shards[0].decomposed.solve(b);
         }
         let mut x = vec![0.0; n];
-        let mut local = Vec::new();
+        let mut scratch = BlockScratch::default();
         if self.coupling.nnz() == 0 {
             // Fully decoupled shards: one round of block solves is exact.
-            self.solve_blocks(b, &mut x, &mut local)?;
+            self.solve_blocks(b, &mut x, &mut scratch)?;
             return Ok(x);
         }
         let mut next = vec![0.0; n];
         let mut rhs = vec![0.0; n];
         let mut last_diff = f64::INFINITY;
         for _ in 0..MAX_BLOCK_ITERS {
-            // rhs = b − C·x, accumulated into the reused buffer (the
-            // remaining per-sweep allocations live inside the per-shard
-            // triangular solves; see the ROADMAP latency item).
+            // rhs = b − C·x, accumulated into the reused buffer.  Everything
+            // below — gather, permute, substitute, recover, scatter — runs
+            // through reused buffers too, so the steady-state sweep performs
+            // zero heap allocations.
             rhs.copy_from_slice(b);
             for (i, j, v) in self.coupling.iter() {
                 rhs[i] -= v * x[j];
             }
-            self.solve_blocks(&rhs, &mut next, &mut local)?;
+            self.solve_blocks(&rhs, &mut next, &mut scratch)?;
             let mut diff = 0.0f64;
             let mut scale = 1.0f64;
             for (new, old) in next.iter().zip(x.iter()) {
@@ -274,6 +308,17 @@ impl MeasureSolver for EngineSnapshot {
     }
 }
 
+/// Reused buffers of one [`EngineSnapshot::block_solve`] call: the gathered
+/// per-shard right-hand side, the recovered per-shard solution, and the
+/// triangular-solve scratch underneath.  Allocated once per query; every
+/// block-Jacobi sweep after the first reuses the grown capacity.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    local_rhs: Vec<f64>,
+    local_x: Vec<f64>,
+    lu: clude_lu::SolveScratch,
+}
+
 /// What one [`FactorStore::advance`] did.
 #[derive(Debug, Clone)]
 pub struct AdvanceReport {
@@ -289,6 +334,10 @@ pub struct AdvanceReport {
     /// Number of changed matrix entries the batch translated into factor
     /// updates.
     pub entries_applied: usize,
+    /// Whether the batch re-published the store's shared factor handle.
+    /// `false` means the next snapshot shares the previous one's factors —
+    /// the copy-on-write case.
+    pub republished: bool,
 }
 
 /// The current snapshot's factors, maintained under a fixed ordering until
@@ -304,6 +353,10 @@ pub struct FactorStore {
     /// Reused Bennett scratch: advances allocate nothing per pivot.
     workspace: BennettWorkspace,
     snapshot_id: u64,
+    /// The shared factor handle snapshots serve from, re-frozen only by
+    /// batches that change the factors; snapshots between which no factor
+    /// work happened share it (copy-on-write ring).
+    published: Arc<DecomposedMatrix>,
     /// Cached singleton partition shared by every published snapshot.
     partition: Arc<NodePartition>,
     /// Cached empty coupling matrix shared by every published snapshot.
@@ -318,6 +371,7 @@ impl FactorStore {
         let of = order_and_factorize(&matrix)?;
         let workspace = BennettWorkspace::with_order(of.factors.n());
         let n = graph.n_nodes();
+        let published = of.publish(0);
         Ok(FactorStore {
             kind,
             policy,
@@ -327,6 +381,7 @@ impl FactorStore {
             of,
             workspace,
             snapshot_id: 0,
+            published,
         })
     }
 
@@ -361,16 +416,18 @@ impl FactorStore {
     }
 
     /// An immutable snapshot of the current state for the query side.
+    ///
+    /// The factor handle is shared, not cloned: consecutive snapshots whose
+    /// batches performed no factor work are [`Arc::ptr_eq`] on their
+    /// [`ShardSnapshot::shared`] block, and the deep clone of the factors
+    /// happens at most once per advance (inside [`FactorStore::advance`]),
+    /// not per `snapshot()` call.
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot::from_parts(
             self.snapshot_id,
             self.graph.clone(),
             Arc::clone(&self.partition),
-            vec![ShardSnapshot::new(DecomposedMatrix {
-                index: self.snapshot_id as usize,
-                ordering: self.of.ordering.clone(),
-                factors: Some(MatrixFactors::Dynamic(self.of.factors.clone())),
-            })],
+            vec![ShardSnapshot::new(Arc::clone(&self.published))],
             Arc::clone(&self.empty_coupling),
         )
     }
@@ -422,12 +479,20 @@ impl FactorStore {
                 .apply_or_refresh(&mut self.workspace, &matrix_delta, self.policy, || {
                     measure_matrix(graph, kind)
                 })?;
+        // Copy-on-write: re-freeze the shared factor handle only when this
+        // batch actually touched the factors; a no-entry batch keeps serving
+        // (and sharing) the previous handle.
+        let republished = entries_applied > 0 || refreshed;
+        if republished {
+            self.published = self.of.publish(self.snapshot_id);
+        }
         Ok(AdvanceReport {
             snapshot_id: self.snapshot_id,
             refreshed,
             bennett,
             quality_loss: self.quality_loss(),
             entries_applied,
+            republished,
         })
     }
 
@@ -466,6 +531,19 @@ pub(crate) struct OrderedFactors {
 }
 
 impl OrderedFactors {
+    /// Freezes the current factors into a shared snapshot handle.  This is
+    /// the one place the deep clone of a factor block happens — once per
+    /// advance that touched the block, never for untouched blocks, never in
+    /// `snapshot()` itself.  `id` is the snapshot id the clone is current as
+    /// of, recorded as the block's [`DecomposedMatrix::index`].
+    pub(crate) fn publish(&self, id: u64) -> Arc<DecomposedMatrix> {
+        Arc::new(DecomposedMatrix {
+            index: id as usize,
+            ordering: self.ordering.clone(),
+            factors: Some(MatrixFactors::Dynamic(self.factors.clone())),
+        })
+    }
+
     /// Applies a factor-coordinate Bennett delta, falling back to a full
     /// rebuild from `rebuild_matrix()` on numeric failure, and refreshing
     /// again when the quality policy trips afterwards — the one maintenance
@@ -722,6 +800,48 @@ mod tests {
             .iter()
             .zip(new.iter())
             .any(|(a, b)| (a - b).abs() > 1e-12));
+    }
+
+    #[test]
+    fn factor_handle_is_shared_until_a_batch_touches_the_factors() {
+        let mut store = FactorStore::new(
+            base_graph(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap();
+        let snap0 = store.snapshot();
+        // Two snapshots with no advance in between share the handle.
+        assert!(Arc::ptr_eq(
+            snap0.shards()[0].shared(),
+            store.snapshot().shards()[0].shared()
+        ));
+        // An empty batch advances the snapshot id but performs no factor
+        // work: the handle keeps being shared (index records snapshot 0).
+        let report = store.advance(&GraphDelta::empty()).unwrap();
+        assert_eq!(report.entries_applied, 0);
+        assert!(!report.republished);
+        let snap1 = store.snapshot();
+        assert_eq!(snap1.id(), 1);
+        assert!(Arc::ptr_eq(
+            snap0.shards()[0].shared(),
+            snap1.shards()[0].shared()
+        ));
+        assert_eq!(snap1.shards()[0].decomposed().index, 0);
+        // A real batch re-freezes the handle.
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(0, 3)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert!(report.republished);
+        let snap2 = store.snapshot();
+        assert!(!Arc::ptr_eq(
+            snap1.shards()[0].shared(),
+            snap2.shards()[0].shared()
+        ));
+        assert_eq!(snap2.shards()[0].decomposed().index, 2);
     }
 
     #[test]

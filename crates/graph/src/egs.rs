@@ -3,7 +3,7 @@
 //! An [`EvolvingGraphSequence`] is the paper's `G = {G_1, …, G_T}`: a sequence
 //! of snapshot graphs over a fixed node universe, archived as a base snapshot
 //! plus per-step deltas (the representation proposed for EGS archives in the
-//! prior work the paper builds on, [25]).
+//! prior work the paper builds on, \[25\]).
 
 use crate::delta::GraphDelta;
 use crate::digraph::DiGraph;

@@ -1,6 +1,6 @@
 //! Barabási–Albert (BA) preferential-attachment generator.
 //!
-//! The paper's synthetic EGS generator (§6) uses the BA model [4] to build a
+//! The paper's synthetic EGS generator (§6) uses the BA model \[4\] to build a
 //! scale-free base graph whose edges form the "edge pool" from which
 //! snapshots evolve.  This module implements the standard BA process: nodes
 //! arrive one at a time and attach `m` edges to existing nodes chosen with

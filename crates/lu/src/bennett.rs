@@ -67,8 +67,8 @@ impl BennettStats {
 /// its own: sharing one workspace would serialize the sweeps (and corrupt the
 /// epoch stamps).  This wrapper owns the per-shard workspaces, pre-sized to
 /// each shard's order so sweeps are allocation-free from the first delta, and
-/// hands them out as disjoint `&mut` borrows via [`iter_mut`]
-/// (`ShardWorkspaces::iter_mut`) for scoped-thread fan-out.
+/// hands them out as disjoint `&mut` borrows via
+/// [`ShardWorkspaces::iter_mut`] for scoped-thread fan-out.
 #[derive(Debug, Clone, Default)]
 pub struct ShardWorkspaces {
     workspaces: Vec<BennettWorkspace>,

@@ -114,13 +114,23 @@ impl DynamicLuFactors {
 
     /// Solves `L U x = b`.
     pub fn solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free variant of [`DynamicLuFactors::solve`]: substitutes
+    /// in place inside `x`, reusing its capacity (the previous content is
+    /// discarded).
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
         if b.len() != self.n {
             return Err(LuError::DimensionMismatch {
                 expected: self.n,
                 actual: b.len(),
             });
         }
-        let mut x = b.to_vec();
+        x.clear();
+        x.extend_from_slice(b);
         for i in 0..self.n {
             let mut acc = x[i];
             let (cols, vals) = self.values.row(i);
@@ -152,7 +162,7 @@ impl DynamicLuFactors {
             }
             x[i] = acc / diag;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// The lower factor `L` (with unit diagonal) as CSR.

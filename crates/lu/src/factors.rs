@@ -146,6 +146,14 @@ impl LuFactors {
 
     /// Solves `L U x = b` by forward then backward substitution.
     pub fn solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Allocation-free variant of [`LuFactors::solve`]: substitutes in place
+    /// inside `x`, reusing its capacity (the previous content is discarded).
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
         let n = self.n();
         if b.len() != n {
             return Err(LuError::DimensionMismatch {
@@ -153,7 +161,8 @@ impl LuFactors {
                 actual: b.len(),
             });
         }
-        let mut x = b.to_vec();
+        x.clear();
+        x.extend_from_slice(b);
         // Forward: L y = b (unit diagonal).
         for i in 0..n {
             let mut acc = x[i];
@@ -181,7 +190,7 @@ impl LuFactors {
             }
             x[i] = acc / pivot;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// The lower factor `L` (with its unit diagonal) as a CSR matrix.

@@ -48,6 +48,6 @@ pub use ordering::{
     markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under,
     OrderingResult,
 };
-pub use solve::{solve_original, TriangularSolve};
+pub use solve::{solve_original, solve_original_into, SolveScratch, TriangularSolve};
 pub use structure::LuStructure;
 pub use symbolic::{fill_in_pattern, symbolic_decomposition, symbolic_size, SymbolicDecomposition};

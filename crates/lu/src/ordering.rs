@@ -1,6 +1,6 @@
 //! Fill-reducing orderings.
 //!
-//! The paper uses the Markowitz criterion [20] as its reference ordering: at
+//! The paper uses the Markowitz criterion \[20\] as its reference ordering: at
 //! every elimination step, pick the pivot minimising `(r − 1)(c − 1)`, where
 //! `r` and `c` are the pivot row's and column's non-zero counts in the active
 //! submatrix.

@@ -12,19 +12,56 @@ use clude_sparse::Ordering;
 
 /// Anything that can solve `L U x' = b'` by substitution.
 pub trait TriangularSolve {
+    /// Solves the factored (reordered) system for one right-hand side,
+    /// substituting in place inside `x` (its capacity is reused, its previous
+    /// content discarded).
+    fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()>;
+
     /// Solves the factored (reordered) system for one right-hand side.
-    fn solve_factored(&self, b: &[f64]) -> LuResult<Vec<f64>>;
+    fn solve_factored(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_factored_into(b, &mut x)?;
+        Ok(x)
+    }
 }
 
 impl TriangularSolve for LuFactors {
-    fn solve_factored(&self, b: &[f64]) -> LuResult<Vec<f64>> {
-        self.solve(b)
+    fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
+        self.solve_into(b, x)
     }
 }
 
 impl TriangularSolve for DynamicLuFactors {
-    fn solve_factored(&self, b: &[f64]) -> LuResult<Vec<f64>> {
-        self.solve(b)
+    fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
+        self.solve_into(b, x)
+    }
+}
+
+/// Reusable buffers of [`solve_original_into`]: the permuted right-hand side
+/// `b' = P b` and the reordered solution `x'`.
+///
+/// A solve over factors of order `n` grows both buffers to `n` once; as long
+/// as the scratch is reused across solves of no larger order, no further
+/// allocations happen — this is what lets the engine's block-Jacobi sweeps
+/// run allocation-free (the ROADMAP's `solve_into` latency item).
+#[derive(Debug, Clone, Default)]
+pub struct SolveScratch {
+    permuted: Vec<f64>,
+    factored: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// A scratch with both buffers pre-sized for factors of order `n`.
+    pub fn with_order(n: usize) -> Self {
+        SolveScratch {
+            permuted: Vec::with_capacity(n),
+            factored: Vec::with_capacity(n),
+        }
     }
 }
 
@@ -35,19 +72,35 @@ pub fn solve_original<F: TriangularSolve>(
     ordering: &Ordering,
     b: &[f64],
 ) -> LuResult<Vec<f64>> {
-    let b_prime =
-        ordering
-            .permute_rhs(b)
-            .map_err(|_| crate::error::LuError::DimensionMismatch {
-                expected: ordering.row().len(),
-                actual: b.len(),
-            })?;
-    let x_prime = factors.solve_factored(&b_prime)?;
+    let mut scratch = SolveScratch::new();
+    let mut x = Vec::new();
+    solve_original_into(factors, ordering, b, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// Allocation-free variant of [`solve_original`]: permutes, substitutes and
+/// recovers through the reused `scratch` buffers, writing the solution of the
+/// original system into `out` (its capacity is reused, its previous content
+/// discarded).
+pub fn solve_original_into<F: TriangularSolve>(
+    factors: &F,
+    ordering: &Ordering,
+    b: &[f64],
+    scratch: &mut SolveScratch,
+    out: &mut Vec<f64>,
+) -> LuResult<()> {
     ordering
-        .recover_solution(&x_prime)
+        .permute_rhs_into(b, &mut scratch.permuted)
+        .map_err(|_| crate::error::LuError::DimensionMismatch {
+            expected: ordering.row().len(),
+            actual: b.len(),
+        })?;
+    factors.solve_factored_into(&scratch.permuted, &mut scratch.factored)?;
+    ordering
+        .recover_solution_into(&scratch.factored, out)
         .map_err(|_| crate::error::LuError::DimensionMismatch {
             expected: ordering.col().len(),
-            actual: x_prime.len(),
+            actual: scratch.factored.len(),
         })
 }
 
@@ -106,6 +159,50 @@ mod tests {
         for (l, r) in ax.iter().zip(b.iter()) {
             assert!((l - r).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn solve_into_reuses_scratch_bit_identically() {
+        // One scratch reused across systems of different orders and both
+        // factor back-ends must reproduce the allocating path exactly.
+        let mut scratch = SolveScratch::with_order(5);
+        let mut out = Vec::new();
+
+        let a = sample_matrix();
+        let result = markowitz_ordering(&a.pattern());
+        let a_reordered = a.reorder(&result.ordering).unwrap();
+        let dynamic = DynamicLuFactors::factorize(&a_reordered).unwrap();
+        let structure = LuStructure::from_pattern(&a_reordered.pattern())
+            .unwrap()
+            .into_shared();
+        let static_f = LuFactors::factorize(structure, &a_reordered).unwrap();
+
+        for b in [
+            vec![1.0, 0.0, -2.0, 3.0, 0.5],
+            vec![0.25, -1.5, 4.0, 0.0, 2.0],
+        ] {
+            let expected = solve_original(&dynamic, &result.ordering, &b).unwrap();
+            solve_original_into(&dynamic, &result.ordering, &b, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, expected, "dynamic solve_into drifted");
+            let expected = solve_original(&static_f, &result.ordering, &b).unwrap();
+            solve_original_into(&static_f, &result.ordering, &b, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, expected, "static solve_into drifted");
+        }
+
+        // A smaller system after a larger one: stale capacity must not leak.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, 4.0).unwrap();
+        coo.push(0, 1, 1.0).unwrap();
+        let small = CsrMatrix::from_coo(&coo);
+        let ordering = clude_sparse::Ordering::identity(2);
+        let factors = DynamicLuFactors::factorize(&small).unwrap();
+        solve_original_into(&factors, &ordering, &[4.0, 8.0], &mut scratch, &mut out).unwrap();
+        assert_eq!(
+            out,
+            solve_original(&factors, &ordering, &[4.0, 8.0]).unwrap()
+        );
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

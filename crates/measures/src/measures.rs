@@ -71,7 +71,7 @@ pub fn group_proximity<S: MeasureSolver + ?Sized>(
     Ok(group_score(&scores, group))
 }
 
-/// Hub and authority scores in the spirit of SALSA [18].
+/// Hub and authority scores in the spirit of SALSA \[18\].
 ///
 /// SALSA's authority chain walks "backwards then forwards" along links; its
 /// damped variant solves a PageRank system on that two-step chain.  The
@@ -143,7 +143,7 @@ fn damped_stationary(p: &CsrMatrix, damping: f64) -> LuResult<Vec<f64>> {
     Ok(normalize_scores(x))
 }
 
-/// Discounted hitting time [14] from every node to a target node.
+/// Discounted hitting time \[14\] from every node to a target node.
 ///
 /// `h(target) = 0` and for `u ≠ target`:
 /// `h(u) = 1 + d·Σ_w P(u, w)·h(w)` with the walk restarted at absorption —

@@ -99,30 +99,50 @@ impl Permutation {
     ///
     /// This computes `P x` when `self` is used as a row permutation.
     pub fn apply_vec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        let mut out = Vec::new();
+        self.apply_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Permutation::apply_vec`]: gathers into
+    /// `out`, reusing its capacity (the previous content is discarded).
+    pub fn apply_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> SparseResult<()> {
         if x.len() != self.len() {
             return Err(SparseError::ShapeMismatch {
                 left: (self.len(), 1),
                 right: (x.len(), 1),
             });
         }
-        Ok(self.new_to_old.iter().map(|&old| x[old]).collect())
+        out.clear();
+        out.extend(self.new_to_old.iter().map(|&old| x[old]));
+        Ok(())
     }
 
     /// Scatters a vector: `out[new_to_old(new)] = x[new]`, i.e. the inverse
     /// gather.  With the column permutation `Q` of an ordering this computes
     /// `x = Q x'` (recovering the solution of the original system).
     pub fn apply_inverse_vec(&self, x: &[f64]) -> SparseResult<Vec<f64>> {
+        let mut out = Vec::new();
+        self.apply_inverse_vec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Permutation::apply_inverse_vec`]:
+    /// scatters into `out`, reusing its capacity (the previous content is
+    /// discarded).
+    pub fn apply_inverse_vec_into(&self, x: &[f64], out: &mut Vec<f64>) -> SparseResult<()> {
         if x.len() != self.len() {
             return Err(SparseError::ShapeMismatch {
                 left: (self.len(), 1),
                 right: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; x.len()];
+        out.clear();
+        out.resize(x.len(), 0.0);
         for (new, &old) in self.new_to_old.iter().enumerate() {
             out[old] = x[new];
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Composition `self ∘ other`: first apply `other`, then `self`.
@@ -196,10 +216,22 @@ impl Ordering {
         self.row.apply_vec(b)
     }
 
+    /// Allocation-free variant of [`Ordering::permute_rhs`]: gathers `P b`
+    /// into `out`, reusing its capacity.
+    pub fn permute_rhs_into(&self, b: &[f64], out: &mut Vec<f64>) -> SparseResult<()> {
+        self.row.apply_vec_into(b, out)
+    }
+
     /// Recovers the solution of the original system from the solution of the
     /// reordered system: `x = Q x'`.
     pub fn recover_solution(&self, x_prime: &[f64]) -> SparseResult<Vec<f64>> {
         self.col.apply_inverse_vec(x_prime)
+    }
+
+    /// Allocation-free variant of [`Ordering::recover_solution`]: scatters
+    /// `Q x'` into `out`, reusing its capacity.
+    pub fn recover_solution_into(&self, x_prime: &[f64], out: &mut Vec<f64>) -> SparseResult<()> {
+        self.col.apply_inverse_vec_into(x_prime, out)
     }
 }
 

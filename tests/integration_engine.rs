@@ -246,6 +246,105 @@ proptest! {
         }
     }
 
+    /// The copy-on-write snapshot ring must be observationally identical to
+    /// the old full-clone snapshots: under a random mixed intra/cross delta
+    /// stream, every retained snapshot answers every query *bit-identically*
+    /// to the answer computed the moment it was published (which is what a
+    /// deep-cloned snapshot would keep returning), no matter how much the
+    /// store mutates afterwards.  Along the way, the structural-sharing
+    /// invariant is checked batch by batch: a shard's handle is re-frozen
+    /// exactly when the batch touched that shard, and the frozen coupling
+    /// exactly when a cross-shard entry changed.
+    #[test]
+    fn cow_ring_answers_bit_identically_to_full_clone_snapshots(
+        ops in proptest::collection::vec((0usize..2, 0usize..18, 0usize..18), 1..32),
+        n_shards in 2usize..5,
+    ) {
+        let n = 18;
+        let base = ring_base(n);
+        let kind = MatrixKind::RandomWalk { damping: DAMPING };
+        let mut store = ShardedFactorStore::new(
+            base.clone(),
+            kind,
+            RefreshPolicy::QualityTriggered { max_quality_loss: 0.5 },
+            NodePartition::contiguous(n, n_shards),
+        )
+        .unwrap();
+        let queries = [
+            MeasureQuery::PageRank { damping: DAMPING },
+            MeasureQuery::Rwr { seed: 3, damping: DAMPING },
+            MeasureQuery::PprSeedSet { seeds: vec![0, 17], damping: DAMPING },
+        ];
+        // The "ring": every published snapshot plus its answers recorded at
+        // publish time — exactly what full-clone snapshots would serve.
+        let mut ring = Vec::new();
+        let snap0 = store.snapshot();
+        let immediate: Vec<Vec<f64>> = queries.iter().map(|q| snap0.query(q).unwrap()).collect();
+        ring.push((snap0, immediate));
+
+        let mut shadow = base;
+        for chunk in ops.chunks(3) {
+            let mut delta = GraphDelta::empty();
+            for &(op, u, v) in chunk {
+                if u == v {
+                    continue;
+                }
+                // Opposite operations on one edge inside a chunk annihilate
+                // (as the engine's ingestor would coalesce them), keeping the
+                // delta a valid net change against the store's graph.
+                if op == 0 && !shadow.has_edge(u, v) {
+                    shadow.add_edge(u, v);
+                    if let Some(pos) = delta.removed.iter().position(|&e| e == (u, v)) {
+                        delta.removed.swap_remove(pos);
+                    } else {
+                        delta.added.push((u, v));
+                    }
+                } else if op == 1 && shadow.has_edge(u, v) {
+                    shadow.remove_edge(u, v);
+                    if let Some(pos) = delta.added.iter().position(|&e| e == (u, v)) {
+                        delta.added.swap_remove(pos);
+                    } else {
+                        delta.removed.push((u, v));
+                    }
+                }
+            }
+            if delta.is_empty() {
+                continue;
+            }
+            let report = store.advance(&delta).unwrap();
+            let snap = store.snapshot();
+            // Sharing invariant against the previous ring entry: untouched
+            // shards are pointer-shared, touched shards re-frozen.
+            let (prev, _) = ring.last().unwrap();
+            for s in 0..n_shards {
+                let shared = std::sync::Arc::ptr_eq(
+                    prev.shards()[s].shared(),
+                    snap.shards()[s].shared(),
+                );
+                let touched = report.per_shard[s].entries_applied > 0;
+                prop_assert_eq!(
+                    shared, !touched,
+                    "shard {} sharing ({}) disagrees with touched ({})", s, shared, touched
+                );
+            }
+            prop_assert_eq!(
+                std::sync::Arc::ptr_eq(prev.shared_coupling(), snap.shared_coupling()),
+                !report.coupling_republished
+            );
+            let immediate: Vec<Vec<f64>> =
+                queries.iter().map(|q| snap.query(q).unwrap()).collect();
+            ring.push((snap, immediate));
+        }
+
+        // Time travel over the whole ring: bit-identical replies.
+        for (snap, immediate) in &ring {
+            for (q, expected) in queries.iter().zip(immediate.iter()) {
+                let got = snap.query(q).unwrap();
+                prop_assert_eq!(&got, expected, "snapshot {} drifted on {:?}", snap.id(), q);
+            }
+        }
+    }
+
     /// A cache hit returns exactly what the uncached solve produced.
     #[test]
     fn cache_hits_equal_uncached_solves(
