@@ -4,7 +4,8 @@
 //! Run with:
 //! ```text
 //! cargo run --release --bin engine_throughput -- [n_pages] [n_query_threads] \
-//!     [--shards N] [--batch N] [--smoke]
+//!     [--shards N] [--batch N] [--solver jacobi|gauss-seidel|woodbury] \
+//!     [--woodbury-rank K] [--repartition-budget N] [--smoke]
 //! ```
 //!
 //! `--shards N` maintains the factors in the partitioned store (`N` factor
@@ -13,13 +14,19 @@
 //! deltas/sec and the query latency quantiles.  `--batch N` sets the ingest
 //! batch-cut size (default 64) — smaller batches touch fewer shards each,
 //! which is the regime where the snapshot ring's copy-on-write sharing pays
-//! (the sharing stats are printed either way).  `--smoke` shrinks the replay
+//! (the sharing stats are printed either way).  `--solver` picks the
+//! coupling-solver strategy of sharded queries (default `gauss-seidel`;
+//! `--woodbury-rank` caps the cached correction, default 512), and
+//! `--repartition-budget` enables adaptive re-partitioning when the live
+//! coupling crosses the given entry count.  `--smoke` shrinks the replay
 //! for CI so both code paths build and execute on every push.
 //!
 //! The full stream replays at least 10 000 edge operations; query threads
 //! fire RWR / PageRank / PPR queries against the live engine the whole time.
 
-use clude_engine::{BatchPolicy, CludeEngine, EngineConfig, RefreshPolicy};
+use clude_engine::{
+    BatchPolicy, CludeEngine, CouplingConfig, CouplingSolver, EngineConfig, RefreshPolicy,
+};
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_graph::EvolvingGraphSequence;
 use clude_measures::MeasureQuery;
@@ -66,6 +73,9 @@ fn main() {
     let mut n_query_threads: Option<usize> = None;
     let mut n_shards: usize = 1;
     let mut batch_size: usize = 64;
+    let mut solver_name = String::from("gauss-seidel");
+    let mut woodbury_rank: usize = CouplingSolver::DEFAULT_WOODBURY_RANK;
+    let mut repartition_budget: Option<usize> = None;
     let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +94,22 @@ fn main() {
                     .expect("--batch needs a positive integer");
                 assert!(batch_size >= 1, "--batch needs a positive integer");
             }
+            "--solver" => {
+                solver_name = args.next().expect("--solver needs a strategy name");
+            }
+            "--woodbury-rank" => {
+                woodbury_rank = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--woodbury-rank needs a non-negative integer");
+            }
+            "--repartition-budget" => {
+                repartition_budget = Some(
+                    args.next()
+                        .and_then(|a| a.parse().ok())
+                        .expect("--repartition-budget needs a non-negative integer"),
+                );
+            }
             "--smoke" => smoke = true,
             other => {
                 let value: usize = other
@@ -99,6 +125,14 @@ fn main() {
             }
         }
     }
+    let solver = match solver_name.as_str() {
+        "jacobi" => CouplingSolver::Jacobi,
+        "gauss-seidel" | "gs" => CouplingSolver::GaussSeidel,
+        "woodbury" => CouplingSolver::Woodbury {
+            max_rank: woodbury_rank,
+        },
+        other => panic!("unknown --solver {other:?} (expected jacobi, gauss-seidel or woodbury)"),
+    };
     let n_pages = n_pages.unwrap_or(if smoke { 150 } else { 400 });
     // Default to cores − 1 query threads (min 1) so the ingest thread is not
     // starved on small machines; pass an explicit count to override.
@@ -143,13 +177,18 @@ fn main() {
         ops.len()
     );
     println!(
-        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads, {} factor shard(s), batch {}{}",
+        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads, {} factor shard(s), batch {}, solver {}{}{}",
         egs.n_nodes(),
         egs.len(),
         ops.len(),
         n_query_threads,
         n_shards,
         batch_size,
+        solver.name(),
+        match repartition_budget {
+            Some(b) => format!(", repartition-budget {b}"),
+            None => String::new(),
+        },
         if smoke { " [smoke]" } else { "" }
     );
 
@@ -168,6 +207,11 @@ fn main() {
                 cache_shards: 16,
                 cache_capacity_per_shard: 256,
                 n_shards,
+                coupling: CouplingConfig {
+                    solver,
+                    repartition_budget,
+                    ..CouplingConfig::default()
+                },
                 ..EngineConfig::default()
             },
         )
@@ -285,9 +329,14 @@ fn main() {
         100.0 * stats.hit_rate()
     );
     println!(
-        "latency: p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        "latency [{} x {} shard(s), coupling nnz {}]:",
+        stats.solver, n_shards, stats.coupling_nnz
+    );
+    println!(
+        "  p50 {:?}  p90 {:?}  p95 {:?}  p99 {:?}  max {:?}",
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.90),
+        percentile(&latencies, 0.95),
         percentile(&latencies, 0.99),
         latencies.last().copied().unwrap_or(Duration::ZERO)
     );

@@ -17,6 +17,7 @@
 //!   through the sharded, cached [`QueryService`] without blocking the
 //!   writer or each other.
 
+use crate::coupling::CouplingConfig;
 use crate::error::{EngineError, EngineResult};
 use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 use crate::query::QueryService;
@@ -56,6 +57,11 @@ pub struct EngineConfig {
     /// whose disjoint-shard delta batches apply in parallel.  Clamped to
     /// the number of nodes of the base graph.
     pub n_shards: usize,
+    /// How coupled (sharded) queries are solved: the
+    /// [`crate::coupling::CouplingSolver`] strategy, its
+    /// [`crate::coupling::SolveTolerance`] stopping rule, and the optional
+    /// coupling-size budget that triggers adaptive re-partitioning.
+    pub coupling: CouplingConfig,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +74,7 @@ impl Default for EngineConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 128,
             n_shards: 1,
+            coupling: CouplingConfig::default(),
         }
     }
 }
@@ -123,6 +130,8 @@ impl StoreBackend {
                     coupling_writes: 0,
                     shards_republished: r.republished as u64,
                     coupling_republished: false,
+                    repartitioned: false,
+                    correction_rebuilt: false,
                 })
             }
             StoreBackend::Sharded(s) => s.advance(delta),
@@ -138,8 +147,12 @@ struct IngestState {
 /// The streaming measure-serving engine.
 pub struct CludeEngine {
     kind: MatrixKind,
-    /// Fixed at construction (a partition change is a full re-shard).
+    /// Fixed at construction (the shard *count* never changes; the adaptive
+    /// re-partitioner may re-derive the node assignment behind it).
     n_shards: usize,
+    /// The coupling-solver configuration in force (strategy name is
+    /// reported through [`EngineStats`]).
+    coupling_cfg: CouplingConfig,
     inner: Mutex<IngestState>,
     ring: RwLock<VecDeque<Arc<EngineSnapshot>>>,
     ring_capacity: usize,
@@ -162,7 +175,8 @@ impl CludeEngine {
         // than that caps at one node per shard rather than failing.
         let n_shards = config.n_shards.min(base.n_nodes().max(1));
         if n_shards <= 1 {
-            let store = FactorStore::new(base, config.matrix_kind, config.refresh)?;
+            let store = FactorStore::new(base, config.matrix_kind, config.refresh)?
+                .with_coupling_config(config.coupling);
             Self::from_backend(StoreBackend::Monolithic(Box::new(store)), config)
         } else {
             let partition = edge_locality_partition(&base, n_shards);
@@ -177,7 +191,8 @@ impl CludeEngine {
         config: EngineConfig,
         partition: NodePartition,
     ) -> EngineResult<Self> {
-        let store = ShardedFactorStore::new(base, config.matrix_kind, config.refresh, partition)?;
+        let store = ShardedFactorStore::new(base, config.matrix_kind, config.refresh, partition)?
+            .with_coupling_config(config.coupling)?;
         Self::from_backend(StoreBackend::Sharded(Box::new(store)), config)
     }
 
@@ -193,6 +208,7 @@ impl CludeEngine {
         ring.push_back(first);
         Ok(CludeEngine {
             kind: config.matrix_kind,
+            coupling_cfg: config.coupling,
             n_shards,
             inner: Mutex::new(IngestState {
                 ingestor: DeltaIngestor::new(config.batch),
@@ -291,6 +307,12 @@ impl CludeEngine {
             &self.counters.cow_shards_shared,
             self.n_shards as u64 - report.shards_republished,
         );
+        if report.repartitioned {
+            EngineCounters::bump(&self.counters.repartitions);
+        }
+        if report.correction_rebuilt {
+            EngineCounters::bump(&self.counters.corrections_built);
+        }
 
         let snapshot = Arc::new(state.store.snapshot());
         let oldest_retained = {
@@ -400,8 +422,19 @@ impl CludeEngine {
                 // CSR: ~16 bytes per entry (column + value) plus row offsets.
                 bytes += (coupling.nnz() * 16 + (coupling.n_rows() + 1) * 8) as u64;
             }
+            let plan = snapshot.coupling_plan();
+            if seen.insert(Arc::as_ptr(plan).cast()) {
+                bytes += plan.approx_bytes() as u64;
+            }
         }
         stats.resident_factor_bytes = bytes;
+        // The coupling view of the newest snapshot: the strategy in force,
+        // how dense the coupling currently is, and how much of it the cached
+        // correction captures.
+        let newest = ring.back().expect("ring is never empty");
+        stats.solver = self.coupling_cfg.solver.name().to_string();
+        stats.coupling_nnz = newest.coupling().nnz() as u64;
+        stats.correction_rank = newest.coupling_plan().correction_rank().unwrap_or(0) as u64;
         stats
     }
 
@@ -503,6 +536,74 @@ mod tests {
         assert!(stats.cow_shards_shared > 0, "no snapshot shared any shard");
         assert!(stats.resident_factor_bytes > 0);
         assert!(stats.to_string().contains("cow-clones"));
+    }
+
+    #[test]
+    fn coupling_config_flows_into_snapshots_and_stats() {
+        use crate::coupling::{CouplingConfig, CouplingSolver};
+        let engine = CludeEngine::new(
+            ring_graph(12),
+            EngineConfig {
+                n_shards: 3,
+                coupling: CouplingConfig {
+                    solver: CouplingSolver::woodbury(),
+                    ..CouplingConfig::default()
+                },
+                ..small_config(1)
+            },
+        )
+        .unwrap();
+        // The ring crosses shards, so the configured Woodbury strategy has a
+        // cached correction from snapshot 0 on.
+        let stats = engine.stats();
+        assert_eq!(stats.solver, "woodbury");
+        assert!(stats.coupling_nnz > 0);
+        assert!(stats.correction_rank > 0);
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let scores = engine.query(&q).unwrap();
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Cross-shard inserts rebuild the cached correction; the counter and
+        // the Display line make the strategy visible.
+        engine.insert_edge(0, 7).unwrap();
+        let stats = engine.stats();
+        assert!(stats.corrections_built > 0);
+        let text = stats.to_string();
+        assert!(text.contains("coupling |"));
+        assert!(text.contains("woodbury"));
+    }
+
+    #[test]
+    fn repartition_budget_is_honored_through_the_engine() {
+        use crate::coupling::CouplingConfig;
+        // Interleaved partition of a ring: dense coupling from the start; a
+        // tight budget makes the first applied batch re-partition.
+        let assignments = (0..12).map(|u| u % 3).collect::<Vec<_>>();
+        let engine = CludeEngine::with_partition(
+            ring_graph(12),
+            EngineConfig {
+                coupling: CouplingConfig {
+                    repartition_budget: Some(4),
+                    ..CouplingConfig::default()
+                },
+                ..small_config(1)
+            },
+            clude_graph::NodePartition::from_assignments(assignments),
+        )
+        .unwrap();
+        let before = engine.stats();
+        assert!(before.coupling_nnz > 4);
+        engine.insert_edge(0, 6).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.repartitions, 1);
+        assert!(
+            stats.coupling_nnz < before.coupling_nnz,
+            "repartition should shrink the coupling ({} -> {})",
+            before.coupling_nnz,
+            stats.coupling_nnz
+        );
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let scores = engine.query(&q).unwrap();
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -33,8 +33,10 @@
 //!                                             QueryService
 //!                                     sharded RwLock LRU cache keyed by
 //!                                     (snapshot, query); solves combine the
-//!                                     shard blocks exactly (block-Jacobi on
-//!                                     the coupling) outside any lock
+//!                                     shard blocks exactly through the
+//!                                     snapshot's CouplingSolver strategy
+//!                                     (Jacobi / Gauss–Seidel / cached
+//!                                     Woodbury correction) outside any lock
 //! ```
 //!
 //! * [`ingest::DeltaIngestor`] coalesces single edge operations into
@@ -56,11 +58,16 @@
 //!   costs O(touched shards) factor memory per snapshot, not O(all shards)
 //!   (the snapshot graph itself, much smaller than the factors, is still
 //!   copied per entry).
+//! * [`coupling`] is the pluggable solver layer of coupled (sharded)
+//!   queries: a [`coupling::CouplingSolver`] strategy per snapshot — block
+//!   Jacobi, block Gauss–Seidel in a dependency-derived shard order, or a
+//!   cached low-rank Woodbury correction of the hottest coupling columns —
+//!   under a configurable [`coupling::SolveTolerance`], with adaptive
+//!   re-partitioning when the coupling outgrows its budget.
 //! * [`query::QueryService`] answers typed
 //!   [`clude_measures::MeasureQuery`]s against immutable snapshots with a
-//!   sharded LRU result cache; coupled sharded solves run block-Jacobi
-//!   through reused [`clude_lu::SolveScratch`] buffers, allocation-free per
-//!   sweep.
+//!   sharded LRU result cache; coupled sharded solves run through reused
+//!   [`clude_lu::SolveScratch`] buffers, allocation-free per sweep.
 //! * [`stats`] exports lock-free ingest/refresh/query counters in the style
 //!   of `clude::report::TimingBreakdown`, including the snapshot ring's
 //!   sharing behaviour (depth, clone/share counts, resident factor bytes).
@@ -88,6 +95,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod coupling;
 pub mod engine;
 pub mod error;
 pub mod ingest;
@@ -96,6 +104,7 @@ pub mod sharded;
 pub mod stats;
 pub mod store;
 
+pub use coupling::{CouplingConfig, CouplingPlan, CouplingSolver, SolveTolerance};
 pub use engine::{CludeEngine, EngineConfig};
 pub use error::{EngineError, EngineResult};
 pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};

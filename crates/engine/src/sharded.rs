@@ -21,16 +21,18 @@
 //! parallel** across scoped threads, each sweeping with its own workspace.
 //!
 //! Queries recombine exactly: snapshots expose the per-shard factors plus a
-//! frozen coupling matrix, and `EngineSnapshot`'s block-Jacobi solve
-//! (`x ← blockdiag⁻¹(b − C·x)`) converges for the engine's diagonally
-//! dominant M-matrices, matching the monolithic store to well below 1e-9.
+//! frozen coupling matrix, and the snapshot's [`crate::coupling`] strategy
+//! (block Jacobi, block Gauss–Seidel, or a cached Woodbury correction)
+//! converges for the engine's diagonally dominant M-matrices, matching the
+//! monolithic store to well below 1e-9.
 
+use crate::coupling::{CouplingConfig, CouplingPlan};
 use crate::error::EngineResult;
 use crate::store::{
     affected_sources, global_matrix_delta, order_and_factorize, EngineSnapshot, OrderedFactors,
     RefreshPolicy, ShardSnapshot,
 };
-use clude::DecomposedMatrix;
+use clude::{partition::edge_locality_partition, DecomposedMatrix};
 use clude_graph::{
     coupling_matrix, shard_measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition,
 };
@@ -198,6 +200,14 @@ pub struct ShardedAdvanceReport {
     /// Whether the frozen coupling matrix was rebuilt (any cross-shard entry
     /// changed); `false` shares the previous snapshot's coupling.
     pub coupling_republished: bool,
+    /// Whether this batch crossed the coupling budget and re-ran the
+    /// edge-locality partition (all shards re-ordered and re-factorized).
+    pub repartitioned: bool,
+    /// Whether this batch re-froze the coupling plan *and* the new plan
+    /// carries a Woodbury correction (i.e. the cached correction was
+    /// rebuilt); `false` shares the previous snapshot's plan or the plan has
+    /// no correction to cache.
+    pub correction_rebuilt: bool,
 }
 
 /// Per-shard LU factors over a partitioned node universe, updated in
@@ -225,6 +235,16 @@ pub struct ShardedFactorStore {
     /// The frozen coupling CSR, rebuilt only by batches that wrote a
     /// cross-shard entry.
     published_coupling: Arc<CsrMatrix>,
+    /// Coupling-solver configuration: strategy, tolerance, re-partition
+    /// budget.
+    coupling_cfg: CouplingConfig,
+    /// The frozen coupling plan (Gauss–Seidel order + cached Woodbury
+    /// correction), re-frozen only when the coupling changed, a shard the
+    /// correction depends on re-froze, or the store re-partitioned.
+    plan: Arc<CouplingPlan>,
+    /// Coupling size that triggers the next adaptive re-partition (`None`
+    /// disables; backed off after each re-partition for amortization).
+    next_repartition_at: Option<usize>,
 }
 
 impl ShardedFactorStore {
@@ -248,8 +268,16 @@ impl ShardedFactorStore {
             .collect::<EngineResult<_>>()?;
         let workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
         let coupling = CouplingStore::from_matrix(&coupling_matrix(&graph, kind, &partition));
-        let published = shards.iter().map(|s| s.of.publish(0)).collect();
+        let published: Vec<Arc<DecomposedMatrix>> =
+            shards.iter().map(|s| s.of.publish(0)).collect();
         let published_coupling = Arc::new(coupling.to_csr());
+        let coupling_cfg = CouplingConfig::default();
+        let plan = Arc::new(CouplingPlan::build(
+            &partition,
+            &published,
+            &published_coupling,
+            coupling_cfg.solver,
+        )?);
         Ok(ShardedFactorStore {
             kind,
             policy,
@@ -261,7 +289,35 @@ impl ShardedFactorStore {
             snapshot_id: 0,
             published,
             published_coupling,
+            next_repartition_at: coupling_cfg.repartition_budget,
+            coupling_cfg,
+            plan,
         })
+    }
+
+    /// Sets the coupling-solver configuration (builder style) and, when the
+    /// strategy changed, re-freezes the coupling plan under it — a Woodbury
+    /// configuration builds its cached correction here (one block solve per
+    /// captured column).  The plan depends only on the strategy, so
+    /// tolerance- or budget-only changes keep the existing one.
+    pub fn with_coupling_config(mut self, cfg: CouplingConfig) -> EngineResult<Self> {
+        let solver_changed = cfg.solver != self.coupling_cfg.solver;
+        self.coupling_cfg = cfg;
+        self.next_repartition_at = cfg.repartition_budget;
+        if solver_changed {
+            self.plan = Arc::new(CouplingPlan::build(
+                &self.partition,
+                &self.published,
+                &self.published_coupling,
+                cfg.solver,
+            )?);
+        }
+        Ok(self)
+    }
+
+    /// The coupling-solver configuration in force.
+    pub fn coupling_config(&self) -> CouplingConfig {
+        self.coupling_cfg
     }
 
     /// The matrix composition the factors are built for.
@@ -332,6 +388,9 @@ impl ShardedFactorStore {
             Arc::clone(&self.partition),
             shards,
             Arc::clone(&self.published_coupling),
+            self.coupling_cfg.solver,
+            self.coupling_cfg.tolerance,
+            Arc::clone(&self.plan),
         )
     }
 
@@ -457,6 +516,7 @@ impl ShardedFactorStore {
             coupling_writes,
             ..ShardedAdvanceReport::default()
         };
+        let mut republished: Vec<usize> = Vec::new();
         for (s, outcome) in outcomes.into_iter().enumerate() {
             let Some(outcome) = outcome else { continue };
             let outcome = outcome?;
@@ -469,11 +529,54 @@ impl ShardedFactorStore {
             // the handle older snapshots already hold.
             self.published[s] = self.shards[s].of.publish(self.snapshot_id);
             report.shards_republished += 1;
+            republished.push(s);
         }
         if coupling_writes > 0 {
             self.published_coupling = Arc::new(self.coupling.to_csr());
             report.coupling_republished = true;
         }
+
+        // Adaptive re-partitioning: once the live coupling crosses the
+        // budget, the partition has drifted from the graph's edge locality —
+        // re-derive it from the *current* graph and rebuild every shard.
+        // Expensive (k orderings + factorizations), but amortized: the
+        // trigger backs off to twice the surviving coupling size, so a graph
+        // whose locality genuinely degraded does not thrash.
+        if let Some(budget) = self.coupling_cfg.repartition_budget {
+            let nnz = self.coupling.nnz();
+            if nnz <= budget {
+                // Back under the configured budget (e.g. removals drained the
+                // coupling): restore the base trigger so the next genuine
+                // locality drift repartitions at the budget, not at the
+                // backed-off threshold of a past repartition.
+                self.next_repartition_at = Some(budget);
+            }
+            if nnz > self.next_repartition_at.unwrap_or(budget) {
+                self.repartition()?;
+                report.repartitioned = true;
+                report.shards_republished = self.shards.len() as u64;
+                report.coupling_republished = true;
+            }
+        }
+
+        // Plan maintenance (copy-on-write like the factor blocks): re-freeze
+        // the coupling plan only when the coupling changed, the store
+        // re-partitioned, or this batch re-froze a shard the cached Woodbury
+        // correction depends on.  Batches touching only shards outside the
+        // correction's support keep sharing the previous snapshots' plan.
+        let plan_stale = report.repartitioned
+            || report.coupling_republished
+            || republished.iter().any(|&s| self.plan.depends_on_shard(s));
+        if plan_stale {
+            self.plan = Arc::new(CouplingPlan::build(
+                &self.partition,
+                &self.published,
+                &self.published_coupling,
+                self.coupling_cfg.solver,
+            )?);
+            report.correction_rebuilt = self.plan.correction_rank().is_some();
+        }
+
         // Quality-loss is a property of the shard's accumulated state, not
         // of this batch's work: report it for idle shards too.
         for (s, shard) in self.shards.iter().enumerate() {
@@ -481,6 +584,35 @@ impl ShardedFactorStore {
         }
         report.quality_loss = self.quality_loss();
         Ok(report)
+    }
+
+    /// Re-runs the edge-locality partition on the current graph and rebuilds
+    /// the store around it: fresh shard orderings and factorizations, fresh
+    /// workspaces, re-collected coupling, all handles re-frozen.  The next
+    /// trigger backs off to `max(budget, 2 × surviving coupling size)` so
+    /// repeated triggers on a genuinely dense graph stay amortized.
+    fn repartition(&mut self) -> EngineResult<()> {
+        let k = self.shards.len();
+        let partition = Arc::new(edge_locality_partition(&self.graph, k));
+        let shards: Vec<FactorShard> = (0..k)
+            .map(|s| FactorShard::build(&self.graph, self.kind, &partition, s))
+            .collect::<EngineResult<_>>()?;
+        self.workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
+        self.coupling =
+            CouplingStore::from_matrix(&coupling_matrix(&self.graph, self.kind, &partition));
+        self.published = shards
+            .iter()
+            .map(|s| s.of.publish(self.snapshot_id))
+            .collect();
+        self.published_coupling = Arc::new(self.coupling.to_csr());
+        self.partition = partition;
+        self.shards = shards;
+        let budget = self
+            .coupling_cfg
+            .repartition_budget
+            .expect("repartition only triggers with a budget");
+        self.next_repartition_at = Some(budget.max(2 * self.coupling.nnz()));
+        Ok(())
     }
 
     /// Debug invariant: block-diagonal shard factors reconstruct their
@@ -515,6 +647,7 @@ impl ShardedFactorStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coupling::{CouplingSolver, SolveTolerance};
     use crate::store::FactorStore;
     use clude_measures::MeasureQuery;
 
@@ -799,6 +932,227 @@ mod tests {
         // Old snapshots still answer from their own (shared) state.
         let q = MeasureQuery::PageRank { damping: 0.85 };
         assert_ne!(snap0.query(&q).unwrap(), snap2.query(&q).unwrap());
+    }
+
+    #[test]
+    fn every_solver_strategy_matches_the_monolithic_store() {
+        let n = 12;
+        let g = base_graph(n);
+        let kind = MatrixKind::random_walk_default();
+        let policy = RefreshPolicy::QualityTriggered {
+            max_quality_loss: 0.5,
+        };
+        let mut mono = FactorStore::new(g.clone(), kind, policy).unwrap();
+        // Jacobi, Gauss–Seidel, a full-capture Woodbury correction, and a
+        // rank-starved Woodbury whose remainder forces the corrected
+        // iteration — every strategy must agree with the monolith.
+        let solvers = [
+            CouplingSolver::Jacobi,
+            CouplingSolver::GaussSeidel,
+            CouplingSolver::woodbury(),
+            CouplingSolver::Woodbury { max_rank: 1 },
+        ];
+        let mut stores: Vec<ShardedFactorStore> = solvers
+            .iter()
+            .map(|&solver| {
+                ShardedFactorStore::new(g.clone(), kind, policy, NodePartition::contiguous(n, 3))
+                    .unwrap()
+                    .with_coupling_config(CouplingConfig {
+                        solver,
+                        ..CouplingConfig::default()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let deltas = [
+            GraphDelta {
+                added: vec![(0, 3), (1, 2)], // intra shard 0
+                removed: vec![],
+            },
+            GraphDelta {
+                added: vec![(0, 7), (9, 2), (5, 11)], // cross shards
+                removed: vec![(2, 0)],
+            },
+            GraphDelta {
+                added: vec![(4, 6), (10, 11), (5, 0)],
+                removed: vec![(0, 3), (9, 2)],
+            },
+        ];
+        for delta in &deltas {
+            mono.advance(delta).unwrap();
+            for store in &mut stores {
+                store.advance(delta).unwrap();
+            }
+            for (store, solver) in stores.iter().zip(solvers.iter()) {
+                assert_eq!(store.snapshot().solver(), *solver);
+                assert_queries_match(store, &mono, n);
+            }
+        }
+        // The stream crossed shards, so the Woodbury stores actually cached
+        // corrections — full-capture with an empty remainder, rank-starved
+        // with a non-empty one.
+        assert!(stores[0].coupling_nnz() > 0);
+        let full = stores[2].snapshot();
+        assert!(full.coupling_plan().correction_rank().unwrap() > 1);
+        assert_eq!(full.coupling_plan().correction_rest_nnz(), Some(0));
+        let starved = stores[3].snapshot();
+        assert_eq!(starved.coupling_plan().correction_rank(), Some(1));
+        assert!(starved.coupling_plan().correction_rest_nnz().unwrap() > 0);
+    }
+
+    #[test]
+    fn woodbury_plan_is_shared_until_coupling_or_support_changes() {
+        // Three shard-local rings plus one cross edge 0 -> 4: the coupling
+        // holds the single column 0 with support only in shard 1.
+        let n = 12;
+        let mut g = DiGraph::new(n);
+        for s in 0..3 {
+            for i in 0..4 {
+                g.add_edge(s * 4 + i, s * 4 + (i + 1) % 4);
+            }
+        }
+        g.add_edge(0, 4);
+        let mut store = ShardedFactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+            NodePartition::contiguous(n, 3),
+        )
+        .unwrap()
+        .with_coupling_config(CouplingConfig {
+            solver: CouplingSolver::woodbury(),
+            ..CouplingConfig::default()
+        })
+        .unwrap();
+        let snap0 = store.snapshot();
+        assert_eq!(snap0.coupling_plan().correction_rank(), Some(1));
+
+        // Intra-shard-2 batch: outside the correction's support — the next
+        // snapshot shares the cached plan (and the frozen coupling).
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(8, 10)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert!(!report.coupling_republished);
+        assert!(!report.correction_rebuilt);
+        let snap1 = store.snapshot();
+        assert!(Arc::ptr_eq(snap0.coupling_plan(), snap1.coupling_plan()));
+
+        // Intra-shard-1 batch: shard 1 carries the captured column's
+        // support, so the cached Z is stale — the plan re-freezes.
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(4, 6)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert!(!report.coupling_republished);
+        assert!(report.correction_rebuilt);
+        let snap2 = store.snapshot();
+        assert!(!Arc::ptr_eq(snap1.coupling_plan(), snap2.coupling_plan()));
+
+        // Cross-shard batch: the coupling itself changed — plan re-freezes.
+        let report = store
+            .advance(&GraphDelta {
+                added: vec![(1, 9)],
+                removed: vec![],
+            })
+            .unwrap();
+        assert!(report.coupling_republished);
+        assert!(report.correction_rebuilt);
+        let snap3 = store.snapshot();
+        assert!(!Arc::ptr_eq(snap2.coupling_plan(), snap3.coupling_plan()));
+        // Old snapshots keep answering from their own frozen plans.
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        assert!(snap0.query(&q).is_ok());
+        store.assert_consistent(1e-9);
+    }
+
+    #[test]
+    fn repartition_triggers_on_coupling_budget_and_stays_exact() {
+        // Interleaved (worst-case) partition of a ring: every edge crosses,
+        // so the coupling is as dense as it gets.  A tight budget must make
+        // the store re-derive an edge-locality partition, collapsing the
+        // coupling, while the answers stay exact.
+        let n = 16;
+        let g = base_graph(n);
+        let kind = MatrixKind::random_walk_default();
+        let mut store = ShardedFactorStore::new(
+            g.clone(),
+            kind,
+            RefreshPolicy::Incremental,
+            NodePartition::from_assignments((0..n).map(|u| u % 2).collect()),
+        )
+        .unwrap()
+        .with_coupling_config(CouplingConfig {
+            repartition_budget: Some(8),
+            ..CouplingConfig::default()
+        })
+        .unwrap();
+        let mut mono = FactorStore::new(g, kind, RefreshPolicy::Incremental).unwrap();
+        let dense_before = store.coupling_nnz();
+        assert!(dense_before > 8, "interleaved ring must cross everywhere");
+
+        let delta = GraphDelta {
+            added: vec![(0, 5), (3, 10)],
+            removed: vec![],
+        };
+        let report = store.advance(&delta).unwrap();
+        mono.advance(&delta).unwrap();
+        assert!(report.repartitioned, "budget crossing must repartition");
+        assert_eq!(report.shards_republished, 2);
+        assert!(report.coupling_republished);
+        assert!(
+            store.coupling_nnz() < dense_before,
+            "edge-locality partition should shrink the coupling ({} -> {})",
+            dense_before,
+            store.coupling_nnz()
+        );
+        store.assert_consistent(1e-9);
+        assert_queries_match(&store, &mono, n);
+
+        // Amortization: the next advance does not re-trigger (the threshold
+        // backed off past the surviving coupling size).
+        let delta = GraphDelta {
+            added: vec![(1, 6)],
+            removed: vec![],
+        };
+        let report = store.advance(&delta).unwrap();
+        mono.advance(&delta).unwrap();
+        assert!(!report.repartitioned);
+        assert_queries_match(&store, &mono, n);
+    }
+
+    #[test]
+    fn exhausted_sweep_budget_fails_loudly() {
+        let n = 12;
+        let g = base_graph(n);
+        let store = ShardedFactorStore::new(
+            g,
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+            NodePartition::contiguous(n, 3),
+        )
+        .unwrap()
+        .with_coupling_config(CouplingConfig {
+            tolerance: SolveTolerance {
+                tol: 1e-13,
+                max_sweeps: 1,
+            },
+            ..CouplingConfig::default()
+        })
+        .unwrap();
+        assert!(store.coupling_nnz() > 0, "ring edges cross the shards");
+        let err = store
+            .snapshot()
+            .query(&MeasureQuery::PageRank { damping: 0.85 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LuError::ConvergenceFailure { iterations: 1, .. }
+        ));
     }
 
     #[test]

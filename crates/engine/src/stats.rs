@@ -85,6 +85,13 @@ pub struct EngineCounters {
     /// Shard factor blocks shared with the previous snapshot because the
     /// batch left them untouched — the "write-free" side of the ring.
     pub cow_shards_shared: AtomicU64,
+    /// Adaptive re-partitions: batches whose coupling growth crossed the
+    /// budget and triggered a fresh edge-locality partition.
+    pub repartitions: AtomicU64,
+    /// Cached Woodbury corrections built (re-frozen) at snapshot-freeze
+    /// time; batches that left the coupling and the correction's support
+    /// shards untouched share the previous correction instead.
+    pub corrections_built: AtomicU64,
     /// Per-shard ingest counters (one entry per factor shard; a single entry
     /// for the monolithic store).
     pub per_shard: Vec<ShardCounters>,
@@ -137,10 +144,16 @@ impl EngineCounters {
             query_time: Duration::from_nanos(self.query_nanos.load(Ordering::Relaxed)),
             cow_shards_cloned: self.cow_shards_cloned.load(Ordering::Relaxed),
             cow_shards_shared: self.cow_shards_shared.load(Ordering::Relaxed),
-            // Ring occupancy lives outside the counters; `CludeEngine::stats`
-            // fills these two in from the live ring.
+            repartitions: self.repartitions.load(Ordering::Relaxed),
+            corrections_built: self.corrections_built.load(Ordering::Relaxed),
+            // Ring occupancy and the coupling view live outside the
+            // counters; `CludeEngine::stats` fills these in from the live
+            // ring and the newest snapshot.
             ring_depth: 0,
             resident_factor_bytes: 0,
+            solver: String::new(),
+            coupling_nnz: 0,
+            correction_rank: 0,
         }
     }
 }
@@ -186,6 +199,20 @@ pub struct EngineStats {
     /// across the ring, counting each shared handle once (filled in by
     /// `CludeEngine::stats`).
     pub resident_factor_bytes: u64,
+    /// Adaptive re-partitions triggered by coupling growth.
+    pub repartitions: u64,
+    /// Cached Woodbury corrections built at snapshot-freeze time.
+    pub corrections_built: u64,
+    /// Display name of the active coupling-solver strategy (filled in by
+    /// `CludeEngine::stats`; empty when the stats came straight from
+    /// counters).
+    pub solver: String,
+    /// Cross-shard coupling entries of the newest snapshot — the number to
+    /// watch for dense-coupling drift (filled in by `CludeEngine::stats`).
+    pub coupling_nnz: u64,
+    /// Rank of the newest snapshot's cached Woodbury correction (0 when the
+    /// strategy caches none; filled in by `CludeEngine::stats`).
+    pub correction_rank: u64,
     /// Per-shard ingest breakdown, indexed by shard id.
     pub per_shard: Vec<ShardStats>,
 }
@@ -260,7 +287,7 @@ impl fmt::Display for EngineStats {
             100.0 * self.hit_rate(),
             self.query_time
         )?;
-        write!(
+        writeln!(
             f,
             "ring     | depth {:>8}  cow-clones {:>6}  shared {:>8}  share-rate {:>5.1}%  resident ~{}",
             self.ring_depth,
@@ -268,6 +295,19 @@ impl fmt::Display for EngineStats {
             self.cow_shards_shared,
             100.0 * self.cow_share_rate(),
             format_bytes(self.resident_factor_bytes)
+        )?;
+        write!(
+            f,
+            "coupling | solver {:>12}  nnz {:>8}  woodbury-rank {:>4}  repartitions {:>4}  corrections {:>6}",
+            if self.solver.is_empty() {
+                "?"
+            } else {
+                self.solver.as_str()
+            },
+            self.coupling_nnz,
+            self.correction_rank,
+            self.repartitions,
+            self.corrections_built
         )?;
         if self.per_shard.len() > 1 {
             for s in &self.per_shard {
@@ -352,6 +392,28 @@ mod tests {
         assert!(text.contains("50.0%"));
         assert!(text.contains("ring"));
         assert!(text.contains("cow-clones"));
+        assert!(text.contains("coupling"));
+    }
+
+    #[test]
+    fn coupling_line_reports_solver_and_drift() {
+        let mut s = EngineStats {
+            repartitions: 2,
+            corrections_built: 17,
+            coupling_nnz: 345,
+            correction_rank: 64,
+            ..EngineStats::default()
+        };
+        s.solver = "woodbury".to_string();
+        let text = s.to_string();
+        assert!(text.contains("solver     woodbury"));
+        assert!(text.contains("nnz      345"));
+        assert!(text.contains("woodbury-rank   64"));
+        assert!(text.contains("repartitions    2"));
+        assert!(text.contains("corrections     17"));
+        // Raw counter snapshots (no engine fill-in) degrade gracefully.
+        let raw = EngineCounters::default().snapshot();
+        assert!(raw.to_string().contains("solver            ?"));
     }
 
     #[test]

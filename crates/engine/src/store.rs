@@ -16,41 +16,18 @@
 //!   degradation exceeds the budget the store re-orders and re-factorizes —
 //!   the streaming analogue of starting a new cluster.
 
+use crate::coupling::{self, CouplingConfig, CouplingPlan, CouplingSolver, SolveTolerance};
 use crate::error::EngineResult;
 use clude::{refresh_decision, DecomposedMatrix, MatrixFactors};
 use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_lu::{
     apply_delta_with, markowitz_ordering, BennettStats, BennettWorkspace, DynamicLuFactors,
-    LuError, LuResult,
+    LuResult,
 };
 use clude_measures::{evaluate_query_with, MeasureQuery, MeasureSolver};
 use clude_sparse::{CooMatrix, CsrMatrix};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-
-/// Hard runaway guard of the sharded block-Jacobi combination solve; the
-/// real stopping rules below terminate far earlier for every convergent
-/// configuration (a damping factor of 0.9997 — contraction ~0.9997 per
-/// sweep — still reaches [`BLOCK_TOL`] within ~100k sweeps, and anything
-/// slower stagnates at the f64 floor first).
-const MAX_BLOCK_ITERS: usize = 100_000;
-/// Relative iterate-change tolerance of the combination solve.  Because the
-/// block splitting of the engine's measure matrices contracts strictly, a
-/// change this small bounds the remaining error by `diff·ρ/(1−ρ)`: under
-/// the 1e-9 equivalence bar by three decades at ρ = 0.99 and still by one
-/// decade at ρ = 0.999.  Deliberately *not* combined with an
-/// observed-contraction early exit: the instantaneous ∞-norm ratio
-/// oscillates for nonsymmetric couplings and any finite sample can
-/// transiently under-estimate the asymptotic rate.
-const BLOCK_TOL: f64 = 1e-13;
-/// Floor-stagnation acceptance threshold: when the change stops shrinking
-/// while already below this (rounding noise dominates), the iterate is as
-/// converged as f64 allows.  Kept within 2× of [`BLOCK_TOL`] so the error
-/// bound stays under the 1e-9 bar for every contraction rate reachable
-/// inside [`MAX_BLOCK_ITERS`] (`2e-13·ρ/(1−ρ)` ≈ 6.7e-10 at ρ = 0.9997);
-/// slower-converging configurations fail loudly at the cap instead of
-/// silently accepting a drifted iterate.
-const BLOCK_STAGNATION_TOL: f64 = 2e-13;
 
 /// When the store abandons its ordering and re-factorizes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +93,9 @@ impl ShardSnapshot {
 /// [`NodePartition::singleton`] partition with an empty coupling matrix; a
 /// `ShardedFactorStore` publishes one [`ShardSnapshot`] per shard plus the
 /// cross-shard coupling entries.  Queries solve `A x = b` exactly either by
-/// one pair of substitutions (no coupling) or by a block-Jacobi combination
-/// of per-shard solves with the coupling as the correction term.
+/// one pair of substitutions (no coupling) or by the snapshot's
+/// [`CouplingSolver`] strategy combining per-shard solves with the coupling
+/// (see [`crate::coupling`]).
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot {
     id: u64,
@@ -127,15 +105,26 @@ pub struct EngineSnapshot {
     /// Cross-shard entries of the measure matrix, global coordinates (empty
     /// for monolithic snapshots).
     coupling: Arc<CsrMatrix>,
+    /// The combination strategy this snapshot answers coupled solves with.
+    solver: CouplingSolver,
+    /// Stopping rule of the iterative strategies.
+    tolerance: SolveTolerance,
+    /// Frozen solver metadata (Gauss–Seidel order, cached Woodbury
+    /// correction), shared through the ring like factor blocks.
+    plan: Arc<CouplingPlan>,
 }
 
 impl EngineSnapshot {
+    #[allow(clippy::too_many_arguments)] // one construction site per store
     pub(crate) fn from_parts(
         id: u64,
         graph: DiGraph,
         partition: Arc<NodePartition>,
         shards: Vec<ShardSnapshot>,
         coupling: Arc<CsrMatrix>,
+        solver: CouplingSolver,
+        tolerance: SolveTolerance,
+        plan: Arc<CouplingPlan>,
     ) -> Self {
         debug_assert_eq!(partition.n_shards(), shards.len());
         EngineSnapshot {
@@ -144,6 +133,9 @@ impl EngineSnapshot {
             partition,
             shards,
             coupling,
+            solver,
+            tolerance,
+            plan,
         }
     }
 
@@ -184,6 +176,24 @@ impl EngineSnapshot {
         &self.coupling
     }
 
+    /// The strategy this snapshot combines per-shard solves with.
+    pub fn solver(&self) -> CouplingSolver {
+        self.solver
+    }
+
+    /// Stopping rule of this snapshot's iterative coupled solves.
+    pub fn tolerance(&self) -> SolveTolerance {
+        self.tolerance
+    }
+
+    /// The frozen solver metadata (Gauss–Seidel traversal order, cached
+    /// Woodbury correction).  Shared exactly like factor blocks: snapshots
+    /// between which neither the coupling nor a shard the cached correction
+    /// depends on changed are [`Arc::ptr_eq`] here.
+    pub fn coupling_plan(&self) -> &Arc<CouplingPlan> {
+        &self.plan
+    }
+
     /// The decomposed measure matrix of a monolithic snapshot.
     ///
     /// # Panics
@@ -206,117 +216,16 @@ impl EngineSnapshot {
     pub fn query(&self, query: &MeasureQuery) -> LuResult<Vec<f64>> {
         evaluate_query_with(self, &self.graph, query)
     }
-
-    /// Runs every shard's solve against `rhs` restricted to its nodes and
-    /// scatters the local solutions into `out`.  All intermediate vectors
-    /// live in `scratch`, so one call allocates nothing once the scratch has
-    /// warmed up to the largest shard's order.
-    fn solve_blocks(
-        &self,
-        rhs: &[f64],
-        out: &mut [f64],
-        scratch: &mut BlockScratch,
-    ) -> LuResult<()> {
-        for (s, shard) in self.shards.iter().enumerate() {
-            let nodes = self.partition.nodes_of(s);
-            scratch.local_rhs.clear();
-            scratch.local_rhs.extend(nodes.iter().map(|&g| rhs[g]));
-            shard.decomposed.solve_into(
-                &scratch.local_rhs,
-                &mut scratch.lu,
-                &mut scratch.local_x,
-            )?;
-            for (l, &g) in nodes.iter().enumerate() {
-                out[g] = scratch.local_x[l];
-            }
-        }
-        Ok(())
-    }
-
-    /// Solves `A x = b` for the snapshot's full measure matrix
-    /// `A = blockdiag(A_ss) + C`.
-    ///
-    /// Without coupling entries the block solves are already exact.  With
-    /// coupling, block-Jacobi iteration `x ← blockdiag⁻¹(b − C·x)` is run to
-    /// [`BLOCK_TOL`]; for the engine's measure matrices (column-wise strictly
-    /// diagonally dominant M-matrices) this is a convergent regular
-    /// splitting, contracting at least as fast as point Jacobi (rate ≤ the
-    /// damping factor for `I − d·W`).
-    fn block_solve(&self, b: &[f64]) -> LuResult<Vec<f64>> {
-        let n = self.graph.n_nodes();
-        if b.len() != n {
-            return Err(LuError::DimensionMismatch {
-                expected: n,
-                actual: b.len(),
-            });
-        }
-        if self.shards.len() == 1 && self.coupling.nnz() == 0 {
-            // Monolithic fast path: identical to the pre-sharding solve.
-            return self.shards[0].decomposed.solve(b);
-        }
-        let mut x = vec![0.0; n];
-        let mut scratch = BlockScratch::default();
-        if self.coupling.nnz() == 0 {
-            // Fully decoupled shards: one round of block solves is exact.
-            self.solve_blocks(b, &mut x, &mut scratch)?;
-            return Ok(x);
-        }
-        let mut next = vec![0.0; n];
-        let mut rhs = vec![0.0; n];
-        let mut last_diff = f64::INFINITY;
-        for _ in 0..MAX_BLOCK_ITERS {
-            // rhs = b − C·x, accumulated into the reused buffer.  Everything
-            // below — gather, permute, substitute, recover, scatter — runs
-            // through reused buffers too, so the steady-state sweep performs
-            // zero heap allocations.
-            rhs.copy_from_slice(b);
-            for (i, j, v) in self.coupling.iter() {
-                rhs[i] -= v * x[j];
-            }
-            self.solve_blocks(&rhs, &mut next, &mut scratch)?;
-            let mut diff = 0.0f64;
-            let mut scale = 1.0f64;
-            for (new, old) in next.iter().zip(x.iter()) {
-                diff = diff.max((new - old).abs());
-                scale = scale.max(new.abs());
-            }
-            std::mem::swap(&mut x, &mut next);
-            if diff <= BLOCK_TOL * scale {
-                return Ok(x);
-            }
-            // Stagnation at the rounding floor: the change is no longer
-            // shrinking while already under [`BLOCK_STAGNATION_TOL`], so
-            // rounding noise dominates — the iterate is as converged as f64
-            // allows even when BLOCK_TOL itself is out of reach.  (The
-            // floor guard keeps a transient non-monotone step early in the
-            // iteration from exiting prematurely.)
-            if diff >= last_diff && diff <= BLOCK_STAGNATION_TOL * scale {
-                return Ok(x);
-            }
-            last_diff = diff;
-        }
-        Err(LuError::ConvergenceFailure {
-            iterations: MAX_BLOCK_ITERS,
-            last_diff,
-        })
-    }
 }
 
 impl MeasureSolver for EngineSnapshot {
+    /// Solves `A x = b` for the snapshot's full measure matrix
+    /// `A = blockdiag(A_ss) + C` through the snapshot's [`CouplingSolver`]
+    /// strategy (see [`crate::coupling`]); monolithic snapshots are one pair
+    /// of substitutions, bit-identical to the pre-sharding solve.
     fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>> {
-        self.block_solve(b)
+        coupling::solve_system(self, b)
     }
-}
-
-/// Reused buffers of one [`EngineSnapshot::block_solve`] call: the gathered
-/// per-shard right-hand side, the recovered per-shard solution, and the
-/// triangular-solve scratch underneath.  Allocated once per query; every
-/// block-Jacobi sweep after the first reuses the grown capacity.
-#[derive(Debug, Default)]
-struct BlockScratch {
-    local_rhs: Vec<f64>,
-    local_x: Vec<f64>,
-    lu: clude_lu::SolveScratch,
 }
 
 /// What one [`FactorStore::advance`] did.
@@ -361,6 +270,12 @@ pub struct FactorStore {
     partition: Arc<NodePartition>,
     /// Cached empty coupling matrix shared by every published snapshot.
     empty_coupling: Arc<CsrMatrix>,
+    /// Coupling-solver configuration stamped onto published snapshots (a
+    /// monolithic store has no coupling, so only the strategy label and the
+    /// tolerance matter — for stats and for parity with the sharded store).
+    coupling_cfg: CouplingConfig,
+    /// Cached trivial plan shared by every published snapshot.
+    trivial_plan: Arc<CouplingPlan>,
 }
 
 impl FactorStore {
@@ -377,12 +292,28 @@ impl FactorStore {
             policy,
             partition: Arc::new(NodePartition::singleton(n)),
             empty_coupling: Arc::new(CsrMatrix::from_coo(&CooMatrix::new(n, n))),
+            coupling_cfg: CouplingConfig::default(),
+            trivial_plan: Arc::new(CouplingPlan::trivial(1)),
             graph,
             of,
             workspace,
             snapshot_id: 0,
             published,
         })
+    }
+
+    /// Sets the coupling-solver configuration stamped onto published
+    /// snapshots (builder style).  A monolithic store never iterates — its
+    /// solves are direct — so this only affects the strategy label and
+    /// tolerance snapshots report.
+    pub fn with_coupling_config(mut self, cfg: CouplingConfig) -> Self {
+        self.coupling_cfg = cfg;
+        self
+    }
+
+    /// The coupling-solver configuration in force.
+    pub fn coupling_config(&self) -> CouplingConfig {
+        self.coupling_cfg
     }
 
     /// The matrix composition the factors are built for.
@@ -429,6 +360,9 @@ impl FactorStore {
             Arc::clone(&self.partition),
             vec![ShardSnapshot::new(Arc::clone(&self.published))],
             Arc::clone(&self.empty_coupling),
+            self.coupling_cfg.solver,
+            self.coupling_cfg.tolerance,
+            Arc::clone(&self.trivial_plan),
         )
     }
 

@@ -46,7 +46,7 @@ pub enum LuError {
         /// What was provided.
         actual: usize,
     },
-    /// An iterative solve (e.g. the sharded block-Jacobi combination) did not
+    /// An iterative solve (e.g. a sharded coupling combination) did not
     /// reach its tolerance within the iteration budget.
     ConvergenceFailure {
         /// Iterations performed before giving up.

@@ -22,6 +22,9 @@
 //!   storage back-ends, plus sparse-delta application.
 //! * [`solve`] — answering queries on the *original* matrix through the
 //!   reordered factors.
+//! * [`lowrank`] — dense kernels of the Woodbury correction the engine's
+//!   sharded solves cache per snapshot (small partial-pivot [`DenseLu`] and
+//!   the frozen [`LowRankCorrection`]).
 
 #![forbid(unsafe_code)]
 // Indexed loops mirror the paper's matrix notation throughout this crate.
@@ -32,6 +35,7 @@ pub mod bennett;
 pub mod dynamic;
 pub mod error;
 pub mod factors;
+pub mod lowrank;
 pub mod ordering;
 pub mod solve;
 pub mod structure;
@@ -44,6 +48,7 @@ pub use bennett::{
 pub use dynamic::DynamicLuFactors;
 pub use error::{LuError, LuResult};
 pub use factors::{factorize_fresh, LuFactors};
+pub use lowrank::{CorrectionScratch, DenseLu, LowRankCorrection};
 pub use ordering::{
     markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under,
     OrderingResult,

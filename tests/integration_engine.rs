@@ -5,7 +5,8 @@
 use clude::algorithms::{Clude, LudemSolver, SolverConfig};
 use clude::ems::EvolvingMatrixSequence;
 use clude_engine::{
-    BatchPolicy, CludeEngine, EngineConfig, FactorStore, RefreshPolicy, ShardedFactorStore,
+    BatchPolicy, CludeEngine, CouplingConfig, CouplingSolver, EngineConfig, FactorStore,
+    RefreshPolicy, ShardedFactorStore,
 };
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
@@ -167,11 +168,14 @@ proptest! {
         }
     }
 
-    /// The sharded factor store and the monolithic store must agree on every
-    /// measure query to 1e-9 over random edge-op streams — intra-shard edges,
-    /// cross-shard edges and removals alike, at every snapshot along the way.
+    /// Every coupling-solver strategy — block-Jacobi, block Gauss–Seidel,
+    /// the full-capture Woodbury correction and a rank-starved Woodbury that
+    /// must iterate over its remainder — must agree with the monolithic
+    /// store on every measure query to 1e-9 over random edge-op streams:
+    /// intra-shard edges, cross-shard edges and removals alike, at every
+    /// snapshot along the way.
     #[test]
-    fn sharded_store_matches_monolithic_on_random_streams(
+    fn all_coupling_solvers_match_monolithic_on_random_streams(
         ops in proptest::collection::vec((0usize..2, 0usize..18, 0usize..18), 1..40),
         n_shards in 2usize..5,
     ) {
@@ -180,13 +184,26 @@ proptest! {
         let kind = MatrixKind::RandomWalk { damping: DAMPING };
         let policy = RefreshPolicy::QualityTriggered { max_quality_loss: 0.5 };
         let mut mono = FactorStore::new(base.clone(), kind, policy).unwrap();
-        let mut sharded = ShardedFactorStore::new(
-            base.clone(),
-            kind,
-            policy,
-            NodePartition::contiguous(n, n_shards),
-        )
-        .unwrap();
+        let solvers = [
+            CouplingSolver::Jacobi,
+            CouplingSolver::GaussSeidel,
+            CouplingSolver::woodbury(),
+            CouplingSolver::Woodbury { max_rank: 2 },
+        ];
+        let mut stores: Vec<ShardedFactorStore> = solvers
+            .iter()
+            .map(|&solver| {
+                ShardedFactorStore::new(
+                    base.clone(),
+                    kind,
+                    policy,
+                    NodePartition::contiguous(n, n_shards),
+                )
+                .unwrap()
+                .with_coupling_config(CouplingConfig { solver, ..CouplingConfig::default() })
+                .unwrap()
+            })
+            .collect();
 
         // Replay in small batches of net-effective changes (the stores take
         // deltas, so mirror the ingestor's no-op dropping against a shadow
@@ -228,19 +245,23 @@ proptest! {
             if delta.is_empty() {
                 continue;
             }
-            let report = sharded.advance(&delta).unwrap();
             mono.advance(&delta).unwrap();
-            prop_assert_eq!(report.snapshot_id, mono.snapshot_id());
-            let snap_s = sharded.snapshot();
             let snap_m = mono.snapshot();
-            for q in &queries {
-                let a = snap_s.query(q).unwrap();
-                let b = snap_m.query(q).unwrap();
-                for (x, y) in a.iter().zip(b.iter()) {
-                    prop_assert!(
-                        (x - y).abs() <= 1e-9,
-                        "{:?} diverged: sharded {} vs monolithic {}", q, x, y
-                    );
+            for (store, solver) in stores.iter_mut().zip(solvers.iter()) {
+                let report = store.advance(&delta).unwrap();
+                prop_assert_eq!(report.snapshot_id, mono.snapshot_id());
+                let snap_s = store.snapshot();
+                prop_assert_eq!(snap_s.solver(), *solver);
+                for q in &queries {
+                    let a = snap_s.query(q).unwrap();
+                    let b = snap_m.query(q).unwrap();
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        prop_assert!(
+                            (x - y).abs() <= 1e-9,
+                            "{:?} under {} diverged: sharded {} vs monolithic {}",
+                            q, solver.name(), x, y
+                        );
+                    }
                 }
             }
         }
@@ -329,6 +350,13 @@ proptest! {
             }
             prop_assert_eq!(
                 std::sync::Arc::ptr_eq(prev.shared_coupling(), snap.shared_coupling()),
+                !report.coupling_republished
+            );
+            // The frozen coupling plan follows the coupling: under the
+            // default Gauss–Seidel strategy (no cached correction) it is
+            // re-frozen exactly when the coupling changed.
+            prop_assert_eq!(
+                std::sync::Arc::ptr_eq(prev.coupling_plan(), snap.coupling_plan()),
                 !report.coupling_republished
             );
             let immediate: Vec<Vec<f64>> =
