@@ -16,6 +16,7 @@
 
 use clude_bench::{BenchScale, Datasets};
 use clude_lu::{apply_delta_with, BennettStats, BennettWorkspace, DynamicLuFactors};
+use clude_telemetry::LogHistogram;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -53,6 +54,9 @@ fn main() {
     let mut structural = clude_sparse::StructuralStats::default();
     let mut streamed = 0usize;
     let mut sweep_time = Duration::ZERO;
+    // Per-delta sweep latency distribution; recorded outside the timed
+    // window so the histogram costs the measurement nothing.
+    let sweep_hist = LogHistogram::new();
     while streamed < min_deltas {
         // Fresh factors per lap: each lap measures the same steady drift
         // instead of unboundedly accumulating fill across repeats.
@@ -63,7 +67,9 @@ fn main() {
             let t = Instant::now();
             let s = apply_delta_with(&mut factors, &mut workspace, delta)
                 .expect("replay deltas stay factorizable");
-            sweep_time += t.elapsed();
+            let elapsed = t.elapsed();
+            sweep_time += elapsed;
+            sweep_hist.record_duration(elapsed);
             stats.merge(&s);
             streamed += delta.len();
         }
@@ -88,6 +94,13 @@ fn main() {
     println!(
         "structural: {} inserts, {} removals, {} probe steps",
         structural.inserts, structural.removals, structural.probes
+    );
+    println!(
+        "per-delta sweep latency: p50 {:?}  p90 {:?}  p99 {:?}  max {:?}",
+        sweep_hist.duration_at_quantile(0.50),
+        sweep_hist.duration_at_quantile(0.90),
+        sweep_hist.duration_at_quantile(0.99),
+        sweep_hist.max_duration()
     );
     println!("us/pivot: {us_per_pivot:.3}");
     println!("pivots/sec: {pivots_per_sec:.0}");

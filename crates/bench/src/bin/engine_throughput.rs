@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release --bin engine_throughput -- [n_pages] [n_query_threads] \
 //!     [--shards N] [--batch N] [--solver jacobi|gauss-seidel|woodbury] \
-//!     [--woodbury-rank K] [--repartition-budget N] [--smoke]
+//!     [--woodbury-rank K] [--repartition-budget N] [--smoke] \
+//!     [--metrics-out PATH] [--no-telemetry]
 //! ```
 //!
 //! `--shards N` maintains the factors in the partitioned store (`N` factor
@@ -20,6 +21,10 @@
 //! `--repartition-budget` enables adaptive re-partitioning when the live
 //! coupling crosses the given entry count.  `--smoke` shrinks the replay
 //! for CI so both code paths build and execute on every push.
+//! `--metrics-out PATH` dumps the engine's telemetry registry (per-stage
+//! latency histograms, counters, gauges, journal counts) in the Prometheus
+//! text format after the replay, and `--no-telemetry` runs the engine with
+//! recording compiled down to no-ops (the overhead baseline).
 //!
 //! The full stream replays at least 10 000 edge operations; query threads
 //! fire RWR / PageRank / PPR queries against the live engine the whole time.
@@ -30,11 +35,12 @@ use clude_engine::{
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_graph::EvolvingGraphSequence;
 use clude_measures::MeasureQuery;
+use clude_telemetry::{LogHistogram, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 const MIN_DELTAS: usize = 10_000;
 
@@ -60,14 +66,6 @@ fn op_stream(egs: &EvolvingGraphSequence) -> Vec<Op> {
     ops
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn main() {
     let mut n_pages: Option<usize> = None;
     let mut n_query_threads: Option<usize> = None;
@@ -77,6 +75,8 @@ fn main() {
     let mut woodbury_rank: usize = CouplingSolver::DEFAULT_WOODBURY_RANK;
     let mut repartition_budget: Option<usize> = None;
     let mut smoke = false;
+    let mut metrics_out: Option<String> = None;
+    let mut telemetry_enabled = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -111,6 +111,10 @@ fn main() {
                 );
             }
             "--smoke" => smoke = true,
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out needs a file path"));
+            }
+            "--no-telemetry" => telemetry_enabled = false,
             other => {
                 let value: usize = other
                     .parse()
@@ -212,6 +216,11 @@ fn main() {
                     repartition_budget,
                     ..CouplingConfig::default()
                 },
+                telemetry: if telemetry_enabled {
+                    TelemetryConfig::default()
+                } else {
+                    TelemetryConfig::disabled()
+                },
                 ..EngineConfig::default()
             },
         )
@@ -219,6 +228,9 @@ fn main() {
     );
     let running = Arc::new(AtomicBool::new(true));
     let n = egs.n_nodes();
+    // End-to-end query latency as the reader sees it (cache hits included),
+    // shared lock-free across the reader threads.
+    let latency_hist = Arc::new(LogHistogram::new());
 
     // Query threads: mixed RWR / PageRank / PPR workload with skewed seeds
     // (a hot set of 32 pages gets most of the traffic, as a real serving
@@ -227,9 +239,9 @@ fn main() {
         .map(|t| {
             let engine = Arc::clone(&engine);
             let running = Arc::clone(&running);
+            let latency_hist = Arc::clone(&latency_hist);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + t as u64);
-                let mut latencies: Vec<Duration> = Vec::with_capacity(1 << 16);
                 while running.load(Ordering::Relaxed) {
                     let query = match rng.gen_range(0usize..10) {
                         0..=6 => MeasureQuery::Rwr {
@@ -248,13 +260,12 @@ fn main() {
                     };
                     let start = Instant::now();
                     let scores = engine.query(&query).expect("query succeeds");
-                    latencies.push(start.elapsed());
+                    latency_hist.record_duration(start.elapsed());
                     assert_eq!(scores.len(), n);
                     // Give the ingest thread a scheduling slot on small
                     // machines; a no-op when cores are plentiful.
                     std::thread::yield_now();
                 }
-                latencies
             })
         })
         .collect();
@@ -271,14 +282,13 @@ fn main() {
     let ingest_elapsed = ingest_start.elapsed();
     running.store(false, Ordering::Relaxed);
 
-    let mut latencies: Vec<Duration> = Vec::new();
     for r in readers {
-        latencies.extend(r.join().expect("query thread clean exit"));
+        r.join().expect("query thread clean exit");
     }
-    latencies.sort_unstable();
+    let n_queries = latency_hist.count();
 
     let stats = engine.stats();
-    let qps = latencies.len() as f64 / ingest_elapsed.as_secs_f64();
+    let qps = n_queries as f64 / ingest_elapsed.as_secs_f64();
     let dps = ops.len() as f64 / ingest_elapsed.as_secs_f64();
     println!("\n--- ingest ---");
     println!(
@@ -324,7 +334,7 @@ fn main() {
     println!("\n--- queries (concurrent with ingest) ---");
     println!(
         "answered {} queries -> {:.0} queries/sec, cache hit-rate {:.1}%",
-        latencies.len(),
+        n_queries,
         qps,
         100.0 * stats.hit_rate()
     );
@@ -334,11 +344,23 @@ fn main() {
     );
     println!(
         "  p50 {:?}  p90 {:?}  p95 {:?}  p99 {:?}  max {:?}",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.90),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
-        latencies.last().copied().unwrap_or(Duration::ZERO)
+        latency_hist.duration_at_quantile(0.50),
+        latency_hist.duration_at_quantile(0.90),
+        latency_hist.duration_at_quantile(0.95),
+        latency_hist.duration_at_quantile(0.99),
+        latency_hist.max_duration()
     );
     println!("\n--- engine counters ---\n{stats}");
+
+    if let Some(path) = metrics_out {
+        let dump = engine.render_prometheus();
+        clude_telemetry::validate_prometheus(&dump).expect("exposition is well-formed");
+        std::fs::write(&path, &dump).expect("metrics file is writable");
+        println!(
+            "\nwrote {} telemetry series bytes to {path} ({} spans, {} journal events)",
+            dump.len(),
+            engine.telemetry().spans_recorded(),
+            engine.telemetry().journal().recorded()
+        );
+    }
 }

@@ -57,19 +57,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts (or replaces) an entry, evicting the least recently used one
-    /// when at capacity.
-    pub fn insert(&mut self, key: K, value: V) {
+    /// when at capacity. Returns the evicted key, if any, so callers can
+    /// journal the eviction.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         self.tick += 1;
         let tick = self.tick;
+        let mut victim = None;
         if let Some((_, last)) = self.map.remove(&key) {
             self.recency.remove(&last);
         } else if self.map.len() >= self.capacity {
             if let Some((_, evicted)) = self.recency.pop_first() {
                 self.map.remove(&evicted);
+                victim = Some(evicted);
             }
         }
         self.recency.insert(tick, key.clone());
         self.map.insert(key, (value, tick));
+        victim
     }
 
     /// Drops every entry for which `predicate` returns `false`.
@@ -98,10 +102,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("b", 2);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("b", 2), None);
         assert_eq!(c.get(&"a"), Some(&1)); // touch a; b is now LRU
-        c.insert("c", 3);
+        assert_eq!(c.insert("c", 3), Some("b"));
         assert_eq!(c.get(&"b"), None);
         assert_eq!(c.get(&"a"), Some(&1));
         assert_eq!(c.get(&"c"), Some(&3));
@@ -111,8 +115,8 @@ mod tests {
     #[test]
     fn replace_does_not_grow() {
         let mut c = LruCache::new(2);
-        c.insert("a", 1);
-        c.insert("a", 10);
+        assert_eq!(c.insert("a", 1), None);
+        assert_eq!(c.insert("a", 10), None);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&"a"), Some(&10));
     }

@@ -35,6 +35,7 @@ use clude::DecomposedMatrix;
 use clude_graph::NodePartition;
 use clude_lu::{CorrectionScratch, LowRankCorrection, LuError, LuResult, SolveScratch};
 use clude_sparse::CsrMatrix;
+use clude_telemetry::{Counter, EngineEvent, Stage};
 use std::collections::BTreeSet;
 
 /// Which strategy combines the per-shard block solves with the cross-shard
@@ -325,27 +326,55 @@ pub(crate) fn solve_system(snap: &EngineSnapshot, b: &[f64]) -> LuResult<Vec<f64
         return Ok(x);
     }
     let tolerance = snap.tolerance();
-    match snap.solver() {
-        CouplingSolver::Jacobi => fixed_point(n, b, coupling, tolerance, |rhs, out| {
-            solve_blocks(partition, shards, rhs, out, &mut scratch)
-        }),
-        CouplingSolver::GaussSeidel => gauss_seidel(snap, b, &mut scratch),
+    let telemetry = snap.telemetry();
+    let result = match snap.solver() {
+        CouplingSolver::Jacobi => {
+            let _span = telemetry.span(Stage::CouplingJacobi);
+            fixed_point(n, b, coupling, tolerance, |rhs, out| {
+                solve_blocks(partition, shards, rhs, out, &mut scratch)
+            })
+        }
+        CouplingSolver::GaussSeidel => {
+            let _span = telemetry.span(Stage::CouplingGaussSeidel);
+            gauss_seidel(snap, b, &mut scratch)
+        }
         CouplingSolver::Woodbury { .. } => match &snap.coupling_plan().correction {
             Some(c) if c.rest.nnz() == 0 => {
                 // The correction captured the whole coupling: one block pass
                 // plus one k×k dense substitution is the exact solve.
+                let _span = telemetry.span(Stage::CouplingWoodburyApply);
                 let mut x = vec![0.0; n];
                 solve_blocks(partition, shards, b, &mut x, &mut scratch)?;
                 c.lowrank.apply_into(&mut x, &mut scratch.correction)?;
                 Ok(x)
             }
-            Some(c) => fixed_point(n, b, &c.rest, tolerance, |rhs, out| {
-                solve_blocks(partition, shards, rhs, out, &mut scratch)?;
-                c.lowrank.apply_into(out, &mut scratch.correction)
-            }),
-            None => gauss_seidel(snap, b, &mut scratch),
+            Some(c) => {
+                let _span = telemetry.span(Stage::CouplingWoodburyApply);
+                fixed_point(n, b, &c.rest, tolerance, |rhs, out| {
+                    solve_blocks(partition, shards, rhs, out, &mut scratch)?;
+                    c.lowrank.apply_into(out, &mut scratch.correction)
+                })
+            }
+            None => {
+                let _span = telemetry.span(Stage::CouplingGaussSeidel);
+                gauss_seidel(snap, b, &mut scratch)
+            }
         },
+    };
+    if let Err(LuError::ConvergenceFailure {
+        iterations,
+        last_diff,
+    }) = &result
+    {
+        // Journalled, not just surfaced as an `Err`: a caller that retries or
+        // falls back would otherwise leave no trace of the failed solve.
+        telemetry.incr(Counter::ConvergenceFailures);
+        telemetry.record_event(EngineEvent::ConvergenceFailure {
+            sweeps: *iterations as u64,
+            residual: *last_diff,
+        });
     }
+    result
 }
 
 /// Fixed-point iteration `x ← M⁻¹(b − R·x)` with `apply_inverse` as `M⁻¹`

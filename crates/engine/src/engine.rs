@@ -27,6 +27,7 @@ use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
 use clude::partition::edge_locality_partition;
 use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
+use clude_telemetry::{Counter, Gauge, Stage, TelemetryConfig, TelemetryRegistry};
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -62,6 +63,9 @@ pub struct EngineConfig {
     /// [`crate::coupling::SolveTolerance`] stopping rule, and the optional
     /// coupling-size budget that triggers adaptive re-partitioning.
     pub coupling: CouplingConfig,
+    /// Telemetry behavior: enabled (spans, histograms, journal) or compiled
+    /// down to near-no-ops with [`TelemetryConfig::disabled`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +79,7 @@ impl Default for EngineConfig {
             cache_capacity_per_shard: 128,
             n_shards: 1,
             coupling: CouplingConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -158,6 +163,7 @@ pub struct CludeEngine {
     ring_capacity: usize,
     service: QueryService,
     counters: Arc<EngineCounters>,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl CludeEngine {
@@ -175,9 +181,11 @@ impl CludeEngine {
         // than that caps at one node per shard rather than failing.
         let n_shards = config.n_shards.min(base.n_nodes().max(1));
         if n_shards <= 1 {
+            let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
             let store = FactorStore::new(base, config.matrix_kind, config.refresh)?
-                .with_coupling_config(config.coupling);
-            Self::from_backend(StoreBackend::Monolithic(Box::new(store)), config)
+                .with_coupling_config(config.coupling)
+                .with_telemetry(Arc::clone(&telemetry));
+            Self::from_backend(StoreBackend::Monolithic(Box::new(store)), config, telemetry)
         } else {
             let partition = edge_locality_partition(&base, n_shards);
             Self::with_partition(base, config, partition)
@@ -191,12 +199,18 @@ impl CludeEngine {
         config: EngineConfig,
         partition: NodePartition,
     ) -> EngineResult<Self> {
+        let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
         let store = ShardedFactorStore::new(base, config.matrix_kind, config.refresh, partition)?
+            .with_telemetry(Arc::clone(&telemetry))
             .with_coupling_config(config.coupling)?;
-        Self::from_backend(StoreBackend::Sharded(Box::new(store)), config)
+        Self::from_backend(StoreBackend::Sharded(Box::new(store)), config, telemetry)
     }
 
-    fn from_backend(store: StoreBackend, config: EngineConfig) -> EngineResult<Self> {
+    fn from_backend(
+        store: StoreBackend,
+        config: EngineConfig,
+        telemetry: Arc<TelemetryRegistry>,
+    ) -> EngineResult<Self> {
         assert!(
             config.ring_capacity > 0,
             "need at least one retained snapshot"
@@ -211,7 +225,7 @@ impl CludeEngine {
             coupling_cfg: config.coupling,
             n_shards,
             inner: Mutex::new(IngestState {
-                ingestor: DeltaIngestor::new(config.batch),
+                ingestor: DeltaIngestor::new(config.batch).with_telemetry(Arc::clone(&telemetry)),
                 store,
             }),
             ring: RwLock::new(ring),
@@ -220,8 +234,10 @@ impl CludeEngine {
                 config.cache_shards,
                 config.cache_capacity_per_shard,
                 Arc::clone(&counters),
+                Arc::clone(&telemetry),
             ),
             counters,
+            telemetry,
         })
     }
 
@@ -250,6 +266,7 @@ impl CludeEngine {
         let outcome = state.ingestor.offer(op, state.store.graph())?;
         // Count only operations the ingestor accepted (rejected ones erred).
         EngineCounters::bump(&self.counters.ops_ingested);
+        self.telemetry.incr(Counter::OpsIngested);
         match outcome {
             IngestOutcome::Buffered => Ok(None),
             IngestOutcome::Coalesced => {
@@ -272,7 +289,10 @@ impl CludeEngine {
 
     fn apply_batch(&self, state: &mut IngestState, delta: GraphDelta) -> EngineResult<u64> {
         let start = Instant::now();
+        let apply_span = self.telemetry.span(Stage::IngestApply);
         let report = state.store.advance(&delta)?;
+        apply_span.stop();
+        self.telemetry.incr(Counter::BatchesApplied);
         // Every applied batch counts toward ingest time; refresh time is the
         // subset spent in batches that ended in a full refresh.
         let elapsed = start.elapsed();
@@ -435,12 +455,49 @@ impl CludeEngine {
         stats.solver = self.coupling_cfg.solver.name().to_string();
         stats.coupling_nnz = newest.coupling().nnz() as u64;
         stats.correction_rank = newest.coupling_plan().correction_rank().unwrap_or(0) as u64;
+        drop(ring);
+        // Fold the occupancy numbers back into the telemetry gauges so the
+        // exposition and the stats report agree on a sampling instant.
+        self.telemetry.set_gauge(Gauge::RingDepth, stats.ring_depth);
+        self.telemetry
+            .set_gauge(Gauge::ResidentFactorBytes, stats.resident_factor_bytes);
+        self.telemetry
+            .set_gauge(Gauge::CouplingNnz, stats.coupling_nnz);
+        self.telemetry
+            .set_gauge(Gauge::CorrectionRank, stats.correction_rank);
+        stats.telemetry_enabled = self.telemetry.enabled();
+        stats.spans_recorded = self.telemetry.spans_recorded();
+        stats.journal_events = self.telemetry.journal().recorded();
+        stats.journal_dropped = self.telemetry.journal().dropped();
+        let solves = self.telemetry.stage_histogram(Stage::QuerySolve);
+        stats.query_solve_p50 = solves.duration_at_quantile(0.5);
+        stats.query_solve_p99 = solves.duration_at_quantile(0.99);
         stats
     }
 
     /// Number of results currently cached.
     pub fn cached_results(&self) -> usize {
         self.service.cached_entries()
+    }
+
+    /// The telemetry registry shared by every engine subsystem — stage
+    /// histograms, counters, gauges, and the structured event journal.
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
+    /// Renders the telemetry registry in the Prometheus text exposition
+    /// format, refreshing the occupancy gauges first.
+    pub fn render_prometheus(&self) -> String {
+        let _ = self.stats();
+        self.telemetry.render_prometheus()
+    }
+
+    /// Renders the telemetry registry as a JSON document, refreshing the
+    /// occupancy gauges first.
+    pub fn telemetry_json(&self) -> String {
+        let _ = self.stats();
+        self.telemetry.render_json()
     }
 }
 

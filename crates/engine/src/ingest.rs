@@ -17,7 +17,9 @@
 
 use crate::error::{EngineError, EngineResult};
 use clude_graph::{DiGraph, GraphDelta};
+use clude_telemetry::{Stage, TelemetryRegistry};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A single streamed edge operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +116,7 @@ pub struct DeltaIngestor {
     pending_adds: BTreeSet<(usize, usize)>,
     pending_removes: BTreeSet<(usize, usize)>,
     batches_cut: u64,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl DeltaIngestor {
@@ -124,7 +127,15 @@ impl DeltaIngestor {
             pending_adds: BTreeSet::new(),
             pending_removes: BTreeSet::new(),
             batches_cut: 0,
+            telemetry: Arc::new(TelemetryRegistry::disabled()),
         }
+    }
+
+    /// Attaches a telemetry registry; [`offer`](DeltaIngestor::offer) then
+    /// records an `ingest.merge` span per coalescing step.
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of net pending edge changes.
@@ -161,6 +172,9 @@ impl DeltaIngestor {
     /// operation trips the batch policy; the caller must then apply the
     /// delta and advance the snapshot before offering further operations.
     pub fn offer(&mut self, op: EdgeOp, graph: &DiGraph) -> EngineResult<IngestOutcome> {
+        // An owned handle so the span outlives `&mut self` uses below.
+        let telemetry = Arc::clone(&self.telemetry);
+        let _span = telemetry.span(Stage::IngestMerge);
         let (u, v) = op.edge();
         let n = graph.n_nodes();
         if u >= n || v >= n {

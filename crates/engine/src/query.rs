@@ -12,6 +12,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::stats::EngineCounters;
 use crate::store::EngineSnapshot;
 use clude_measures::MeasureQuery;
+use clude_telemetry::{Counter, EngineEvent, Stage, TelemetryRegistry};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +29,7 @@ pub struct QueryService {
     /// (a reader may finish a solve for a snapshot evicted mid-flight).
     oldest_retained: AtomicU64,
     counters: Arc<EngineCounters>,
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl QueryService {
@@ -36,7 +38,12 @@ impl QueryService {
     ///
     /// # Panics
     /// Panics when `shards` or `capacity_per_shard` is zero.
-    pub fn new(shards: usize, capacity_per_shard: usize, counters: Arc<EngineCounters>) -> Self {
+    pub fn new(
+        shards: usize,
+        capacity_per_shard: usize,
+        counters: Arc<EngineCounters>,
+        telemetry: Arc<TelemetryRegistry>,
+    ) -> Self {
         assert!(shards > 0, "need at least one cache shard");
         QueryService {
             shards: (0..shards)
@@ -44,6 +51,7 @@ impl QueryService {
                 .collect(),
             oldest_retained: AtomicU64::new(0),
             counters,
+            telemetry,
         }
     }
 
@@ -66,26 +74,42 @@ impl QueryService {
             .validate(snapshot.n_nodes())
             .map_err(EngineError::InvalidQuery)?;
         EngineCounters::bump(&self.counters.queries);
+        self.telemetry.incr(Counter::QueriesServed);
         let key: CacheKey = (snapshot.id(), query.clone());
         let shard = &self.shards[self.shard_of(&key)];
-        if let Some(hit) = shard.write().expect("cache shard poisoned").get(&key) {
-            EngineCounters::bump(&self.counters.cache_hits);
-            return Ok(Arc::clone(hit));
+        {
+            let probe = self.telemetry.span(Stage::QueryCacheHit);
+            if let Some(hit) = shard.write().expect("cache shard poisoned").get(&key) {
+                EngineCounters::bump(&self.counters.cache_hits);
+                self.telemetry.incr(Counter::CacheHits);
+                return Ok(Arc::clone(hit));
+            }
+            // A miss records no `query.cache_hit` sample — the stage times
+            // served-from-cache probes only.
+            probe.cancel();
         }
         EngineCounters::bump(&self.counters.cache_misses);
         // Solve outside the lock: many readers can factor-substitute
         // concurrently against the same immutable snapshot.
         let start = Instant::now();
+        let solve_span = self.telemetry.span(Stage::QuerySolve);
         let scores = Arc::new(snapshot.query(query)?);
+        solve_span.stop();
         EngineCounters::add_nanos(&self.counters.query_nanos, start.elapsed());
         // Don't cache results for snapshots evicted while we were solving:
         // query_at() rejects their ids before probing the cache, so the
         // entry would only waste LRU capacity.
         if key.0 >= self.oldest_retained.load(Ordering::Acquire) {
-            shard
+            let victim = shard
                 .write()
                 .expect("cache shard poisoned")
                 .insert(key, Arc::clone(&scores));
+            if let Some((evicted_snapshot, _)) = victim {
+                self.telemetry.incr(Counter::CacheEvictions);
+                self.telemetry.record_event(EngineEvent::CacheEvicted {
+                    snapshot: evicted_snapshot,
+                });
+            }
         }
         Ok(scores)
     }
@@ -133,7 +157,12 @@ mod tests {
     #[test]
     fn cache_hits_return_the_same_result() {
         let counters = Arc::new(EngineCounters::default());
-        let service = QueryService::new(4, 16, Arc::clone(&counters));
+        let service = QueryService::new(
+            4,
+            16,
+            Arc::clone(&counters),
+            Arc::new(TelemetryRegistry::default()),
+        );
         let snap = snapshot();
         let q = MeasureQuery::Rwr {
             seed: 1,
@@ -155,7 +184,12 @@ mod tests {
     #[test]
     fn distinct_queries_miss_separately() {
         let counters = Arc::new(EngineCounters::default());
-        let service = QueryService::new(2, 16, Arc::clone(&counters));
+        let service = QueryService::new(
+            2,
+            16,
+            Arc::clone(&counters),
+            Arc::new(TelemetryRegistry::default()),
+        );
         let snap = snapshot();
         for seed in 0..4 {
             service
@@ -175,7 +209,7 @@ mod tests {
     #[test]
     fn invalidation_drops_old_snapshots_only() {
         let counters = Arc::new(EngineCounters::default());
-        let service = QueryService::new(2, 16, counters);
+        let service = QueryService::new(2, 16, counters, Arc::new(TelemetryRegistry::default()));
         let snap = snapshot(); // id 0
         let q = MeasureQuery::PageRank { damping: 0.85 };
         service.query(&snap, &q).unwrap();
@@ -187,7 +221,12 @@ mod tests {
     #[test]
     fn invalid_queries_are_rejected_before_solving() {
         let counters = Arc::new(EngineCounters::default());
-        let service = QueryService::new(2, 16, Arc::clone(&counters));
+        let service = QueryService::new(
+            2,
+            16,
+            Arc::clone(&counters),
+            Arc::new(TelemetryRegistry::default()),
+        );
         let snap = snapshot();
         let bad = MeasureQuery::Rwr {
             seed: 99,

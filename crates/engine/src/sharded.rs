@@ -38,6 +38,7 @@ use clude_graph::{
 };
 use clude_lu::{BennettStats, BennettWorkspace, LuError, ShardWorkspaces};
 use clude_sparse::{CooMatrix, CsrMatrix};
+use clude_telemetry::{EngineEvent, Stage, TelemetryRegistry, Timer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -86,9 +87,11 @@ impl FactorShard {
                 )
             })
             .collect();
-        let (bennett, refreshed) = self.of.apply_or_refresh(ws, &mapped, ctx.policy, || {
-            shard_measure_matrix(ctx.graph, ctx.kind, ctx.partition, shard)
-        })?;
+        let (bennett, refreshed) =
+            self.of
+                .apply_or_refresh(ws, &mapped, ctx.policy, ctx.telemetry, shard, || {
+                    shard_measure_matrix(ctx.graph, ctx.kind, ctx.partition, shard)
+                })?;
         Ok(ShardOutcome { bennett, refreshed })
     }
 }
@@ -100,6 +103,9 @@ struct SweepContext<'a> {
     partition: &'a NodePartition,
     kind: MatrixKind,
     policy: RefreshPolicy,
+    /// Shared sink for per-shard sweep/refresh spans (worker threads record
+    /// concurrently through relaxed atomics).
+    telemetry: &'a TelemetryRegistry,
 }
 
 /// What one shard did during an advance (worker-thread result).
@@ -245,6 +251,10 @@ pub struct ShardedFactorStore {
     /// Coupling size that triggers the next adaptive re-partition (`None`
     /// disables; backed off after each re-partition for amortization).
     next_repartition_at: Option<usize>,
+    /// Telemetry sink for sweep/refresh/freeze/plan spans and repartition
+    /// events, stamped onto snapshots; a disabled stub unless
+    /// [`ShardedFactorStore::with_telemetry`].
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl ShardedFactorStore {
@@ -292,7 +302,16 @@ impl ShardedFactorStore {
             next_repartition_at: coupling_cfg.repartition_budget,
             coupling_cfg,
             plan,
+            telemetry: Arc::new(TelemetryRegistry::disabled()),
         })
+    }
+
+    /// Sets the telemetry registry sweep/refresh/freeze/plan spans and
+    /// repartition events are recorded into (builder style).  Snapshots
+    /// carry the same handle so query-path coupling solves record too.
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the coupling-solver configuration (builder style) and, when the
@@ -391,6 +410,7 @@ impl ShardedFactorStore {
             self.coupling_cfg.solver,
             self.coupling_cfg.tolerance,
             Arc::clone(&self.plan),
+            Arc::clone(&self.telemetry),
         )
     }
 
@@ -473,6 +493,7 @@ impl ShardedFactorStore {
             partition: &self.partition,
             kind: self.kind,
             policy: self.policy,
+            telemetry: &self.telemetry,
         };
         let mut outcomes: Vec<Option<Result<ShardOutcome, LuError>>> =
             (0..k).map(|_| None).collect();
@@ -527,7 +548,9 @@ impl ShardedFactorStore {
             // Copy-on-write: only the shards this batch swept (or refreshed)
             // re-freeze their shared handle; every other shard keeps serving
             // the handle older snapshots already hold.
+            let freeze = self.telemetry.span(Stage::SnapshotFreeze);
             self.published[s] = self.shards[s].of.publish(self.snapshot_id);
+            freeze.stop();
             report.shards_republished += 1;
             republished.push(s);
         }
@@ -553,6 +576,10 @@ impl ShardedFactorStore {
             }
             if nnz > self.next_repartition_at.unwrap_or(budget) {
                 self.repartition()?;
+                self.telemetry.record_event(EngineEvent::Repartitioned {
+                    coupling_nnz_before: nnz as u64,
+                    coupling_nnz_after: self.coupling.nnz() as u64,
+                });
                 report.repartitioned = true;
                 report.shards_republished = self.shards.len() as u64;
                 report.coupling_republished = true;
@@ -568,6 +595,7 @@ impl ShardedFactorStore {
             || report.coupling_republished
             || republished.iter().any(|&s| self.plan.depends_on_shard(s));
         if plan_stale {
+            let timer = Timer::start(&self.telemetry);
             self.plan = Arc::new(CouplingPlan::build(
                 &self.partition,
                 &self.published,
@@ -575,6 +603,19 @@ impl ShardedFactorStore {
                 self.coupling_cfg.solver,
             )?);
             report.correction_rebuilt = self.plan.correction_rank().is_some();
+            if let Some(rank) = self.plan.correction_rank() {
+                // The Woodbury correction is the expensive part of a plan
+                // rebuild (block solves per captured column); Gauss–Seidel
+                // order derivation alone is not worth a stage.
+                timer.finish(&self.telemetry, Stage::CouplingWoodburyBuild);
+                self.telemetry
+                    .record_event(EngineEvent::WoodburyPlanRebuilt {
+                        rank: rank as u32,
+                        // Rebuilt only because a support shard re-froze its
+                        // factors: the captured column set itself is unchanged.
+                        reused: !report.repartitioned && !report.coupling_republished,
+                    });
+            }
         }
 
         // Quality-loss is a property of the shard's accumulated state, not

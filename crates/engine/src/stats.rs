@@ -154,6 +154,12 @@ impl EngineCounters {
             solver: String::new(),
             coupling_nnz: 0,
             correction_rank: 0,
+            telemetry_enabled: false,
+            spans_recorded: 0,
+            journal_events: 0,
+            journal_dropped: 0,
+            query_solve_p50: Duration::ZERO,
+            query_solve_p99: Duration::ZERO,
         }
     }
 }
@@ -213,6 +219,24 @@ pub struct EngineStats {
     /// Rank of the newest snapshot's cached Woodbury correction (0 when the
     /// strategy caches none; filled in by `CludeEngine::stats`).
     pub correction_rank: u64,
+    /// Whether the engine's telemetry registry is recording (filled in by
+    /// `CludeEngine::stats`).
+    pub telemetry_enabled: bool,
+    /// Total timed-span observations across all stage histograms (filled in
+    /// by `CludeEngine::stats`).
+    pub spans_recorded: u64,
+    /// Structured journal events recorded (filled in by
+    /// `CludeEngine::stats`).
+    pub journal_events: u64,
+    /// Journal events shed by the bounded ring (filled in by
+    /// `CludeEngine::stats`).
+    pub journal_dropped: u64,
+    /// Median `query.solve` stage latency (filled in by
+    /// `CludeEngine::stats`).
+    pub query_solve_p50: Duration,
+    /// 99th-percentile `query.solve` stage latency (filled in by
+    /// `CludeEngine::stats`).
+    pub query_solve_p99: Duration,
     /// Per-shard ingest breakdown, indexed by shard id.
     pub per_shard: Vec<ShardStats>,
 }
@@ -308,6 +332,16 @@ impl fmt::Display for EngineStats {
             self.correction_rank,
             self.repartitions,
             self.corrections_built
+        )?;
+        write!(
+            f,
+            "\ntelemetry | {}  spans {:>9}  journal {:>6} (dropped {:>4})  q-solve p50 {:>9.3?}  p99 {:>9.3?}",
+            if self.telemetry_enabled { "on " } else { "off" },
+            self.spans_recorded,
+            self.journal_events,
+            self.journal_dropped,
+            self.query_solve_p50,
+            self.query_solve_p99
         )?;
         if self.per_shard.len() > 1 {
             for s in &self.per_shard {
@@ -433,6 +467,55 @@ mod tests {
         assert!(text.contains("1.5 MiB"));
         // No snapshots published yet: rate degrades to 0 instead of NaN.
         assert_eq!(EngineStats::default().cow_share_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_golden_render() {
+        // Golden rendering of a fully-populated stats record: any format
+        // drift in the ring / coupling / telemetry lines fails here first.
+        let s = EngineStats {
+            ops_ingested: 1000,
+            ops_coalesced: 12,
+            batches_applied: 16,
+            refreshes: 1,
+            bennett_rank_one_updates: 420,
+            bennett_pivots: 9000,
+            queries: 50,
+            cache_hits: 20,
+            cache_misses: 30,
+            ingest_time: Duration::from_millis(125),
+            refresh_time: Duration::from_millis(25),
+            query_time: Duration::from_millis(80),
+            cow_shards_cloned: 2,
+            cow_shards_shared: 6,
+            ring_depth: 3,
+            resident_factor_bytes: 2048,
+            repartitions: 1,
+            corrections_built: 4,
+            solver: "woodbury".to_string(),
+            coupling_nnz: 88,
+            correction_rank: 16,
+            telemetry_enabled: true,
+            spans_recorded: 321,
+            journal_events: 12,
+            journal_dropped: 2,
+            query_solve_p50: Duration::from_micros(950),
+            query_solve_p99: Duration::from_millis(4),
+            per_shard: Vec::new(),
+        };
+        let text = s.to_string();
+        let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "ingest   | ops       1000  coalesced       12  batches      16  time  125.000ms",
+                "factors  | refreshes    1  rank-1        420  pivots       9000  refresh time   25.000ms",
+                "queries  | total       50  hits         20  misses       30  hit-rate  40.0%  solve time   80.000ms",
+                "ring     | depth        3  cow-clones      2  shared        6  share-rate  75.0%  resident ~2.0 KiB",
+                "coupling | solver     woodbury  nnz       88  woodbury-rank   16  repartitions    1  corrections      4",
+                "telemetry | on   spans       321  journal     12 (dropped    2)  q-solve p50 950.000µs  p99   4.000ms",
+            ]
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use clude_lu::{
 };
 use clude_measures::{evaluate_query_with, MeasureQuery, MeasureSolver};
 use clude_sparse::{CooMatrix, CsrMatrix};
+use clude_telemetry::{EngineEvent, Stage, TelemetryRegistry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -112,6 +113,10 @@ pub struct EngineSnapshot {
     /// Frozen solver metadata (Gauss–Seidel order, cached Woodbury
     /// correction), shared through the ring like factor blocks.
     plan: Arc<CouplingPlan>,
+    /// The engine-wide telemetry sink, stamped in so query-path coupling
+    /// solves record their spans and convergence failures (disabled
+    /// registries make every recording a branch).
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl EngineSnapshot {
@@ -125,6 +130,7 @@ impl EngineSnapshot {
         solver: CouplingSolver,
         tolerance: SolveTolerance,
         plan: Arc<CouplingPlan>,
+        telemetry: Arc<TelemetryRegistry>,
     ) -> Self {
         debug_assert_eq!(partition.n_shards(), shards.len());
         EngineSnapshot {
@@ -136,6 +142,7 @@ impl EngineSnapshot {
             solver,
             tolerance,
             plan,
+            telemetry,
         }
     }
 
@@ -192,6 +199,13 @@ impl EngineSnapshot {
     /// depends on changed are [`Arc::ptr_eq`] here.
     pub fn coupling_plan(&self) -> &Arc<CouplingPlan> {
         &self.plan
+    }
+
+    /// The telemetry registry this snapshot records query-path spans and
+    /// events into (the engine-wide one, or a disabled stub for stores
+    /// built without telemetry).
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.telemetry
     }
 
     /// The decomposed measure matrix of a monolithic snapshot.
@@ -276,6 +290,9 @@ pub struct FactorStore {
     coupling_cfg: CouplingConfig,
     /// Cached trivial plan shared by every published snapshot.
     trivial_plan: Arc<CouplingPlan>,
+    /// Telemetry sink for sweep/refresh/freeze spans, stamped onto
+    /// snapshots; a disabled stub unless [`FactorStore::with_telemetry`].
+    telemetry: Arc<TelemetryRegistry>,
 }
 
 impl FactorStore {
@@ -294,12 +311,21 @@ impl FactorStore {
             empty_coupling: Arc::new(CsrMatrix::from_coo(&CooMatrix::new(n, n))),
             coupling_cfg: CouplingConfig::default(),
             trivial_plan: Arc::new(CouplingPlan::trivial(1)),
+            telemetry: Arc::new(TelemetryRegistry::disabled()),
             graph,
             of,
             workspace,
             snapshot_id: 0,
             published,
         })
+    }
+
+    /// Sets the telemetry registry sweep/refresh/freeze spans and refresh
+    /// events are recorded into (builder style).  Snapshots carry the same
+    /// handle so query-path solves record too.
+    pub fn with_telemetry(mut self, telemetry: Arc<TelemetryRegistry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the coupling-solver configuration stamped onto published
@@ -363,6 +389,7 @@ impl FactorStore {
             self.coupling_cfg.solver,
             self.coupling_cfg.tolerance,
             Arc::clone(&self.trivial_plan),
+            Arc::clone(&self.telemetry),
         )
     }
 
@@ -408,16 +435,20 @@ impl FactorStore {
         let entries_applied = matrix_delta.len();
 
         let (graph, kind) = (&self.graph, self.kind);
-        let (bennett, refreshed) =
-            self.of
-                .apply_or_refresh(&mut self.workspace, &matrix_delta, self.policy, || {
-                    measure_matrix(graph, kind)
-                })?;
+        let (bennett, refreshed) = self.of.apply_or_refresh(
+            &mut self.workspace,
+            &matrix_delta,
+            self.policy,
+            &self.telemetry,
+            0,
+            || measure_matrix(graph, kind),
+        )?;
         // Copy-on-write: re-freeze the shared factor handle only when this
         // batch actually touched the factors; a no-entry batch keeps serving
         // (and sharing) the previous handle.
         let republished = entries_applied > 0 || refreshed;
         if republished {
+            let _freeze = self.telemetry.span(Stage::SnapshotFreeze);
             self.published = self.of.publish(self.snapshot_id);
         }
         Ok(AdvanceReport {
@@ -484,29 +515,57 @@ impl OrderedFactors {
     /// step shared by the monolithic store and every shard.  Returns the
     /// Bennett work done and whether a refresh happened; an `Ok` return
     /// always leaves servable factors.
+    ///
+    /// The sweep and any refresh record `shard.sweep` / `shard.refresh`
+    /// spans into `telemetry`, and every refresh posts a
+    /// [`EngineEvent::RefreshTriggered`] journal event tagged with `shard`
+    /// (0 for the monolithic store) and whether numerics or the quality
+    /// budget forced it.
     pub(crate) fn apply_or_refresh(
         &mut self,
         ws: &mut BennettWorkspace,
         delta: &[(usize, usize, f64, f64)],
         policy: RefreshPolicy,
+        telemetry: &TelemetryRegistry,
+        shard: usize,
         rebuild_matrix: impl Fn() -> CsrMatrix,
     ) -> LuResult<(BennettStats, bool)> {
         let mut refreshed = false;
+        let sweep = telemetry.span(Stage::ShardSweep);
         let bennett = match apply_delta_with(&mut self.factors, ws, delta) {
-            Ok(stats) => stats,
+            Ok(stats) => {
+                sweep.stop();
+                stats
+            }
             Err(_) => {
+                sweep.stop();
                 // Numeric fallback: rebuild under a fresh ordering.
+                let refresh = telemetry.span(Stage::ShardRefresh);
                 *self = order_and_factorize(&rebuild_matrix())?;
+                refresh.stop();
+                telemetry.record_event(EngineEvent::RefreshTriggered {
+                    shard: shard as u32,
+                    numeric: true,
+                    quality_loss: 0.0,
+                });
                 refreshed = true;
                 BennettStats::default()
             }
         };
         if !refreshed {
             if let RefreshPolicy::QualityTriggered { max_quality_loss } = policy {
+                let loss = clude::quality_loss_from_sizes(self.factors.nnz(), self.reference_nnz);
                 let decision =
                     refresh_decision(self.factors.nnz(), self.reference_nnz, max_quality_loss);
                 if decision.should_refresh {
+                    let refresh = telemetry.span(Stage::ShardRefresh);
                     *self = order_and_factorize(&rebuild_matrix())?;
+                    refresh.stop();
+                    telemetry.record_event(EngineEvent::RefreshTriggered {
+                        shard: shard as u32,
+                        numeric: false,
+                        quality_loss: loss,
+                    });
                     refreshed = true;
                 }
             }

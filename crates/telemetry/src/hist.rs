@@ -1,0 +1,381 @@
+//! Lock-free log-bucketed duration histograms.
+//!
+//! HDR-style layout: values are bucketed by their power of two, and every
+//! power of two is subdivided into [`LogHistogram::SUB_BUCKETS`] linear
+//! sub-buckets, so the relative width of any bucket is at most
+//! `1 / SUB_BUCKETS` (6.25 %). Values below `SUB_BUCKETS` get exact
+//! single-value buckets. Recording is one relaxed `fetch_add` per atomic —
+//! no locks, no allocation — so a histogram can sit behind an `Arc` shared
+//! by every reader and writer thread, like the sparse substrate's probe
+//! counters.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// log2 of the sub-bucket count per power of two.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power of two.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets: `SUB` exact low buckets, then `SUB` sub-buckets for each
+/// of the 60 remaining exponent bands of a `u64` (see [`bucket_index`]) —
+/// the maximum index is `(59 + 1) * 16 + 15 = 975`.
+const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB as usize;
+
+/// The bucket index holding `v`.
+///
+/// `v < 16` maps to the exact bucket `v`; otherwise the bucket is
+/// `(exp + 1) * 16 + mantissa` where `exp = msb(v) - 4` and `mantissa` is
+/// the 4 bits below the most significant bit.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let exp = msb - SUB_BITS;
+        let mantissa = (v >> exp) - SUB;
+        (((exp + 1) as u64 * SUB) + mantissa) as usize
+    }
+}
+
+/// The inclusive `(low, high)` value range of bucket `index`.
+#[inline]
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB as usize {
+        (index as u64, index as u64)
+    } else {
+        let exp = (index as u64 / SUB) - 1;
+        let mantissa = index as u64 % SUB;
+        let low = (SUB + mantissa) << exp;
+        let width = 1u64 << exp;
+        (low, low + (width - 1))
+    }
+}
+
+/// Shared quantile walk: the `rank`-th smallest sample (1-based,
+/// `rank = max(1, ceil(q·n))`) lies in the first bucket whose cumulative
+/// count reaches `rank`, so any representative of that bucket is within one
+/// bucket width of the exact order statistic. We return the bucket's high
+/// bound clamped to the recorded maximum.
+fn quantile_walk(count: u64, max: u64, q: f64, bucket: impl Fn(usize) -> u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for index in 0..N_BUCKETS {
+        cumulative += bucket(index);
+        if cumulative >= rank {
+            return bucket_bounds(index).1.min(max);
+        }
+    }
+    max
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (engine stages record
+/// durations in nanoseconds).
+///
+/// All recording and reading goes through relaxed atomics; `&LogHistogram`
+/// is freely shareable across threads. Quantile estimates are within one
+/// bucket of the exact order statistic — at most 6.25 % relative error
+/// (exact below 16) — which the crate's property tests pin down.
+pub struct LogHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// Linear sub-buckets per power of two; `1 / SUB_BUCKETS` bounds the
+    /// relative bucket width.
+    pub const SUB_BUCKETS: u64 = SUB;
+
+    /// An empty histogram (usable in statics and const array repeats).
+    pub const fn new() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value falls into (exposed for error-bound tests).
+    pub fn bucket_of(value: u64) -> usize {
+        bucket_index(value)
+    }
+
+    /// The inclusive `(low, high)` range of values sharing bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        bucket_bounds(index)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating past `u64::MAX` ns).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded samples (wraps only past `u64::MAX` total ns,
+    /// ≈ 584 years).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The estimated `q`-quantile (`q` in `[0, 1]`): within one bucket of
+    /// the exact sorted `⌈q·n⌉`-th sample, clamped to the recorded maximum.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        quantile_walk(self.count(), self.max(), q, |i| {
+            self.buckets[i].load(Relaxed)
+        })
+    }
+
+    /// [`Self::value_at_quantile`] as a [`Duration`] of nanoseconds.
+    pub fn duration_at_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.value_at_quantile(q))
+    }
+
+    /// The recorded maximum as a [`Duration`] of nanoseconds.
+    pub fn max_duration(&self) -> Duration {
+        Duration::from_nanos(self.max())
+    }
+
+    /// Folds every sample of `other` into `self`. The result is
+    /// indistinguishable from having recorded both sample streams into one
+    /// histogram (property-tested).
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Relaxed);
+        self.sum.fetch_add(other.sum(), Relaxed);
+        self.max.fetch_max(other.max(), Relaxed);
+    }
+
+    /// A point-in-time copy of the full bucket state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// An owned, comparable copy of a [`LogHistogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The estimated `q`-quantile; same guarantee as
+    /// [`LogHistogram::value_at_quantile`].
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        quantile_walk(self.count, self.max, q, |i| self.buckets[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        // Every bucket's high bound is one below the next bucket's low bound,
+        // starting at 0 and ending at u64::MAX.
+        assert_eq!(bucket_bounds(0).0, 0);
+        for i in 0..N_BUCKETS - 1 {
+            let (_, high) = bucket_bounds(i);
+            let (next_low, _) = bucket_bounds(i + 1);
+            assert_eq!(high + 1, next_low, "gap between buckets {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_bounds(N_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_and_bounds_roundtrip() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = bucket_index(x);
+            let (low, high) = bucket_bounds(i);
+            assert!(
+                low <= x && x <= high,
+                "{x} outside bucket {i}: [{low}, {high}]"
+            );
+        }
+        for v in [0, 1, 15, 16, 17, 31, 32, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let (low, high) = bucket_bounds(bucket_index(v));
+            assert!(low <= v && v <= high);
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in 16..N_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            let width = (high - low) as u128 + 1;
+            assert!(
+                width * SUB as u128 <= low as u128 + width,
+                "bucket {i} too wide: [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_set() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // p50 -> 50th smallest = 50, bucket [48, 51].
+        let p50 = h.value_at_quantile(0.5);
+        assert!((48..=51).contains(&p50), "p50 = {p50}");
+        // p99 -> 99th smallest = 99, bucket [96, 99] (clamped to max 100).
+        let p99 = h.value_at_quantile(0.99);
+        assert!((96..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.value_at_quantile(1.0), 100);
+        // q = 0 still targets the first sample.
+        assert_eq!(h.value_at_quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_recording() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let both = LogHistogram::new();
+        for v in [3u64, 17, 170, 1_000_000, 5] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 88, 7_777_777] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.max(), 3999);
+    }
+
+    #[test]
+    fn durations_record_as_nanoseconds() {
+        let h = LogHistogram::new();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.max(), 3000);
+        assert_eq!(h.max_duration(), Duration::from_nanos(3000));
+        assert!(h.duration_at_quantile(0.5) >= Duration::from_nanos(2816));
+    }
+}

@@ -1,0 +1,226 @@
+//! The bounded structured event journal.
+//!
+//! Rare, high-information engine events — repartitions, quality-triggered
+//! refreshes, Woodbury plan rebuilds, convergence failures, cache evictions
+//! — used to be silent: folded into an aggregate counter at best, dropped at
+//! worst. The journal keeps the last `capacity` of them as typed values in a
+//! fixed-size ring, with a global sequence number so an operator can tell
+//! how much history was shed. Events fire a handful of times per replay, so
+//! a mutex (not atomics) guards the ring; per-kind counts are additionally
+//! kept in relaxed atomics for the Prometheus exposition.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// A structured engine event worth keeping verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// The sharded store re-ran partitioning because the live coupling
+    /// outgrew its budget.
+    Repartitioned {
+        /// Coupling nnz that tripped the budget.
+        coupling_nnz_before: u64,
+        /// Coupling nnz under the fresh partition.
+        coupling_nnz_after: u64,
+    },
+    /// A shard abandoned Bennett updates and refactorized from scratch.
+    RefreshTriggered {
+        /// Which shard refreshed (0 for the monolithic store).
+        shard: u32,
+        /// Whether a numeric failure (rather than the quality budget)
+        /// forced the refresh.
+        numeric: bool,
+        /// The quality loss that tripped the refresh decision (0 when
+        /// `numeric`).
+        quality_loss: f64,
+    },
+    /// A snapshot freeze rebuilt the cached Woodbury correction.
+    WoodburyPlanRebuilt {
+        /// Rank of the rebuilt correction (captured coupling columns).
+        rank: u32,
+        /// True when the captured column set was unchanged — the rebuild
+        /// happened only because a support shard re-froze its factors.
+        reused: bool,
+    },
+    /// An iterative coupling solve exhausted its sweep budget.
+    ConvergenceFailure {
+        /// Sweeps performed before giving up.
+        sweeps: u64,
+        /// The last iterate change when the solve was abandoned.
+        residual: f64,
+    },
+    /// The query LRU evicted an entry to make room.
+    CacheEvicted {
+        /// Snapshot id of the evicted entry.
+        snapshot: u64,
+    },
+}
+
+/// The event's kind, used for per-kind counts and exposition labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`EngineEvent::Repartitioned`]
+    Repartitioned,
+    /// [`EngineEvent::RefreshTriggered`]
+    RefreshTriggered,
+    /// [`EngineEvent::WoodburyPlanRebuilt`]
+    WoodburyPlanRebuilt,
+    /// [`EngineEvent::ConvergenceFailure`]
+    ConvergenceFailure,
+    /// [`EngineEvent::CacheEvicted`]
+    CacheEvicted,
+}
+
+impl EventKind {
+    /// Every kind, in exposition order.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::Repartitioned,
+        EventKind::RefreshTriggered,
+        EventKind::WoodburyPlanRebuilt,
+        EventKind::ConvergenceFailure,
+        EventKind::CacheEvicted,
+    ];
+
+    /// The snake_case label used in exposition.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::Repartitioned => "repartitioned",
+            EventKind::RefreshTriggered => "refresh_triggered",
+            EventKind::WoodburyPlanRebuilt => "woodbury_plan_rebuilt",
+            EventKind::ConvergenceFailure => "convergence_failure",
+            EventKind::CacheEvicted => "cache_evicted",
+        }
+    }
+}
+
+impl EngineEvent {
+    /// This event's [`EventKind`].
+    pub const fn kind(&self) -> EventKind {
+        match self {
+            EngineEvent::Repartitioned { .. } => EventKind::Repartitioned,
+            EngineEvent::RefreshTriggered { .. } => EventKind::RefreshTriggered,
+            EngineEvent::WoodburyPlanRebuilt { .. } => EventKind::WoodburyPlanRebuilt,
+            EngineEvent::ConvergenceFailure { .. } => EventKind::ConvergenceFailure,
+            EngineEvent::CacheEvicted { .. } => EventKind::CacheEvicted,
+        }
+    }
+}
+
+/// One retained journal entry: the event plus its global sequence number
+/// (0-based; `seq` increments for every recorded event, including ones the
+/// ring has since shed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEntry {
+    /// Global 0-based sequence number of the event.
+    pub seq: u64,
+    /// The event payload.
+    pub event: EngineEvent,
+}
+
+/// A fixed-capacity ring of [`JournalEntry`]s plus per-kind counts.
+#[derive(Debug)]
+pub struct EventJournal {
+    ring: Mutex<VecDeque<JournalEntry>>,
+    capacity: usize,
+    recorded: AtomicU64,
+    by_kind: [AtomicU64; EventKind::ALL.len()],
+}
+
+impl EventJournal {
+    /// An empty journal retaining the last `capacity` events (`capacity`
+    /// 0 keeps counts only).
+    pub fn new(capacity: usize) -> Self {
+        EventJournal {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            recorded: AtomicU64::new(0),
+            by_kind: [const { AtomicU64::new(0) }; EventKind::ALL.len()],
+        }
+    }
+
+    /// Appends an event, shedding the oldest entry when full.
+    pub fn record(&self, event: EngineEvent) {
+        let seq = self.recorded.fetch_add(1, Relaxed);
+        self.by_kind[event.kind() as usize].fetch_add(1, Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("journal lock poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(JournalEntry { seq, event });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.ring
+            .lock()
+            .expect("journal lock poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Total events ever recorded (retained or shed).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Relaxed)
+    }
+
+    /// Events shed from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        let retained = self.ring.lock().expect("journal lock poisoned").len() as u64;
+        self.recorded() - retained
+    }
+
+    /// Total events of one kind ever recorded.
+    pub fn count_of(&self, kind: EventKind) -> u64 {
+        self.by_kind[kind as usize].load(Relaxed)
+    }
+
+    /// Maximum entries the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_entries() {
+        let j = EventJournal::new(3);
+        for snapshot in 0..5u64 {
+            j.record(EngineEvent::CacheEvicted { snapshot });
+        }
+        let entries = j.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].seq, 2);
+        assert_eq!(entries[2].seq, 4);
+        assert_eq!(j.recorded(), 5);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.count_of(EventKind::CacheEvicted), 5);
+        assert_eq!(j.count_of(EventKind::Repartitioned), 0);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let j = EventJournal::new(0);
+        j.record(EngineEvent::ConvergenceFailure {
+            sweeps: 100_000,
+            residual: 3e-9,
+        });
+        assert!(j.entries().is_empty());
+        assert_eq!(j.recorded(), 1);
+        assert_eq!(j.count_of(EventKind::ConvergenceFailure), 1);
+    }
+
+    #[test]
+    fn kinds_have_unique_names() {
+        let names: std::collections::BTreeSet<_> =
+            EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,690 @@
+//! The registry tying stages, counters, gauges and the journal together,
+//! plus the Prometheus / JSON exposition.
+
+use crate::hist::LogHistogram;
+use crate::journal::{EngineEvent, EventJournal, EventKind};
+use crate::stage::Stage;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+/// How a [`TelemetryRegistry`] behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// When false, spans never read the clock, histograms and counters are
+    /// never touched, and events are discarded — recording is a single
+    /// branch.
+    pub enabled: bool,
+    /// Entries the event journal retains (counts are kept regardless).
+    pub journal_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            journal_capacity: 256,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A configuration that compiles all recording down to near-no-ops.
+    pub const fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            journal_capacity: 0,
+        }
+    }
+}
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Edge operations offered to the ingestor.
+    OpsIngested,
+    /// Batches applied to the factor store.
+    BatchesApplied,
+    /// Measure queries served (hits + misses).
+    QueriesServed,
+    /// Queries answered from the LRU cache.
+    CacheHits,
+    /// LRU entries evicted to make room.
+    CacheEvictions,
+    /// Coupling solves abandoned after exhausting their sweep budget.
+    ConvergenceFailures,
+}
+
+impl Counter {
+    /// Every counter, in exposition order.
+    pub const ALL: [Counter; 6] = [
+        Counter::OpsIngested,
+        Counter::BatchesApplied,
+        Counter::QueriesServed,
+        Counter::CacheHits,
+        Counter::CacheEvictions,
+        Counter::ConvergenceFailures,
+    ];
+
+    /// Short snake_case name (JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::OpsIngested => "ops_ingested",
+            Counter::BatchesApplied => "batches_applied",
+            Counter::QueriesServed => "queries_served",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::ConvergenceFailures => "convergence_failures",
+        }
+    }
+
+    /// Full Prometheus series name.
+    pub const fn metric(self) -> &'static str {
+        match self {
+            Counter::OpsIngested => "clude_ops_ingested_total",
+            Counter::BatchesApplied => "clude_batches_applied_total",
+            Counter::QueriesServed => "clude_queries_served_total",
+            Counter::CacheHits => "clude_cache_hits_total",
+            Counter::CacheEvictions => "clude_cache_evictions_total",
+            Counter::ConvergenceFailures => "clude_convergence_failures_total",
+        }
+    }
+}
+
+/// A sampled gauge (last written value wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Entries in the live cross-shard coupling store.
+    CouplingNnz,
+    /// Approximate factor bytes resident across the snapshot ring
+    /// (shared handles counted once).
+    ResidentFactorBytes,
+    /// Snapshots currently retained in the ring.
+    RingDepth,
+    /// Rank of the newest snapshot's cached Woodbury correction.
+    CorrectionRank,
+}
+
+impl Gauge {
+    /// Every gauge, in exposition order.
+    pub const ALL: [Gauge; 4] = [
+        Gauge::CouplingNnz,
+        Gauge::ResidentFactorBytes,
+        Gauge::RingDepth,
+        Gauge::CorrectionRank,
+    ];
+
+    /// Short snake_case name (JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::CouplingNnz => "coupling_nnz",
+            Gauge::ResidentFactorBytes => "resident_factor_bytes",
+            Gauge::RingDepth => "ring_depth",
+            Gauge::CorrectionRank => "correction_rank",
+        }
+    }
+
+    /// Full Prometheus series name.
+    pub const fn metric(self) -> &'static str {
+        match self {
+            Gauge::CouplingNnz => "clude_coupling_nnz",
+            Gauge::ResidentFactorBytes => "clude_resident_factor_bytes",
+            Gauge::RingDepth => "clude_ring_depth",
+            Gauge::CorrectionRank => "clude_correction_rank",
+        }
+    }
+}
+
+/// The engine-wide telemetry sink: one duration histogram per [`Stage`],
+/// the counters and gauges, and the event journal.
+///
+/// All recording goes through `&self` with relaxed atomics (the journal's
+/// rare events take a mutex), so one registry sits behind an `Arc` shared by
+/// the ingest thread, the shard sweep threads, and every query reader.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    config: TelemetryConfig,
+    stages: [LogHistogram; Stage::COUNT],
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauges: [AtomicU64; Gauge::ALL.len()],
+    journal: EventJournal,
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl TelemetryRegistry {
+    /// A registry with the given behavior.
+    pub fn new(config: TelemetryConfig) -> Self {
+        TelemetryRegistry {
+            config,
+            stages: [const { LogHistogram::new() }; Stage::COUNT],
+            counters: [const { AtomicU64::new(0) }; Counter::ALL.len()],
+            gauges: [const { AtomicU64::new(0) }; Gauge::ALL.len()],
+            journal: EventJournal::new(config.journal_capacity),
+        }
+    }
+
+    /// A registry that records nothing (see [`TelemetryConfig::disabled`]).
+    pub fn disabled() -> Self {
+        Self::new(TelemetryConfig::disabled())
+    }
+
+    /// Whether recording is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The configuration this registry was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// Starts a RAII span that records its elapsed time into `stage`'s
+    /// histogram when dropped. Disabled registries hand out inert spans
+    /// that never read the clock.
+    #[inline]
+    #[must_use = "a span records on drop; dropping it immediately measures nothing"]
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        Span {
+            registry: self,
+            stage,
+            start: if self.config.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Records an already-measured duration into `stage`'s histogram.
+    #[inline]
+    pub fn observe(&self, stage: Stage, elapsed: Duration) {
+        if self.config.enabled {
+            self.stages[stage.index()].record_duration(elapsed);
+        }
+    }
+
+    /// Records a raw nanosecond sample into `stage`'s histogram.
+    #[inline]
+    pub fn observe_ns(&self, stage: Stage, nanos: u64) {
+        if self.config.enabled {
+            self.stages[stage.index()].record(nanos);
+        }
+    }
+
+    /// The histogram backing `stage` (records even when the registry is
+    /// disabled — use [`Self::observe`] for gated recording).
+    pub fn stage_histogram(&self, stage: Stage) -> &LogHistogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Increments `counter` by one.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increments `counter` by `n`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if self.config.enabled {
+            self.counters[counter as usize].fetch_add(n, Relaxed);
+        }
+    }
+
+    /// The current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize].load(Relaxed)
+    }
+
+    /// Sets `gauge` to `value`.
+    #[inline]
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        if self.config.enabled {
+            self.gauges[gauge as usize].store(value, Relaxed);
+        }
+    }
+
+    /// The last value written to `gauge`.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize].load(Relaxed)
+    }
+
+    /// Appends a structured event to the journal.
+    #[inline]
+    pub fn record_event(&self, event: EngineEvent) {
+        if self.config.enabled {
+            self.journal.record(event);
+        }
+    }
+
+    /// The structured event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Total span observations recorded across all stages.
+    pub fn spans_recorded(&self) -> u64 {
+        Stage::ALL
+            .iter()
+            .map(|s| self.stages[s.index()].count())
+            .sum()
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    ///
+    /// Stage histograms render as summary families in seconds
+    /// (`clude_<stage>_duration_seconds{quantile="..."}` plus `_sum` /
+    /// `_count`), counters as `_total` series, gauges plainly, and journal
+    /// per-kind counts as `clude_journal_events_total{event="..."}`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for stage in Stage::ALL {
+            let h = &self.stages[stage.index()];
+            let family = format!("{}_duration_seconds", stage.metric());
+            out.push_str(&format!(
+                "# HELP {family} Latency of engine stage {}.\n",
+                stage.name()
+            ));
+            out.push_str(&format!("# TYPE {family} summary\n"));
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{family}{{quantile=\"{label}\"}} {}\n",
+                    secs(h.value_at_quantile(q))
+                ));
+            }
+            out.push_str(&format!("{family}{{quantile=\"1\"}} {}\n", secs(h.max())));
+            out.push_str(&format!("{family}_sum {}\n", secs(h.sum())));
+            out.push_str(&format!("{family}_count {}\n", h.count()));
+        }
+        for counter in Counter::ALL {
+            let metric = counter.metric();
+            out.push_str(&format!(
+                "# HELP {metric} Engine counter {}.\n",
+                counter.name()
+            ));
+            out.push_str(&format!("# TYPE {metric} counter\n"));
+            out.push_str(&format!("{metric} {}\n", self.counter(counter)));
+        }
+        for gauge in Gauge::ALL {
+            let metric = gauge.metric();
+            out.push_str(&format!("# HELP {metric} Engine gauge {}.\n", gauge.name()));
+            out.push_str(&format!("# TYPE {metric} gauge\n"));
+            out.push_str(&format!("{metric} {}\n", self.gauge(gauge)));
+        }
+        out.push_str("# HELP clude_journal_events_total Structured journal events by kind.\n");
+        out.push_str("# TYPE clude_journal_events_total counter\n");
+        for kind in EventKind::ALL {
+            out.push_str(&format!(
+                "clude_journal_events_total{{event=\"{}\"}} {}\n",
+                kind.name(),
+                self.journal.count_of(kind)
+            ));
+        }
+        out.push_str(
+            "# HELP clude_journal_events_dropped_total Journal events shed by the ring.\n",
+        );
+        out.push_str("# TYPE clude_journal_events_dropped_total counter\n");
+        out.push_str(&format!(
+            "clude_journal_events_dropped_total {}\n",
+            self.journal.dropped()
+        ));
+        out
+    }
+
+    /// Renders the full registry state as a JSON document (stage quantiles
+    /// in nanoseconds, journal entries with typed payloads).
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.config.enabled));
+        out.push_str("  \"stages\": {\n");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            let h = &self.stages[stage.index()];
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}{}\n",
+                stage.name(),
+                h.count(),
+                h.sum(),
+                h.max(),
+                h.value_at_quantile(0.5),
+                h.value_at_quantile(0.9),
+                h.value_at_quantile(0.99),
+                comma(i, Stage::COUNT)
+            ));
+        }
+        out.push_str("  },\n  \"counters\": {");
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {}{}",
+                counter.name(),
+                self.counter(*counter),
+                comma(i, Counter::ALL.len())
+            ));
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, gauge) in Gauge::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {}{}",
+                gauge.name(),
+                self.gauge(*gauge),
+                comma(i, Gauge::ALL.len())
+            ));
+        }
+        out.push_str("},\n  \"journal\": {\n");
+        out.push_str(&format!(
+            "    \"recorded\": {}, \"dropped\": {},\n",
+            self.journal.recorded(),
+            self.journal.dropped()
+        ));
+        let entries = self.journal.entries();
+        out.push_str("    \"events\": [\n");
+        for (i, entry) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "      {}{}\n",
+                event_json(entry.seq, &entry.event),
+                comma(i, entries.len())
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+}
+
+/// Nanoseconds rendered as fixed-point seconds.
+fn secs(nanos: u64) -> String {
+    format!("{:.9}", nanos as f64 * 1e-9)
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// A JSON number for `v`, with non-finite values mapped to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:e}` keeps tiny residuals readable; JSON accepts the exponent.
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn event_json(seq: u64, event: &EngineEvent) -> String {
+    let kind = event.kind().name();
+    match event {
+        EngineEvent::Repartitioned {
+            coupling_nnz_before,
+            coupling_nnz_after,
+        } => format!(
+            "{{\"seq\": {seq}, \"kind\": \"{kind}\", \"coupling_nnz_before\": {coupling_nnz_before}, \
+             \"coupling_nnz_after\": {coupling_nnz_after}}}"
+        ),
+        EngineEvent::RefreshTriggered {
+            shard,
+            numeric,
+            quality_loss,
+        } => format!(
+            "{{\"seq\": {seq}, \"kind\": \"{kind}\", \"shard\": {shard}, \"numeric\": {numeric}, \
+             \"quality_loss\": {}}}",
+            json_f64(*quality_loss)
+        ),
+        EngineEvent::WoodburyPlanRebuilt { rank, reused } => format!(
+            "{{\"seq\": {seq}, \"kind\": \"{kind}\", \"rank\": {rank}, \"reused\": {reused}}}"
+        ),
+        EngineEvent::ConvergenceFailure { sweeps, residual } => format!(
+            "{{\"seq\": {seq}, \"kind\": \"{kind}\", \"sweeps\": {sweeps}, \"residual\": {}}}",
+            json_f64(*residual)
+        ),
+        EngineEvent::CacheEvicted { snapshot } => {
+            format!("{{\"seq\": {seq}, \"kind\": \"{kind}\", \"snapshot\": {snapshot}}}")
+        }
+    }
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition: every line
+/// is a `# HELP` / `# TYPE` comment or a `name[{labels}] value` sample with
+/// a legal metric name and a parseable float value.
+///
+/// Used by the CI smoke step and the integration tests; returns the first
+/// offending line on failure.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return err("comment is neither HELP nor TYPE");
+            }
+            continue;
+        }
+        // `name{labels} value` or `name value`.
+        let (name_and_labels, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return err("sample line has no value"),
+        };
+        let name = match name_and_labels.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return err("unterminated label set");
+                }
+                let body = &labels[..labels.len() - 1];
+                for pair in body.split(',') {
+                    match pair.split_once('=') {
+                        Some((k, v)) if valid_name(k) && v.starts_with('"') && v.ends_with('"') => {
+                        }
+                        _ => return err("malformed label pair"),
+                    }
+                }
+                name
+            }
+            None => name_and_labels,
+        };
+        if !valid_name(name) {
+            return err("illegal metric name");
+        }
+        if value.trim().parse::<f64>().is_err() {
+            return err("unparseable sample value");
+        }
+    }
+    Ok(())
+}
+
+/// A RAII guard recording the elapsed time into a stage histogram on drop.
+///
+/// Obtained from [`TelemetryRegistry::span`]; when the registry is disabled
+/// the guard holds no start time and its drop is a branch on `None`.
+#[derive(Debug)]
+#[must_use = "a span records on drop; dropping it immediately measures nothing"]
+pub struct Span<'a> {
+    registry: &'a TelemetryRegistry,
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn stop(self) {}
+
+    /// Abandons the span without recording a sample — for probes that turn
+    /// out not to match their stage (e.g. a cache probe that misses).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.registry.observe(self.stage, start.elapsed());
+        }
+    }
+}
+
+/// A two-phase timer for code that cannot hold a `&TelemetryRegistry`
+/// borrow (or does not know the stage) across the timed region.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a timer only records when finished"]
+pub struct Timer {
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Reads the clock if `registry` is enabled.
+    #[inline]
+    pub fn start(registry: &TelemetryRegistry) -> Self {
+        Timer {
+            start: if registry.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// A timer that will never record.
+    pub const fn disabled() -> Self {
+        Timer { start: None }
+    }
+
+    /// Elapsed time since [`Timer::start`], if the clock was read.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.start.map(|s| s.elapsed())
+    }
+
+    /// Records the elapsed time into `stage`'s histogram.
+    #[inline]
+    pub fn finish(self, registry: &TelemetryRegistry, stage: Stage) {
+        if let Some(start) = self.start {
+            registry.observe(stage, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_their_stage() {
+        let reg = TelemetryRegistry::default();
+        {
+            let _span = reg.span(Stage::ShardSweep);
+            std::hint::black_box(42);
+        }
+        reg.span(Stage::QuerySolve).stop();
+        assert_eq!(reg.stage_histogram(Stage::ShardSweep).count(), 1);
+        assert_eq!(reg.stage_histogram(Stage::QuerySolve).count(), 1);
+        assert_eq!(reg.spans_recorded(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = TelemetryRegistry::disabled();
+        assert!(!reg.enabled());
+        reg.span(Stage::ShardSweep).stop();
+        reg.observe(Stage::QuerySolve, Duration::from_millis(5));
+        reg.incr(Counter::QueriesServed);
+        reg.set_gauge(Gauge::RingDepth, 7);
+        reg.record_event(EngineEvent::CacheEvicted { snapshot: 1 });
+        let t = Timer::start(&reg);
+        assert!(t.elapsed().is_none());
+        t.finish(&reg, Stage::QuerySolve);
+        assert_eq!(reg.spans_recorded(), 0);
+        assert_eq!(reg.counter(Counter::QueriesServed), 0);
+        assert_eq!(reg.gauge(Gauge::RingDepth), 0);
+        assert_eq!(reg.journal().recorded(), 0);
+    }
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = TelemetryRegistry::default();
+        reg.incr(Counter::CacheHits);
+        reg.add(Counter::CacheHits, 4);
+        reg.set_gauge(Gauge::CouplingNnz, 123);
+        reg.set_gauge(Gauge::CouplingNnz, 99);
+        assert_eq!(reg.counter(Counter::CacheHits), 5);
+        assert_eq!(reg.gauge(Gauge::CouplingNnz), 99);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_wellformed_and_complete() {
+        let reg = TelemetryRegistry::default();
+        reg.observe(Stage::ShardSweep, Duration::from_micros(120));
+        reg.observe(Stage::QuerySolve, Duration::from_micros(250));
+        reg.incr(Counter::BatchesApplied);
+        reg.set_gauge(Gauge::RingDepth, 3);
+        reg.record_event(EngineEvent::WoodburyPlanRebuilt {
+            rank: 64,
+            reused: false,
+        });
+        let text = reg.render_prometheus();
+        validate_prometheus(&text).expect("exposition must parse");
+        assert!(text.contains("clude_shard_sweep_duration_seconds_count 1"));
+        assert!(text.contains("clude_query_solve_duration_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("clude_batches_applied_total 1"));
+        assert!(text.contains("clude_ring_depth 3"));
+        assert!(text.contains("clude_journal_events_total{event=\"woodbury_plan_rebuilt\"} 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("clude_ok 1\n").is_ok());
+        assert!(validate_prometheus("no-dashes-allowed 1\n").is_err());
+        assert!(validate_prometheus("clude_ok notanumber\n").is_err());
+        assert!(validate_prometheus("# BOGUS comment\n").is_err());
+        assert!(validate_prometheus("clude_ok{unterminated=\"x\" 1\n").is_err());
+    }
+
+    #[test]
+    fn json_snapshot_has_all_sections() {
+        let reg = TelemetryRegistry::default();
+        reg.observe(Stage::IngestMerge, Duration::from_nanos(800));
+        reg.record_event(EngineEvent::ConvergenceFailure {
+            sweeps: 100_000,
+            residual: 4.2e-10,
+        });
+        reg.record_event(EngineEvent::RefreshTriggered {
+            shard: 2,
+            numeric: false,
+            quality_loss: 0.31,
+        });
+        let json = reg.render_json();
+        for needle in [
+            "\"enabled\": true",
+            "\"ingest.merge\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"kind\": \"convergence_failure\"",
+            "\"shard\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced braces as a cheap well-formedness check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,124 @@
+//! The static registry of instrumented engine stages.
+
+/// An instrumented stage of the engine's pipeline.
+///
+/// Each stage owns one duration histogram in the
+/// [`TelemetryRegistry`](crate::TelemetryRegistry). The set is static: a
+/// stage is an enum variant, not a string, so recording a span is an array
+/// index instead of a hash lookup, and the exposition can enumerate every
+/// series without bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Coalescing one edge operation into the pending batch
+    /// (`DeltaIngestor::offer`).
+    IngestMerge,
+    /// Applying one cut batch to the factor store (`advance`), end to end.
+    IngestApply,
+    /// One Bennett sweep of a shard's factors over its routed entries.
+    ShardSweep,
+    /// A full re-ordering + refactorization of one shard (quality trip or
+    /// numeric failure).
+    ShardRefresh,
+    /// A Jacobi fixed-point coupling solve (whole iteration, all sweeps).
+    CouplingJacobi,
+    /// A Gauss–Seidel coupling solve (whole iteration, all sweeps).
+    CouplingGaussSeidel,
+    /// Building the cached Woodbury correction at snapshot-freeze time.
+    CouplingWoodburyBuild,
+    /// Applying the cached Woodbury correction on the query path
+    /// (block pass + dense `k×k` substitution + remainder sweeps).
+    CouplingWoodburyApply,
+    /// Deep-cloning a shard's factor block into a shared snapshot handle
+    /// (`OrderedFactors::publish`).
+    SnapshotFreeze,
+    /// A cache-missing measure query solved against a snapshot.
+    QuerySolve,
+    /// A measure query answered from the LRU cache.
+    QueryCacheHit,
+}
+
+impl Stage {
+    /// Every stage, in exposition order.
+    pub const ALL: [Stage; 11] = [
+        Stage::IngestMerge,
+        Stage::IngestApply,
+        Stage::ShardSweep,
+        Stage::ShardRefresh,
+        Stage::CouplingJacobi,
+        Stage::CouplingGaussSeidel,
+        Stage::CouplingWoodburyBuild,
+        Stage::CouplingWoodburyApply,
+        Stage::SnapshotFreeze,
+        Stage::QuerySolve,
+        Stage::QueryCacheHit,
+    ];
+
+    /// Number of stages (size of the per-stage histogram array).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stage's dense index into per-stage arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The dotted human-readable stage name (`"shard.sweep"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::IngestMerge => "ingest.merge",
+            Stage::IngestApply => "ingest.apply",
+            Stage::ShardSweep => "shard.sweep",
+            Stage::ShardRefresh => "shard.refresh",
+            Stage::CouplingJacobi => "coupling.jacobi",
+            Stage::CouplingGaussSeidel => "coupling.gauss_seidel",
+            Stage::CouplingWoodburyBuild => "coupling.woodbury_build",
+            Stage::CouplingWoodburyApply => "coupling.woodbury_apply",
+            Stage::SnapshotFreeze => "snapshot.freeze",
+            Stage::QuerySolve => "query.solve",
+            Stage::QueryCacheHit => "query.cache_hit",
+        }
+    }
+
+    /// The Prometheus metric family base name (`"clude_shard_sweep"`).
+    pub const fn metric(self) -> &'static str {
+        match self {
+            Stage::IngestMerge => "clude_ingest_merge",
+            Stage::IngestApply => "clude_ingest_apply",
+            Stage::ShardSweep => "clude_shard_sweep",
+            Stage::ShardRefresh => "clude_shard_refresh",
+            Stage::CouplingJacobi => "clude_coupling_jacobi",
+            Stage::CouplingGaussSeidel => "clude_coupling_gauss_seidel",
+            Stage::CouplingWoodburyBuild => "clude_coupling_woodbury_build",
+            Stage::CouplingWoodburyApply => "clude_coupling_woodbury_apply",
+            Stage::SnapshotFreeze => "clude_snapshot_freeze",
+            Stage::QuerySolve => "clude_query_solve",
+            Stage::QueryCacheHit => "clude_query_cache_hit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        assert_eq!(Stage::COUNT, Stage::ALL.len());
+    }
+
+    #[test]
+    fn names_and_metrics_are_unique() {
+        let names: std::collections::BTreeSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let metrics: std::collections::BTreeSet<_> =
+            Stage::ALL.iter().map(|s| s.metric()).collect();
+        assert_eq!(names.len(), Stage::COUNT);
+        assert_eq!(metrics.len(), Stage::COUNT);
+        for s in Stage::ALL {
+            assert!(s.metric().starts_with("clude_"));
+            assert!(s.name().contains('.'));
+        }
+    }
+}

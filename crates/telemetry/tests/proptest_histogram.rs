@@ -1,0 +1,82 @@
+//! Property tests pinning down the histogram's accuracy contract:
+//! quantile estimates stay within one bucket of the exact order statistic,
+//! and merging histograms is indistinguishable from recording the
+//! concatenated sample stream.
+
+use clude_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+/// Sample sets spanning the exact low buckets, the microsecond range, and
+/// multi-second outliers, so every indexing regime is exercised.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..4_000_000_000, 0u32..3).prop_map(|(v, scale)| match scale {
+            0 => v % 64,        // exact single-value buckets
+            1 => v % 1_000_000, // sub-millisecond durations
+            _ => v,             // up to ~4s in nanoseconds
+        }),
+        1..max_len,
+    )
+}
+
+/// The exact `q`-quantile under the histogram's rank convention: the
+/// `max(1, ceil(q·n))`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(values in samples(400)) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = h.value_at_quantile(q);
+            // The estimate must land in the bucket holding the exact order
+            // statistic: off by at most one bucket width, i.e. ≤ 1/16
+            // relative error (exact below 16).
+            let (low, high) = LogHistogram::bucket_bounds(LogHistogram::bucket_of(exact));
+            prop_assert!(
+                low <= estimate && estimate <= high,
+                "q={} exact={} (bucket [{}, {}]) estimate={}",
+                q, exact, low, high, estimate
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(a in samples(150), b in samples(150)) {
+        let ha = LogHistogram::new();
+        let hb = LogHistogram::new();
+        let concat = LogHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot(), concat.snapshot());
+        // Including the derived statistics the exposition reads.
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.value_at_quantile(q), concat.value_at_quantile(q));
+        }
+        prop_assert_eq!(ha.max(), concat.max());
+        prop_assert_eq!(ha.sum(), concat.sum());
+        prop_assert_eq!(ha.count(), concat.count());
+    }
+}
