@@ -14,6 +14,9 @@
 //! per-cycle re-factorization that resets fill between laps is not.  This is
 //! the ROADMAP "per-pivot cost" probe: the number to watch is µs/pivot.
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_bench::{BenchScale, Datasets};
 use clude_lu::{apply_delta_with, BennettStats, BennettWorkspace, DynamicLuFactors};
 use clude_telemetry::LogHistogram;

@@ -8,6 +8,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin claim_solve_speed [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::{BruteForce, LudemSolver, SolverConfig};
 use clude_bench::{BenchScale, Datasets};
 use clude_measures::{rwr_monte_carlo, rwr_power_iteration};

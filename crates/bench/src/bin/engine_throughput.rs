@@ -29,6 +29,9 @@
 //! The full stream replays at least 10 000 edge operations; query threads
 //! fire RWR / PageRank / PPR queries against the live engine the whole time.
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_engine::{
     BatchPolicy, CludeEngine, CouplingConfig, CouplingSolver, EngineConfig, RefreshPolicy,
 };
@@ -242,6 +245,8 @@ fn main() {
             let latency_hist = Arc::clone(&latency_hist);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                // lint: allow(atomic-ordering) — stop flag: readers only
+                // need eventual visibility, not ordering with the workload.
                 while running.load(Ordering::Relaxed) {
                     let query = match rng.gen_range(0usize..10) {
                         0..=6 => MeasureQuery::Rwr {
@@ -280,6 +285,8 @@ fn main() {
     }
     engine.flush().expect("final batch applies");
     let ingest_elapsed = ingest_start.elapsed();
+    // lint: allow(atomic-ordering) — stop flag; the join below is the
+    // synchronisation point, the flag only needs eventual visibility.
     running.store(false, Ordering::Relaxed);
 
     for r in readers {

@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin fig01_pr_timeseries [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::Clude;
 use clude_bench::{BenchScale, Datasets};
 use clude_measures::MeasureSeries;

@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin fig05_inc_quality [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::MarkowitzReference;
 use clude_bench::{inc_quality_series, BenchScale, Datasets};
 

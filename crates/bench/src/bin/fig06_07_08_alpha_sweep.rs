@@ -7,6 +7,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin fig06_07_08_alpha_sweep [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_bench::experiments::{alpha_sweep, secs, sweep_baselines};
 use clude_bench::{BenchScale, Datasets};
 

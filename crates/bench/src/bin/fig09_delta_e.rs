@@ -2,6 +2,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin fig09_delta_e [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_bench::{delta_e_sweep, BenchScale, Datasets};
 
 fn main() {

@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run -p clude-bench --release --bin fig10_qc [tiny|default|large] [seed]`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_bench::{beta_sweep, BenchScale, Datasets};
 
 fn main() {

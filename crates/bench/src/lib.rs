@@ -12,6 +12,8 @@
 //! ([`datasets`]) and the experiment drivers ([`experiments`]) that produce
 //! the numbers the binaries print and `EXPERIMENTS.md` records.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod experiments;
 

@@ -503,19 +503,22 @@ fn gauss_seidel_order(partition: &NodePartition, coupling: &CsrMatrix) -> Vec<us
     let mut remaining: Vec<usize> = (0..k).collect();
     let mut order = Vec::with_capacity(k);
     while !remaining.is_empty() {
-        let (pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(p, &s)| {
-                let pending: f64 = remaining
-                    .iter()
-                    .filter(|&&t| t != s)
-                    .map(|&t| w[s * k + t])
-                    .sum();
-                (p, pending)
-            })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
-            .expect("remaining is non-empty");
+        // Manual argmin instead of `min_by` + `partial_cmp().expect(…)`:
+        // `<` keeps the first minimum on ties (lower shard id) and has no
+        // panic surface even if a weight ever went non-finite.
+        let mut pos = 0;
+        let mut best = f64::INFINITY;
+        for (p, &s) in remaining.iter().enumerate() {
+            let pending: f64 = remaining
+                .iter()
+                .filter(|&&t| t != s)
+                .map(|&t| w[s * k + t])
+                .sum();
+            if pending < best {
+                best = pending;
+                pos = p;
+            }
+        }
         order.push(remaining.remove(pos));
     }
     order
@@ -540,18 +543,19 @@ fn build_correction<D: AsRef<DecomposedMatrix>>(
     let n = coupling.n_rows();
     let weights = coupling.col_abs_sums();
     let mut hot: Vec<usize> = (0..n).filter(|&j| weights[j] > 0.0).collect();
-    hot.sort_by(|&a, &b| {
-        weights[b]
-            .partial_cmp(&weights[a])
-            .expect("weights are finite")
-            .then(a.cmp(&b))
-    });
+    // `total_cmp` orders every float (no `partial_cmp().expect(…)` panic
+    // surface); weights are non-negative sums of absolute values, so it
+    // agrees with the numeric order everywhere it matters.
+    hot.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
     hot.truncate(max_rank);
     if hot.is_empty() {
         return Ok(None);
     }
     let (columns, rest) = coupling
         .split_columns(&hot)
+        // lint: allow(panic-surface) — `hot` is built from `(0..n)` filtered
+        // and truncated above: in bounds, sorted, and duplicate-free, which
+        // is exactly what `split_columns` validates.
         .expect("hot columns index the coupling");
     let mut z = vec![0.0; n * hot.len()];
     let mut scratch = BlockScratch::default();

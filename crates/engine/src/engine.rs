@@ -86,6 +86,7 @@ impl Default for EngineConfig {
 
 /// The factor store behind the ingest path: monolithic or partitioned
 /// (boxed: the stores are large and live once per engine).
+#[derive(Debug)]
 enum StoreBackend {
     Monolithic(Box<FactorStore>),
     Sharded(Box<ShardedFactorStore>),
@@ -144,12 +145,14 @@ impl StoreBackend {
     }
 }
 
+#[derive(Debug)]
 struct IngestState {
     ingestor: DeltaIngestor,
     store: StoreBackend,
 }
 
 /// The streaming measure-serving engine.
+#[derive(Debug)]
 pub struct CludeEngine {
     kind: MatrixKind,
     /// Fixed at construction (the shard *count* never changes; the adaptive
@@ -273,6 +276,10 @@ impl CludeEngine {
                 EngineCounters::bump(&self.counters.ops_coalesced);
                 Ok(None)
             }
+            // lint: allow(lock-discipline) — the one legal nesting: the
+            // ingest Mutex is held while `apply_batch` takes the ring
+            // RwLock. Lock order is documented on `CludeEngine`: ingest
+            // Mutex first, ring RwLock second, never the reverse.
             IngestOutcome::Flush(delta) => self.apply_batch(state, delta).map(Some),
         }
     }
@@ -282,6 +289,8 @@ impl CludeEngine {
     pub fn flush(&self) -> EngineResult<Option<u64>> {
         let mut state = self.inner.lock().expect("ingest state poisoned");
         match state.ingestor.flush() {
+            // lint: allow(lock-discipline) — same documented ingest-Mutex →
+            // ring-RwLock order as `offer`; no path takes the locks reversed.
             Some(delta) => self.apply_batch(&mut state, delta).map(Some),
             None => Ok(None),
         }
@@ -302,13 +311,13 @@ impl CludeEngine {
             EngineCounters::add_nanos(&self.counters.refresh_nanos, elapsed);
         }
         EngineCounters::bump(&self.counters.batches_applied);
-        self.counters.bennett_rank_one_updates.fetch_add(
+        EngineCounters::add(
+            &self.counters.bennett_rank_one_updates,
             report.bennett.rank_one_updates as u64,
-            std::sync::atomic::Ordering::Relaxed,
         );
-        self.counters.bennett_pivots.fetch_add(
+        EngineCounters::add(
+            &self.counters.bennett_pivots,
             report.bennett.pivots_processed as u64,
-            std::sync::atomic::Ordering::Relaxed,
         );
         for shard in &report.per_shard {
             let c = &self.counters.per_shard[shard.shard];

@@ -79,6 +79,9 @@ impl QueryService {
         let shard = &self.shards[self.shard_of(&key)];
         {
             let probe = self.telemetry.span(Stage::QueryCacheHit);
+            // lint: allow(panic-surface) — a poisoned shard means a writer
+            // panicked mid-mutation; serving from it could return corrupt
+            // entries, so crashing loudly is the safe behavior.
             if let Some(hit) = shard.write().expect("cache shard poisoned").get(&key) {
                 EngineCounters::bump(&self.counters.cache_hits);
                 self.telemetry.incr(Counter::CacheHits);
@@ -102,6 +105,8 @@ impl QueryService {
         if key.0 >= self.oldest_retained.load(Ordering::Acquire) {
             let victim = shard
                 .write()
+                // lint: allow(panic-surface) — poisoned shard: a writer
+                // panicked mid-mutation, the LRU state is untrustworthy.
                 .expect("cache shard poisoned")
                 .insert(key, Arc::clone(&scores));
             if let Some((evicted_snapshot, _)) = victim {
@@ -122,6 +127,8 @@ impl QueryService {
         for shard in &self.shards {
             shard
                 .write()
+                // lint: allow(panic-surface) — poisoned shard: a writer
+                // panicked mid-mutation, the LRU state is untrustworthy.
                 .expect("cache shard poisoned")
                 .retain(|(snapshot, _)| *snapshot >= oldest_retained);
         }
@@ -131,6 +138,8 @@ impl QueryService {
     pub fn cached_entries(&self) -> usize {
         self.shards
             .iter()
+            // lint: allow(panic-surface) — poisoned shard: a writer panicked
+            // mid-mutation, the LRU state is untrustworthy.
             .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }

@@ -158,6 +158,9 @@ impl CouplingStore {
         let mut coo = CooMatrix::with_capacity(n, n, self.nnz);
         for (i, cols) in self.rows.iter().enumerate() {
             for (&j, &v) in cols {
+                // lint: allow(panic-surface) — `i` enumerates `rows` and `j`
+                // was bounds-checked against `rows.len()` when the entry was
+                // routed into the store; the push cannot be out of bounds.
                 coo.push(i, j, v).expect("coupling entries are in bounds");
             }
         }
@@ -523,6 +526,9 @@ impl ShardedFactorStore {
                 }
                 handles
                     .into_iter()
+                    // lint: allow(panic-surface) — join() only fails when a
+                    // shard worker panicked; re-raising that panic on the
+                    // coordinating thread is the correct propagation.
                     .map(|(s, h)| (s, h.join().expect("shard sweep thread panicked")))
                     .collect::<Vec<_>>()
             });
@@ -648,11 +654,13 @@ impl ShardedFactorStore {
         self.published_coupling = Arc::new(self.coupling.to_csr());
         self.partition = partition;
         self.shards = shards;
-        let budget = self
+        // `repartition` only runs when the advance path saw a budget; if
+        // that invariant ever breaks, degrade to "no further triggers"
+        // instead of panicking mid-ingest.
+        self.next_repartition_at = self
             .coupling_cfg
             .repartition_budget
-            .expect("repartition only triggers with a budget");
-        self.next_repartition_at = Some(budget.max(2 * self.coupling.nnz()));
+            .map(|budget| budget.max(2 * self.coupling.nnz()));
         Ok(())
     }
 

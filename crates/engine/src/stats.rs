@@ -26,10 +26,10 @@ impl ShardCounters {
     fn snapshot(&self, shard: usize) -> ShardStats {
         ShardStats {
             shard,
-            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
-            sweeps_run: self.sweeps_run.load(Ordering::Relaxed),
-            cross_shard_edges: self.cross_shard_edges.load(Ordering::Relaxed),
-            refreshes: self.refreshes.load(Ordering::Relaxed),
+            deltas_applied: EngineCounters::load(&self.deltas_applied),
+            sweeps_run: EngineCounters::load(&self.sweeps_run),
+            cross_shard_edges: EngineCounters::load(&self.cross_shard_edges),
+            refreshes: EngineCounters::load(&self.refreshes),
         }
     }
 }
@@ -106,19 +106,38 @@ impl EngineCounters {
         }
     }
 
+    // Relaxed-ordering policy: every counter in this module is an independent
+    // monotonic event tally read only for human-facing stats. No load or
+    // store synchronises other memory, and cross-counter consistency is
+    // explicitly not promised (`snapshot` is "consistent enough"), so all
+    // atomic traffic funnels through these four helpers with `Relaxed`.
+
     /// Adds `d` to a duration counter.
     pub fn add_nanos(counter: &AtomicU64, d: Duration) {
+        // lint: allow(atomic-ordering) — independent monotonic tally; see
+        // the relaxed-ordering policy note above.
         counter.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Increments a counter by one.
     pub fn bump(counter: &AtomicU64) {
+        // lint: allow(atomic-ordering) — independent monotonic tally; see
+        // the relaxed-ordering policy note above.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `v` to a counter.
     pub fn add(counter: &AtomicU64, v: u64) {
+        // lint: allow(atomic-ordering) — independent monotonic tally; see
+        // the relaxed-ordering policy note above.
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Reads a counter for a stats snapshot.
+    pub fn load(counter: &AtomicU64) -> u64 {
+        // lint: allow(atomic-ordering) — independent monotonic tally; see
+        // the relaxed-ordering policy note above.
+        counter.load(Ordering::Relaxed)
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -130,22 +149,22 @@ impl EngineCounters {
                 .enumerate()
                 .map(|(s, c)| c.snapshot(s))
                 .collect(),
-            ops_ingested: self.ops_ingested.load(Ordering::Relaxed),
-            ops_coalesced: self.ops_coalesced.load(Ordering::Relaxed),
-            batches_applied: self.batches_applied.load(Ordering::Relaxed),
-            refreshes: self.refreshes.load(Ordering::Relaxed),
-            bennett_rank_one_updates: self.bennett_rank_one_updates.load(Ordering::Relaxed),
-            bennett_pivots: self.bennett_pivots.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            ingest_time: Duration::from_nanos(self.ingest_nanos.load(Ordering::Relaxed)),
-            refresh_time: Duration::from_nanos(self.refresh_nanos.load(Ordering::Relaxed)),
-            query_time: Duration::from_nanos(self.query_nanos.load(Ordering::Relaxed)),
-            cow_shards_cloned: self.cow_shards_cloned.load(Ordering::Relaxed),
-            cow_shards_shared: self.cow_shards_shared.load(Ordering::Relaxed),
-            repartitions: self.repartitions.load(Ordering::Relaxed),
-            corrections_built: self.corrections_built.load(Ordering::Relaxed),
+            ops_ingested: Self::load(&self.ops_ingested),
+            ops_coalesced: Self::load(&self.ops_coalesced),
+            batches_applied: Self::load(&self.batches_applied),
+            refreshes: Self::load(&self.refreshes),
+            bennett_rank_one_updates: Self::load(&self.bennett_rank_one_updates),
+            bennett_pivots: Self::load(&self.bennett_pivots),
+            queries: Self::load(&self.queries),
+            cache_hits: Self::load(&self.cache_hits),
+            cache_misses: Self::load(&self.cache_misses),
+            ingest_time: Duration::from_nanos(Self::load(&self.ingest_nanos)),
+            refresh_time: Duration::from_nanos(Self::load(&self.refresh_nanos)),
+            query_time: Duration::from_nanos(Self::load(&self.query_nanos)),
+            cow_shards_cloned: Self::load(&self.cow_shards_cloned),
+            cow_shards_shared: Self::load(&self.cow_shards_shared),
+            repartitions: Self::load(&self.repartitions),
+            corrections_built: Self::load(&self.corrections_built),
             // Ring occupancy and the coupling view live outside the
             // counters; `CludeEngine::stats` fills these in from the live
             // ring and the newest snapshot.

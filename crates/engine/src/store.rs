@@ -581,6 +581,8 @@ pub(crate) fn order_and_factorize(matrix: &CsrMatrix) -> LuResult<OrderedFactors
     let ordering = markowitz_ordering(&matrix.pattern()).ordering;
     let reordered = matrix
         .reorder(&ordering)
+        // lint: allow(panic-surface) — the ordering was computed from this
+        // matrix's own pattern one line up; its dimensions cannot disagree.
         .expect("ordering was computed for this matrix");
     let factors = DynamicLuFactors::factorize(&reordered)?;
     let reference_nnz = factors.nnz();

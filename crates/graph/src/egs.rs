@@ -130,6 +130,7 @@ impl EvolvingGraphSequence {
 }
 
 /// Iterator over materialised snapshots of an EGS.
+#[derive(Debug)]
 pub struct SnapshotIter<'a> {
     egs: &'a EvolvingGraphSequence,
     next: usize,

@@ -1,0 +1,107 @@
+//! Diagnostics: what a pass reports and how it is rendered.
+
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: printed, never fails the build (e.g. an unused waiver).
+    Warn,
+    /// Gate: `clude-lint` exits nonzero while any deny finding is live.
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (`crates/lu/src/bennett.rs`).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// The pass that produced it (`panic-surface`, `atomic-ordering`, …).
+    pub lint: &'static str,
+    /// Human explanation, including how to waive when that is legitimate.
+    pub message: String,
+    pub severity: Severity,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}",
+            self.severity.label(),
+            self.file,
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in the hand-rolled JSON report (the crate
+/// is dependency-free, so no serde).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Renders the finding as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            json_escape(self.lint),
+            self.severity.label(),
+            json_escape(&self.message)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            lint: "panic-surface",
+            message: "unwrap() in hot path".into(),
+            severity: Severity::Deny,
+        };
+        assert_eq!(
+            d.to_string(),
+            "deny: crates/x/src/lib.rs:7: [panic-surface] unwrap() in hot path"
+        );
+    }
+}

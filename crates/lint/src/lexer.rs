@@ -1,0 +1,420 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! static analysis.
+//!
+//! The lexer understands the constructs that make naive text matching wrong —
+//! line and (nested) block comments, string/raw-string/char/byte literals,
+//! lifetimes vs. char literals, raw identifiers — and hands every pass a
+//! token stream in which a `"unwrap()"` inside a string literal can never be
+//! mistaken for a call.  It deliberately does *not* build an AST: the passes
+//! work on token patterns plus brace depth, which is robust to code that does
+//! not parse and keeps the crate dependency-free (no `syn` — the build
+//! environment is offline).
+
+/// The token classes the passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Ordering`, …).
+    Ident,
+    /// Raw identifier (`r#match`).
+    RawIdent,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Numeric literal (`0`, `1e-9`, `0xFF`, `1_000u64`).
+    Number,
+    /// String (`"…"`), raw string (`r#"…"#`), or byte-string literal.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Line comment, including doc comments (`//…`, `///…`, `//!…`).
+    LineComment,
+    /// Block comment, nested ok (`/* … /* … */ … */`).
+    BlockComment,
+    /// Any single punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct(char),
+}
+
+/// One lexed token: its class, source text, and 1-based starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: usize,
+}
+
+impl<'a> Token<'a> {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True for tokens the compiler would see (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens.  Unterminated literals and comments are closed at
+/// end of input rather than reported: the linter runs on code that `rustc`
+/// already accepted, so recovery precision does not matter.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokenKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.take_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.take_char_or_lifetime(start, line),
+                b'r' | b'b' => self.take_ident_or_prefixed_literal(start, line),
+                _ if is_ident_start(b) => {
+                    self.take_ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.take_number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ => {
+                    // Punctuation: one token per char (multi-byte UTF-8 chars
+                    // can only appear inside literals/comments in valid Rust,
+                    // but advance by full chars to stay on boundaries).
+                    let ch_len = char_len(b);
+                    self.pos += ch_len;
+                    if ch_len == 1 {
+                        self.out.push(Token {
+                            kind: TokenKind::Punct(b as char),
+                            text: &self.src[start..self.pos],
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn take_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn take_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string body (caller saw the opening quote).
+    fn take_string(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` (caller positioned at the first `#` or `"`
+    /// after the `r`/`br` prefix).
+    fn take_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut close = 0usize;
+                while close < hashes && self.peek(1 + close) == Some(b'#') {
+                    close += 1;
+                }
+                if close == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `'` starts either a char literal (`'x'`, `'\n'`) or a lifetime/label
+    /// (`'a`, `'static`, `'outer:`).  Rule: a backslash or a closing quote
+    /// right after one character means char literal; otherwise lifetime.
+    fn take_char_or_lifetime(&mut self, start: usize, line: usize) {
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            // Escaped char literal: skip the escape, then scan to the quote.
+            self.pos += 2;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.bytes.len());
+            self.push(TokenKind::Char, start, line);
+            return;
+        }
+        // One (possibly multi-byte) char, then check for the closing quote.
+        if let Some(b) = self.peek(0) {
+            self.pos += char_len(b);
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+            self.push(TokenKind::Char, start, line);
+        } else {
+            // Lifetime: continue through the identifier.
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokenKind::Lifetime, start, line);
+        }
+    }
+
+    /// `r` and `b` may prefix raw strings / byte literals, or just start an
+    /// ordinary identifier (`rank`, `budget`).
+    fn take_ident_or_prefixed_literal(&mut self, start: usize, line: usize) {
+        let first = self.bytes[self.pos];
+        // b'x' byte-char literal.
+        if first == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1;
+            self.take_char_or_lifetime(start, line);
+            // take_char_or_lifetime pushed a Char/Lifetime token; byte chars
+            // are always closed so the kind is Char — nothing more to do.
+            return;
+        }
+        // b"…" byte string.
+        if first == b'b' && self.peek(1) == Some(b'"') {
+            self.pos += 1;
+            self.take_string();
+            self.push(TokenKind::Str, start, line);
+            return;
+        }
+        // br"…" / br#"…"# raw byte string.
+        if first == b'b' && self.peek(1) == Some(b'r') && matches!(self.peek(2), Some(b'"' | b'#'))
+        {
+            self.pos += 2;
+            self.take_raw_string();
+            self.push(TokenKind::Str, start, line);
+            return;
+        }
+        if first == b'r' {
+            // r"…" or r#…: count hashes, then decide raw string vs raw ident.
+            let mut i = 1;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'"') {
+                self.pos += 1;
+                self.take_raw_string();
+                self.push(TokenKind::Str, start, line);
+                return;
+            }
+            if i == 2 && self.peek(1) == Some(b'#') {
+                // `r#ident` raw identifier.
+                self.pos += 2;
+                self.take_ident();
+                self.push(TokenKind::RawIdent, start, line);
+                return;
+            }
+        }
+        self.take_ident();
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn take_ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+    }
+
+    /// Numbers: digits plus any alphanumeric suffix/exponent characters, and
+    /// a decimal point only when followed by a digit (so `0..n` lexes as
+    /// `0` `.` `.` `n`).
+    fn take_number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let decimal_point =
+                b == b'.' && self.peek(1).map(|n| n.is_ascii_digit()).unwrap_or(false);
+            // Exponent sign inside `1e-9`.
+            let exponent_sign = (b == b'+' || b == b'-')
+                && matches!(self.bytes.get(self.pos - 1), Some(b'e' | b'E'));
+            if b.is_ascii_alphanumeric() || b == b'_' || decimal_point || exponent_sign {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn char_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let toks = lex("let s = \"x.unwrap()\"; // unwrap() here too");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::LineComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r####"let s = r#"contains "quotes" and unwrap()"#;"####);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "fn a() {}\n/* two\nlines */\n\"str\nend\"\nfn b() {}";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_the_second_dot() {
+        let k = kinds("for i in 0..n {}");
+        assert!(k.contains(&TokenKind::Punct('.')));
+        assert!(k.contains(&TokenKind::Number));
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_literals() {
+        let toks = lex("let r#match = b'x'; let s = b\"bytes\";");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::RawIdent));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Char));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+}

@@ -1,0 +1,216 @@
+//! # clude-lint
+//!
+//! A workspace-aware static-analysis pass that machine-checks the engine's
+//! concurrency, panic-surface, and hot-path invariants — the conventions
+//! that previously lived only in comments and reviewer memory:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `panic-surface` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` outside `#[cfg(test)]` in hot-path modules |
+//! | `atomic-ordering` | every `Ordering::Relaxed`/`SeqCst` outside the telemetry histogram carries a justified waiver |
+//! | `alloc-hot-path` | no heap allocation in `// lint: hot-path` modules (PR 2/4 zero-allocation guarantees) |
+//! | `lock-discipline` | no second `.lock()`/`.read()`/`.write()` while a guard is live; the ingest-`Mutex` → ring-`RwLock` order is the single waivered nesting |
+//! | `telemetry-coverage` | every `Stage` and `EventKind` variant is instrumented somewhere in `crates/engine` |
+//! | `forbid-unsafe` | every first-party crate root declares `#![forbid(unsafe_code)]` |
+//!
+//! Findings are suppressed line-by-line with a reasoned waiver
+//! (`// lint: allow(<name>) — <reason>`, see [`waiver`]); a waiver without a
+//! reason — or one that suppresses nothing — is itself a finding.  The crate
+//! is dependency-free (hand-rolled lexer, no `syn`): the build environment is
+//! offline, and token-level checks are exactly the granularity these
+//! invariants need.
+//!
+//! Run as `cargo run -p clude-lint` (human output) or
+//! `cargo run -p clude-lint -- --format json` (CI artifact); the process
+//! exits nonzero while any deny-severity finding is live.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+pub mod waiver;
+
+use diag::{Diagnostic, Severity};
+use source::{FileContext, FileRole};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An in-memory source file handed to [`run_passes`] — the unit of both the
+/// real workspace walk and the fixture tests.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub source: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Live findings (waiver-suppressed ones excluded), sorted by location.
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+    /// Findings suppressed by a waiver.
+    pub suppressed: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+impl LintReport {
+    /// True when the run should gate (any deny-severity finding).
+    pub fn has_denials(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Deny)
+    }
+
+    /// Renders the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self.diagnostics.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"files_scanned\":{},\"suppressed\":{},\"waivers_used\":{},\
+             \"deny_count\":{},\"diagnostics\":[{}]}}",
+            self.files_scanned,
+            self.suppressed,
+            self.waivers_used,
+            self.diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Deny)
+                .count(),
+            body.join(",")
+        )
+    }
+}
+
+/// Walks the workspace at `root` and lints every first-party `.rs` file.
+///
+/// First-party means `src/`, `crates/`, `examples/`, and `tests/`;
+/// `vendor/` (offline stand-ins for external dependencies) and `target/`
+/// are never walked.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(run_passes(&files))
+}
+
+fn collect_rs_files(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = relative_path(&path, root);
+            out.push(SourceFile {
+                path: rel,
+                source: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(path: &Path, root: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// What target kind a workspace-relative path belongs to.
+fn role_of(path: &str) -> FileRole {
+    let in_tests = path.starts_with("tests/") || path.contains("/tests/");
+    let in_examples = path.starts_with("examples/") || path.contains("/examples/");
+    let in_benches = path.contains("/benches/");
+    if in_tests {
+        FileRole::Test
+    } else if in_examples || in_benches {
+        FileRole::Harness
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Lints a set of in-memory files: the core entry point shared by the CLI
+/// and the fixture tests.
+pub fn run_passes(files: &[SourceFile]) -> LintReport {
+    let contexts: Vec<FileContext<'_>> = files
+        .iter()
+        .map(|f| FileContext::new(f.path.clone(), role_of(&f.path), &f.source))
+        .collect();
+
+    let mut raw = Vec::new();
+    for ctx in &contexts {
+        passes::run_file_passes(ctx, &mut raw);
+    }
+    passes::run_workspace_passes(&contexts, &mut raw);
+
+    // Waiver suppression: a finding covered by a same-lint waiver on its
+    // line (or the line above) is dropped and the waiver marked used.
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for d in raw {
+        let ctx = contexts.iter().find(|c| c.path == d.file);
+        let waived = ctx.is_some_and(|c| {
+            c.directives.waivers.iter().any(|w| {
+                let hit = w.covers(d.lint, d.line);
+                if hit {
+                    w.used.set(true);
+                }
+                hit
+            })
+        });
+        if waived {
+            suppressed += 1;
+        } else {
+            diagnostics.push(d);
+        }
+    }
+
+    // Waiver hygiene: malformed directives are deny findings; waivers that
+    // suppressed nothing are warn findings (stale waivers hide real ones).
+    let mut waivers_used = 0usize;
+    for ctx in &contexts {
+        diagnostics.extend(ctx.directives.errors.iter().cloned());
+        for w in &ctx.directives.waivers {
+            if w.used.get() {
+                waivers_used += 1;
+            } else {
+                diagnostics.push(Diagnostic {
+                    file: ctx.path.clone(),
+                    line: w.line,
+                    lint: "waiver-syntax",
+                    message: format!(
+                        "waiver for `{}` suppresses nothing — remove it (stale waivers \
+                         mask real findings)",
+                        w.lint
+                    ),
+                    severity: Severity::Warn,
+                });
+            }
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        diagnostics,
+        files_scanned: contexts.len(),
+        suppressed,
+        waivers_used,
+    }
+}

@@ -1,0 +1,112 @@
+//! `clude-lint` CLI: walk the workspace, run every pass, report, gate.
+//!
+//! ```text
+//! cargo run --release -p clude-lint                   # human output
+//! cargo run --release -p clude-lint -- --format json  # CI artifact
+//! cargo run --release -p clude-lint -- --out report.json --format json
+//! ```
+//!
+//! Exits `1` while any deny-severity finding is live, `2` on usage or I/O
+//! errors.
+
+// The CLI's job is to print; the workspace-wide print lints target library
+// crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![forbid(unsafe_code)]
+
+use clude_lint::diag::Severity;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace this binary was built in (the manifest dir
+    // is `crates/lint`, two levels below the workspace root).
+    let mut args = Args {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        json: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format expects json|human, got {other:?}")),
+            },
+            "--root" => match it.next() {
+                Some(p) => args.root = PathBuf::from(p),
+                None => return Err("--root expects a path".to_string()),
+            },
+            "--out" => match it.next() {
+                Some(p) => args.out = Some(PathBuf::from(p)),
+                None => return Err("--out expects a path".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: clude-lint [--root PATH] [--format json|human] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match clude_lint::lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("clude-lint: failed to walk {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if args.json {
+        report.to_json()
+    } else {
+        let mut lines: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        let denials = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count();
+        lines.push(format!(
+            "clude-lint: {} files, {} finding(s) ({} deny), {} suppressed by {} waiver(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            denials,
+            report.suppressed,
+            report.waivers_used,
+        ));
+        lines.join("\n")
+    };
+    println!("{rendered}");
+
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, format!("{}\n", report.to_json())) {
+            eprintln!("clude-lint: failed to write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.has_denials() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,93 @@
+//! `alloc-hot-path`: keep the zero-allocation guarantees machine-checked.
+//!
+//! PR 2 made the Bennett sweep allocation-free and PR 4 did the same for the
+//! query solve chain; both wins live one careless `vec![…]` away from
+//! silently regressing.  A file opts in with a `// lint: hot-path` header,
+//! after which heap-allocating constructors (`vec![`, `Vec::new`, `to_vec`,
+//! `collect::<Vec`, `Box::new`) are deny findings outside `#[cfg(test)]`.
+//! Setup-time allocations (workspace constructors, one-time buffers) stay
+//! legal via waivers whose reason names the setup path.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::FileContext;
+
+/// Does the path starting at code index `k` (an ident like `Vec`/`Box`) call
+/// one of `methods`, as `T::m` or through a turbofish (`T::<A>::m`)?
+fn path_calls(ctx: &FileContext<'_>, code: &[usize], k: usize, methods: &[&str]) -> bool {
+    let tok = |j: usize| code.get(j).map(|&i| &ctx.tokens[i]);
+    let mut j = k + 1;
+    if !(tok(j).is_some_and(|t| t.is_punct(':')) && tok(j + 1).is_some_and(|t| t.is_punct(':'))) {
+        return false;
+    }
+    j += 2;
+    // Skip a turbofish generic-argument group between the `::` pairs.
+    if tok(j).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0usize;
+        while let Some(t) = tok(j) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        j += 1;
+        if !(tok(j).is_some_and(|t| t.is_punct(':')) && tok(j + 1).is_some_and(|t| t.is_punct(':')))
+        {
+            return false;
+        }
+        j += 2;
+    }
+    tok(j).is_some_and(|t| methods.iter().any(|m| t.is_ident(m)))
+}
+
+/// Scans one opted-in file for heap allocations.
+pub fn run(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.directives.hot_path {
+        return;
+    }
+    let code = ctx.code_indices();
+    for (k, &i) in code.iter().enumerate() {
+        let tok = &ctx.tokens[i];
+        if ctx.is_test_line(tok.line) {
+            continue;
+        }
+        let next = |off: usize| code.get(k + off).map(|&j| &ctx.tokens[j]);
+        let prev = |off: usize| k.checked_sub(off).map(|p| &ctx.tokens[code[p]]);
+
+        let hit: Option<&str> = if tok.is_ident("vec") && next(1).is_some_and(|t| t.is_punct('!')) {
+            Some("vec![…] allocates")
+        } else if tok.is_ident("Vec") && path_calls(ctx, &code, k, &["new", "with_capacity"]) {
+            Some("Vec construction allocates")
+        } else if tok.is_ident("Box") && path_calls(ctx, &code, k, &["new"]) {
+            Some("Box::new allocates")
+        } else if tok.is_ident("to_vec") && prev(1).is_some_and(|t| t.is_punct('.')) {
+            Some(".to_vec() copies into a fresh allocation")
+        } else if tok.is_ident("collect")
+            && next(1).is_some_and(|t| t.is_punct(':'))
+            && next(2).is_some_and(|t| t.is_punct(':'))
+            && next(3).is_some_and(|t| t.is_punct('<'))
+            && next(4).is_some_and(|t| t.is_ident("Vec"))
+        {
+            Some("collect::<Vec<_>> allocates")
+        } else {
+            None
+        };
+
+        if let Some(what) = hit {
+            out.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: tok.line,
+                lint: "alloc-hot-path",
+                message: format!(
+                    "{what} in a `// lint: hot-path` module — reuse a workspace/scratch \
+                     buffer, or waiver with the reason this runs on the setup path only"
+                ),
+                severity: Severity::Deny,
+            });
+        }
+    }
+}

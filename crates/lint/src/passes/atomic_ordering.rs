@@ -1,0 +1,90 @@
+//! `atomic-ordering`: every relaxed (or needlessly sequentially-consistent)
+//! atomic access must justify itself.
+//!
+//! `Ordering::Relaxed` is correct for independent monotonic counters and
+//! wrong nearly everywhere else; `Ordering::SeqCst` is usually a sign that
+//! the author did not know which fence they needed.  Outside the telemetry
+//! histogram internals (`crates/telemetry/src/hist.rs`, whose whole design
+//! is relaxed per-bucket counters merged at read time), each use of either
+//! ordering must carry a waiver stating why the weaker/total order is sound.
+//! `Acquire`/`Release`/`AcqRel` express intent and pass unchallenged.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Token;
+use crate::source::{FileContext, FileRole};
+
+/// Files whose internals are exempt: the lock-free histogram is *made of*
+/// relaxed counters and documents the memory-order argument once, at the
+/// type level.
+const EXEMPT_FILES: &[&str] = &["crates/telemetry/src/hist.rs"];
+
+const AUDITED: &[&str] = &["Relaxed", "SeqCst"];
+
+/// Scans one file for audited atomic orderings.
+pub fn run(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role != FileRole::Lib || EXEMPT_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    let code = ctx.code_indices();
+    // Does the file `use …::Ordering::Relaxed` (bare-name call sites)?
+    let mut imported_bare = false;
+    let mut k = 0;
+    while k < code.len() {
+        let tok = &ctx.tokens[code[k]];
+        // Skip whole `use …;` statements: the import is not the access —
+        // flagging both would double-count every bare-name site.  But note
+        // which audited names the import brings into scope.
+        if tok.is_ident("use") {
+            let mut j = k + 1;
+            while j < code.len() && !ctx.tokens[code[j]].is_punct(';') {
+                let t = &ctx.tokens[code[j]];
+                if AUDITED.iter().any(|a| t.is_ident(a)) && is_ordering_path(ctx, &code, j) {
+                    imported_bare = true;
+                }
+                j += 1;
+            }
+            k = j + 1;
+            continue;
+        }
+        let audited = AUDITED.iter().any(|a| tok.is_ident(a));
+        if audited && !ctx.is_test_line(tok.line) {
+            let qualified = is_ordering_path(ctx, &code, k);
+            let bare = imported_bare && !preceded_by_path_sep(ctx, &code, k);
+            if qualified || bare {
+                out.push(Diagnostic {
+                    file: ctx.path.clone(),
+                    line: tok.line,
+                    lint: "atomic-ordering",
+                    message: format!(
+                        "Ordering::{} outside the telemetry histogram internals — waiver it \
+                         with the reason the {} is sound here \
+                         (`// lint: allow(atomic-ordering) — <why>`)",
+                        tok.text,
+                        if tok.text == "Relaxed" {
+                            "relaxed ordering"
+                        } else {
+                            "sequentially-consistent fence"
+                        },
+                    ),
+                    severity: Severity::Deny,
+                });
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Is the token at code index `k` the tail of an `…Ordering::X` path?
+/// (Guards against `std::cmp::Ordering::Less`-style false positives by
+/// construction: `Less`/`Equal`/`Greater` are not audited names.)
+fn is_ordering_path(ctx: &FileContext<'_>, code: &[usize], k: usize) -> bool {
+    if k < 3 {
+        return false;
+    }
+    let prev = |off: usize| -> &Token<'_> { &ctx.tokens[code[k - off]] };
+    prev(1).is_punct(':') && prev(2).is_punct(':') && prev(3).is_ident("Ordering")
+}
+
+fn preceded_by_path_sep(ctx: &FileContext<'_>, code: &[usize], k: usize) -> bool {
+    k >= 1 && ctx.tokens[code[k - 1]].is_punct(':')
+}

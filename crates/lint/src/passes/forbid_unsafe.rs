@@ -1,0 +1,46 @@
+//! `forbid-unsafe`: every first-party crate root keeps `unsafe` banned.
+//!
+//! The workspace's soundness story is that there is no `unsafe` anywhere in
+//! first-party code — `#![forbid(unsafe_code)]` at each crate root makes the
+//! compiler enforce it and makes the declaration un-`allow`-able downstream.
+//! This pass checks the attribute has not been dropped from any crate root
+//! (`crates/*/src/lib.rs` plus the umbrella `src/lib.rs`).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::FileContext;
+
+/// Checks each crate root in the file set for the forbid attribute.
+pub fn run(files: &[FileContext<'_>], out: &mut Vec<Diagnostic>) {
+    for ctx in files {
+        if !is_crate_root(&ctx.path) {
+            continue;
+        }
+        if !declares_forbid_unsafe(ctx) {
+            out.push(Diagnostic {
+                file: ctx.path.clone(),
+                line: 1,
+                lint: "forbid-unsafe",
+                message: "crate root is missing `#![forbid(unsafe_code)]` — every \
+                          first-party crate declares it so unsafe cannot creep in"
+                    .to_string(),
+                severity: Severity::Deny,
+            });
+        }
+    }
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+fn declares_forbid_unsafe(ctx: &FileContext<'_>) -> bool {
+    let code = ctx.code_indices();
+    code.windows(6).any(|w| {
+        ctx.tokens[w[0]].is_punct('#')
+            && ctx.tokens[w[1]].is_punct('!')
+            && ctx.tokens[w[2]].is_punct('[')
+            && ctx.tokens[w[3]].is_ident("forbid")
+            && ctx.tokens[w[4]].is_punct('(')
+            && ctx.tokens[w[5]].is_ident("unsafe_code")
+    })
+}

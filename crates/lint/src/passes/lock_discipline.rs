@@ -1,0 +1,326 @@
+//! `lock-discipline`: no second lock while a guard is live.
+//!
+//! The engine's deadlock-freedom argument is that no thread ever holds two
+//! locks — with one documented exception: the ingest `Mutex` → snapshot-ring
+//! `RwLock` order in `engine.rs` (the ring write happens at the end of a
+//! batch, while the ingest state is necessarily still held).  This pass
+//! machine-checks the rule at the token level:
+//!
+//! * a `let`-bound `.lock()` / `.read()` / `.write()` (zero-argument calls —
+//!   the std lock API shape) starts a *live guard* that ends at its scope's
+//!   closing brace or an explicit `drop(guard)`;
+//! * while a guard is live, any further acquisition is a finding — including
+//!   acquisitions reached through a call to another function *in the same
+//!   file* (`self.helper(…)` / `helper(…)`), computed as a transitive
+//!   closure over the file's call graph;
+//! * the legal nesting carries a waiver naming the lock order it follows.
+//!
+//! Guards created as temporaries (`x.lock().unwrap().field`) die at the end
+//! of their statement and are deliberately not tracked: the pass hunts
+//! *held-across-acquisition* guards, not borrow lifetimes.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::source::{FileContext, FileRole};
+use std::collections::{HashMap, HashSet};
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Scans one file for nested lock acquisitions.
+pub fn run(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.role != FileRole::Lib {
+        return;
+    }
+    let code = ctx.code_indices();
+    let fns = split_functions(ctx, &code);
+    if fns.is_empty() {
+        return;
+    }
+    // Phase 1: which functions (transitively, within this file) acquire?
+    let mut acquires: HashMap<&str, bool> = HashMap::new();
+    let mut calls: HashMap<&str, Vec<&str>> = HashMap::new();
+    let names: HashSet<&str> = fns.iter().map(|f| f.name).collect();
+    for f in &fns {
+        let summary = scan_body(ctx, &code, f, &names, None);
+        acquires.insert(f.name, summary.direct_acquire);
+        calls.insert(f.name, summary.callees);
+    }
+    // Fixpoint: propagate acquisition through same-file calls.
+    loop {
+        let mut changed = false;
+        for f in &fns {
+            if acquires[f.name] {
+                continue;
+            }
+            if calls[f.name].iter().any(|c| acquires[*c]) {
+                acquires.insert(f.name, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Phase 2: re-scan each body, flagging acquisitions under a live guard.
+    for f in &fns {
+        scan_body(ctx, &code, f, &names, Some((&acquires, out)));
+    }
+}
+
+/// A function body: name plus the code-index range of its `{ … }`.
+struct FnBody<'a> {
+    name: &'a str,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Splits the token stream into `fn` bodies (nested fns are scanned as part
+/// of their parent — depth-tracking keeps their guards scoped correctly).
+fn split_functions<'a>(ctx: &'a FileContext<'_>, code: &[usize]) -> Vec<FnBody<'a>> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < code.len() {
+        if ctx.tokens[code[k]].is_ident("fn") && k + 1 < code.len() {
+            let name_tok = &ctx.tokens[code[k + 1]];
+            if name_tok.kind == crate::lexer::TokenKind::Ident {
+                // Find the body `{` (or `;` for trait method declarations).
+                let mut j = k + 2;
+                let mut body = None;
+                while j < code.len() {
+                    let t = &ctx.tokens[code[j]];
+                    if t.is_punct('{') {
+                        body = Some(j);
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    if let Some(close) = matching_brace(ctx, code, open) {
+                        out.push(FnBody {
+                            name: name_tok.text,
+                            body_start: open,
+                            body_end: close,
+                        });
+                        // Continue *inside* the body: nested fns get their own
+                        // entries too (their names join the call graph).
+                        k = open + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+fn matching_brace(ctx: &FileContext<'_>, code: &[usize], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &i) in code.iter().enumerate().skip(open) {
+        let t = &ctx.tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+struct BodySummary<'a> {
+    direct_acquire: bool,
+    callees: Vec<&'a str>,
+}
+
+struct Guard<'a> {
+    name: &'a str,
+    depth: usize,
+    line: usize,
+}
+
+/// One linear walk over a function body.  In summary mode (`flag` is `None`)
+/// it records acquisitions and same-file callees; in flag mode it tracks
+/// live guards and reports nested acquisitions.
+fn scan_body<'a>(
+    ctx: &'a FileContext<'_>,
+    code: &[usize],
+    f: &FnBody<'a>,
+    fn_names: &HashSet<&str>,
+    mut flag: Option<(&HashMap<&str, bool>, &mut Vec<Diagnostic>)>,
+) -> BodySummary<'a> {
+    let mut summary = BodySummary {
+        direct_acquire: false,
+        callees: Vec::new(),
+    };
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard<'a>> = Vec::new();
+    // Pending `let` bindings whose initializer we are still inside.
+    struct PendingLet<'a> {
+        name: &'a str,
+        depth: usize,
+        line: usize,
+        acquired: bool,
+    }
+    let mut lets: Vec<PendingLet<'a>> = Vec::new();
+
+    let mut k = f.body_start;
+    while k <= f.body_end {
+        let tok = &ctx.tokens[code[k]];
+        let in_test = ctx.is_test_line(tok.line);
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+            lets.retain(|l| l.depth <= depth);
+        } else if tok.is_punct(';') {
+            if let Some(top) = lets.last() {
+                if top.depth == depth {
+                    let done = lets.pop().expect("top was just inspected");
+                    if done.acquired {
+                        guards.push(Guard {
+                            name: done.name,
+                            depth: done.depth,
+                            line: done.line,
+                        });
+                    }
+                }
+            }
+        } else if tok.is_ident("let")
+            && !(k >= 1
+                && (ctx.tokens[code[k - 1]].is_ident("if")
+                    || ctx.tokens[code[k - 1]].is_ident("while")))
+        {
+            // `let [mut] name … = …;` — remember the binding until its `;`.
+            // `if let` / `while let` scrutinee temporaries die with the
+            // construct and are deliberately not tracked as guards.
+            let mut j = k + 1;
+            if j <= f.body_end && ctx.tokens[code[j]].is_ident("mut") {
+                j += 1;
+            }
+            if j <= f.body_end {
+                let name_tok = &ctx.tokens[code[j]];
+                if name_tok.kind == crate::lexer::TokenKind::Ident {
+                    lets.push(PendingLet {
+                        name: name_tok.text,
+                        depth,
+                        line: name_tok.line,
+                        acquired: false,
+                    });
+                }
+            }
+        } else if is_acquisition(ctx, code, k, f.body_end) {
+            summary.direct_acquire = true;
+            if !in_test {
+                if let Some((_, out)) = flag.as_mut() {
+                    if let Some(holder) = guards.last() {
+                        out.push(nested_finding(
+                            ctx,
+                            ctx.tokens[code[k]].line,
+                            &format!(
+                                ".{}() acquired while guard `{}` (line {}) is still live",
+                                tok.text, holder.name, holder.line
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(top) = lets.last_mut() {
+                if top.depth == depth {
+                    top.acquired = true;
+                }
+            }
+        } else if tok.is_ident("drop")
+            && k + 2 <= f.body_end
+            && ctx.tokens[code[k + 1]].is_punct('(')
+        {
+            let dropped = ctx.tokens[code[k + 2]].text;
+            guards.retain(|g| g.name != dropped);
+        } else if let Some((acquires, _)) = flag.as_ref() {
+            // Flag-mode: calls to same-file functions that (transitively)
+            // acquire, while a guard is live.
+            if !in_test && !guards.is_empty() {
+                if let Some(callee) = call_target(ctx, code, k, f.body_end, fn_names) {
+                    if callee != f.name && *acquires.get(callee).unwrap_or(&false) {
+                        let holder = guards.last().expect("guards is non-empty");
+                        let line = ctx.tokens[code[k]].line;
+                        let msg = format!(
+                            "call to `{}` (which acquires a lock) while guard `{}` \
+                             (line {}) is still live",
+                            callee, holder.name, holder.line
+                        );
+                        if let Some((_, out)) = flag.as_mut() {
+                            out.push(nested_finding(ctx, line, &msg));
+                        }
+                    }
+                }
+            }
+        } else if call_target(ctx, code, k, f.body_end, fn_names).is_some() {
+            // Summary mode: record the callee.
+            if let Some(callee) = call_target(ctx, code, k, f.body_end, fn_names) {
+                summary.callees.push(callee);
+            }
+        }
+        k += 1;
+    }
+    summary
+}
+
+/// `.lock()` / `.read()` / `.write()` with an empty argument list — the
+/// std `Mutex`/`RwLock` acquisition shape (io `write(buf)` has arguments).
+fn is_acquisition(ctx: &FileContext<'_>, code: &[usize], k: usize, end: usize) -> bool {
+    let tok = &ctx.tokens[code[k]];
+    ACQUIRE_METHODS.iter().any(|m| tok.is_ident(m))
+        && k >= 1
+        && ctx.tokens[code[k - 1]].is_punct('.')
+        && k + 2 <= end
+        && ctx.tokens[code[k + 1]].is_punct('(')
+        && ctx.tokens[code[k + 2]].is_punct(')')
+}
+
+/// Matches `name(` and `self.name(` call shapes where `name` is a function
+/// defined in this file.  Deeper receiver chains (`state.ingestor.offer(…)`)
+/// are method calls on *other* types that happen to share a name — skipped.
+fn call_target<'a>(
+    ctx: &'a FileContext<'_>,
+    code: &[usize],
+    k: usize,
+    end: usize,
+    fn_names: &HashSet<&str>,
+) -> Option<&'a str> {
+    let tok = &ctx.tokens[code[k]];
+    if tok.kind != crate::lexer::TokenKind::Ident || !fn_names.contains(tok.text) {
+        return None;
+    }
+    if !(k < end && ctx.tokens[code[k + 1]].is_punct('(')) {
+        return None;
+    }
+    if k >= 1 && ctx.tokens[code[k - 1]].is_punct('.') {
+        // Method call: only `self.name(` counts as a same-file call.
+        return (k >= 2 && ctx.tokens[code[k - 2]].is_ident("self")).then_some(tok.text);
+    }
+    if k >= 1 && ctx.tokens[code[k - 1]].is_punct(':') {
+        // Path-qualified (`Type::name(`): resolution is ambiguous at token
+        // level — skipped rather than guessed.
+        return None;
+    }
+    Some(tok.text)
+}
+
+fn nested_finding(ctx: &FileContext<'_>, line: usize, detail: &str) -> Diagnostic {
+    Diagnostic {
+        file: ctx.path.clone(),
+        line,
+        lint: "lock-discipline",
+        message: format!(
+            "{detail} — drop the first guard before acquiring, or waiver with the \
+             documented lock order this nesting follows"
+        ),
+        severity: Severity::Deny,
+    }
+}

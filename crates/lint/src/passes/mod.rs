@@ -1,0 +1,30 @@
+//! The lint passes.
+//!
+//! Per-file passes scan one [`FileContext`]; workspace passes see every file
+//! at once (coverage-style invariants).  All passes emit *raw* findings —
+//! waiver suppression happens centrally in [`crate::run_passes`], so each
+//! pass stays a pure token scan.
+
+pub mod alloc_hot_path;
+pub mod atomic_ordering;
+pub mod forbid_unsafe;
+pub mod lock_discipline;
+pub mod panic_surface;
+pub mod telemetry_coverage;
+
+use crate::diag::Diagnostic;
+use crate::source::FileContext;
+
+/// Runs every per-file pass over one file.
+pub fn run_file_passes(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    panic_surface::run(ctx, out);
+    atomic_ordering::run(ctx, out);
+    alloc_hot_path::run(ctx, out);
+    lock_discipline::run(ctx, out);
+}
+
+/// Runs every workspace pass over the full file set.
+pub fn run_workspace_passes(files: &[FileContext<'_>], out: &mut Vec<Diagnostic>) {
+    telemetry_coverage::run(files, out);
+    forbid_unsafe::run(files, out);
+}

@@ -1,0 +1,226 @@
+//! Per-file analysis context: lexed tokens, `#[cfg(test)]` spans, waivers.
+
+use crate::lexer::{lex, Token};
+use crate::waiver::{parse_directives, FileDirectives};
+
+/// What kind of target a file belongs to — passes scope themselves by role
+/// (e.g. panic-surface never fires inside integration tests or examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library / binary source under a crate's `src/`.
+    Lib,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Examples and benches: demo / harness code.
+    Harness,
+}
+
+/// One source file plus everything the passes need to scan it.
+#[derive(Debug)]
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub role: FileRole,
+    pub tokens: Vec<Token<'a>>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    pub directives: FileDirectives,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes and annotates one file.
+    pub fn new(path: String, role: FileRole, source: &'a str) -> Self {
+        let tokens = lex(source);
+        let test_spans = find_test_spans(&tokens);
+        let directives = parse_directives(&path, &tokens);
+        FileContext {
+            path,
+            role,
+            tokens,
+            test_spans,
+            directives,
+        }
+    }
+
+    /// True when `line` sits inside test-only code (or the whole file is a
+    /// test target).
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.role == FileRole::Test
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// The indices of code tokens (comments stripped), for pattern scans.
+    pub fn code_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_code())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Finds the line extents of items annotated `#[test]` or `#[cfg(test)]`
+/// (including `#[cfg(all(test, …))]`; `#[cfg(not(test))]` and `#[cfg_attr]`
+/// are *not* treated as test code).
+fn find_test_spans(tokens: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && i + 1 < code.len() && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(&code, i + 1) else {
+            break;
+        };
+        if !attr_is_test(&code[i + 2..attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end + 1;
+        while j + 1 < code.len() && code[j].is_punct('#') && code[j + 1].is_punct('[') {
+            match matching_bracket(&code, j + 1) {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+        }
+        // The item extends to its closing brace, or to `;` for brace-less
+        // items (`mod tests;`, `use …;`).
+        let Some(item_end) = item_extent(&code, j) else {
+            break;
+        };
+        spans.push((code[i].line, code[item_end].line));
+        i = item_end + 1;
+    }
+    spans
+}
+
+/// Given `open` pointing at `[`, returns the index of the matching `]`.
+fn matching_bracket(code: &[&Token<'_>], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, tok) in code.iter().enumerate().skip(open) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Is the attribute body (tokens between `[` and `]`) a test marker?
+fn attr_is_test(body: &[&Token<'_>]) -> bool {
+    let Some(first) = body.first() else {
+        return false;
+    };
+    if first.is_ident("test") && body.len() == 1 {
+        return true;
+    }
+    if !first.is_ident("cfg") {
+        return false;
+    }
+    let mut saw_test = false;
+    for tok in body {
+        if tok.is_ident("not") {
+            return false;
+        }
+        if tok.is_ident("test") {
+            saw_test = true;
+        }
+    }
+    saw_test
+}
+
+/// From `start`, the index of the token closing the item: the matching `}`
+/// of its first top-level brace, or a `;` seen before any brace opens.
+fn item_extent(code: &[&Token<'_>], start: usize) -> Option<usize> {
+    let mut k = start;
+    // Find the body `{` (skipping over parenthesized/ bracketed groups where
+    // braces cannot open an item body — e.g. generic bounds hold no braces).
+    let mut brace_depth = 0usize;
+    while k < code.len() {
+        let tok = code[k];
+        if brace_depth == 0 && tok.is_punct(';') {
+            return Some(k);
+        }
+        if tok.is_punct('{') {
+            brace_depth += 1;
+        } else if tok.is_punct('}') {
+            brace_depth = brace_depth.saturating_sub(1);
+            if brace_depth == 0 {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileContext<'_> {
+        FileContext::new("f.rs".into(), FileRole::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_module_span_covers_its_body() {
+        let src = "\
+fn live() { x.unwrap(); }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { y.unwrap(); }\n\
+}\n\
+fn after() {}\n";
+        let c = ctx(src);
+        assert!(!c.is_test_line(1));
+        assert!(c.is_test_line(2));
+        assert!(c.is_test_line(5));
+        assert!(c.is_test_line(6));
+        assert!(!c.is_test_line(7));
+    }
+
+    #[test]
+    fn test_attribute_on_a_single_fn() {
+        let src = "#[test]\nfn t() {\n    a.unwrap();\n}\nfn live() {}\n";
+        let c = ctx(src);
+        assert!(c.is_test_line(3));
+        assert!(!c.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n";
+        assert!(!ctx(src).is_test_line(2));
+    }
+
+    #[test]
+    fn cfg_all_with_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\n";
+        assert!(ctx(src).is_test_line(2));
+    }
+
+    #[test]
+    fn stacked_attributes_extend_to_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    fn f() {}\n}\n";
+        let c = ctx(src);
+        assert!(c.is_test_line(4));
+    }
+
+    #[test]
+    fn test_role_marks_every_line() {
+        let c = FileContext::new("tests/x.rs".into(), FileRole::Test, "fn f() {}\n");
+        assert!(c.is_test_line(1));
+    }
+}

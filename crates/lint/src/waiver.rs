@@ -1,0 +1,217 @@
+//! Inline waiver syntax.
+//!
+//! A finding can be suppressed at the line level with a comment carrying a
+//! mandatory written reason:
+//!
+//! ```text
+//! // lint: allow(atomic-ordering) — independent monotonic counter, no
+//! //       cross-field ordering is ever read back.
+//! counter.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! The waiver covers the line it is written on (trailing-comment style) and
+//! the next line that contains code (comment-above style).  A waiver without
+//! a reason, with an unknown lint name, or that suppresses nothing is itself
+//! a finding — waivers are part of the audited surface, not an escape hatch.
+//!
+//! The second directive, `// lint: hot-path`, is a file header that opts the
+//! file into the allocation-free hot-path pass (see `passes::alloc_hot_path`).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// Lint names waivers may reference.
+pub const KNOWN_LINTS: &[&str] = &[
+    "panic-surface",
+    "atomic-ordering",
+    "alloc-hot-path",
+    "lock-discipline",
+    "telemetry-coverage",
+    "forbid-unsafe",
+];
+
+/// Minimum reason length: long enough that `— ok` does not pass review.
+const MIN_REASON_LEN: usize = 10;
+
+/// A parsed `// lint: allow(<name>) — <reason>` comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub lint: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// The line the waiver applies to in comment-above style (next line with
+    /// code), when one exists.
+    pub applies_to_next: Option<usize>,
+    pub used: std::cell::Cell<bool>,
+}
+
+impl Waiver {
+    /// Does this waiver cover a finding of `lint` at `line`?
+    pub fn covers(&self, lint: &str, line: usize) -> bool {
+        self.lint == lint && (line == self.line || Some(line) == self.applies_to_next)
+    }
+}
+
+/// Everything extracted from a file's `lint:` comments.
+#[derive(Debug, Default)]
+pub struct FileDirectives {
+    pub waivers: Vec<Waiver>,
+    /// True when the file carries a `// lint: hot-path` header.
+    pub hot_path: bool,
+    /// Malformed directives (missing reason, unknown name, unparseable).
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Parses the waiver directives out of a file's token stream.
+pub fn parse_directives(path: &str, tokens: &[Token<'_>]) -> FileDirectives {
+    let mut out = FileDirectives::default();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = tok.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot-path" {
+            out.hot_path = true;
+            continue;
+        }
+        match parse_allow(rest) {
+            Ok((lint, reason)) => {
+                if !KNOWN_LINTS.contains(&lint) {
+                    out.errors.push(directive_error(
+                        path,
+                        tok.line,
+                        format!(
+                            "waiver names unknown lint `{lint}` (known: {})",
+                            KNOWN_LINTS.join(", ")
+                        ),
+                    ));
+                    continue;
+                }
+                if reason.len() < MIN_REASON_LEN {
+                    out.errors.push(directive_error(
+                        path,
+                        tok.line,
+                        format!(
+                            "waiver for `{lint}` is missing its written reason \
+                             (syntax: `// lint: allow({lint}) — <why this is sound>`)"
+                        ),
+                    ));
+                    continue;
+                }
+                out.waivers.push(Waiver {
+                    lint: lint.to_string(),
+                    line: tok.line,
+                    applies_to_next: next_code_line(tokens, i, tok.line),
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            Err(msg) => out.errors.push(directive_error(path, tok.line, msg)),
+        }
+    }
+    out
+}
+
+/// Splits `allow(<name>) <sep> <reason>` into name and reason.
+fn parse_allow(rest: &str) -> Result<(&str, &str), String> {
+    let Some(after) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "unrecognized lint directive `{rest}` \
+             (expected `allow(<lint>) — <reason>` or `hot-path`)"
+        ));
+    };
+    let Some(close) = after.find(')') else {
+        return Err("waiver is missing the closing `)` after the lint name".to_string());
+    };
+    let name = after[..close].trim();
+    let reason = after[close + 1..]
+        .trim_start_matches([' ', '\t'])
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    Ok((name, reason))
+}
+
+/// The line of the next code token strictly after the comment's line
+/// (continuation comment lines in between are skipped, so a two-line reason
+/// still waives the statement below it).
+fn next_code_line(tokens: &[Token<'_>], from: usize, comment_line: usize) -> Option<usize> {
+    tokens[from + 1..]
+        .iter()
+        .find(|t| t.is_code() && t.line > comment_line)
+        .map(|t| t.line)
+}
+
+fn directive_error(path: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        file: path.to_string(),
+        line,
+        lint: "waiver-syntax",
+        message,
+        severity: Severity::Deny,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_and_above_styles_both_cover() {
+        let src = "\
+// lint: allow(atomic-ordering) — counter is monotonic and independent\n\
+x.fetch_add(1, Ordering::Relaxed);\n\
+y.load(Ordering::Relaxed); // lint: allow(atomic-ordering) — snapshot read, staleness fine\n";
+        let toks = lex(src);
+        let d = parse_directives("f.rs", &toks);
+        assert_eq!(d.waivers.len(), 2);
+        assert!(d.errors.is_empty());
+        assert!(d.waivers[0].covers("atomic-ordering", 2));
+        assert!(d.waivers[1].covers("atomic-ordering", 3));
+        assert!(!d.waivers[0].covers("panic-surface", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_a_deny_finding() {
+        let toks = lex("// lint: allow(panic-surface)\nfoo();\n");
+        let d = parse_directives("f.rs", &toks);
+        assert!(d.waivers.is_empty());
+        assert_eq!(d.errors.len(), 1);
+        assert!(d.errors[0].message.contains("missing its written reason"));
+    }
+
+    #[test]
+    fn unknown_lint_name_is_rejected() {
+        let toks = lex("// lint: allow(made-up-lint) — because reasons exist\n");
+        let d = parse_directives("f.rs", &toks);
+        assert!(d.waivers.is_empty());
+        assert!(d.errors[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn hot_path_header_detected() {
+        let toks = lex("// lint: hot-path\nfn f() {}\n");
+        assert!(parse_directives("f.rs", &toks).hot_path);
+    }
+
+    #[test]
+    fn waiver_inside_string_literal_is_not_a_waiver() {
+        let toks = lex("let s = \"// lint: allow(panic-surface) — nope\";\n");
+        let d = parse_directives("f.rs", &toks);
+        assert!(d.waivers.is_empty() && d.errors.is_empty());
+    }
+
+    #[test]
+    fn continuation_comment_lines_do_not_break_coverage() {
+        let src = "\
+// lint: allow(alloc-hot-path) — workspace constructor runs once at\n\
+//       engine startup, never per pivot\n\
+let v = vec![0.0; n];\n";
+        let toks = lex(src);
+        let d = parse_directives("f.rs", &toks);
+        assert!(d.waivers[0].covers("alloc-hot-path", 3));
+    }
+}

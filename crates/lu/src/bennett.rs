@@ -31,6 +31,8 @@
 //! rank-one updates, one per column of `ΔA` (`x` = changed column values,
 //! `y = e_j`, `g = 1`), as [`apply_delta_with`] does.
 
+// lint: hot-path
+
 use crate::dynamic::DynamicLuFactors;
 use crate::error::{LuError, LuResult};
 use crate::factors::{LuFactors, SINGULAR_TOL};

@@ -5,6 +5,8 @@
 //! right-hand side, running forward/backward substitution, and permuting the
 //! solution back — all `O(n)` besides the substitutions themselves.
 
+// lint: hot-path
+
 use crate::dynamic::DynamicLuFactors;
 use crate::error::LuResult;
 use crate::factors::LuFactors;
@@ -19,6 +21,8 @@ pub trait TriangularSolve {
 
     /// Solves the factored (reordered) system for one right-hand side.
     fn solve_factored(&self, b: &[f64]) -> LuResult<Vec<f64>> {
+        // lint: allow(alloc-hot-path) — owning convenience wrapper; the hot
+        // loops call `solve_factored_into` with a reused buffer instead.
         let mut x = Vec::new();
         self.solve_factored_into(b, &mut x)?;
         Ok(x)
@@ -59,7 +63,11 @@ impl SolveScratch {
     /// A scratch with both buffers pre-sized for factors of order `n`.
     pub fn with_order(n: usize) -> Self {
         SolveScratch {
+            // lint: allow(alloc-hot-path) — constructor pre-sizing: this
+            // one-time allocation is what keeps later solves allocation-free.
             permuted: Vec::with_capacity(n),
+            // lint: allow(alloc-hot-path) — constructor pre-sizing: this
+            // one-time allocation is what keeps later solves allocation-free.
             factored: Vec::with_capacity(n),
         }
     }
@@ -73,6 +81,8 @@ pub fn solve_original<F: TriangularSolve>(
     b: &[f64],
 ) -> LuResult<Vec<f64>> {
     let mut scratch = SolveScratch::new();
+    // lint: allow(alloc-hot-path) — owning convenience wrapper; repeated
+    // solves use `solve_original_into` with a caller-held scratch instead.
     let mut x = Vec::new();
     solve_original_into(factors, ordering, b, &mut scratch, &mut x)?;
     Ok(x)

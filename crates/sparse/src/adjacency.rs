@@ -77,6 +77,8 @@ impl Clone for AdjacencyMatrix {
             cols: self.cols.clone(),
             inserts: self.inserts,
             removals: self.removals,
+            // lint: allow(atomic-ordering) — probe counter is a standalone
+            // diagnostic tally; the clone needs no ordering with other memory.
             probes: AtomicUsize::new(self.probes.load(Ordering::Relaxed)),
         }
     }
@@ -130,6 +132,8 @@ impl AdjacencyMatrix {
         StructuralStats {
             inserts: self.inserts,
             removals: self.removals,
+            // lint: allow(atomic-ordering) — standalone diagnostic tally
+            // read for stats; no cross-counter consistency is promised.
             probes: self.probes.load(Ordering::Relaxed),
         }
     }
@@ -143,6 +147,8 @@ impl AdjacencyMatrix {
 
     #[inline]
     fn count_probes(&self, steps: usize) {
+        // lint: allow(atomic-ordering) — hot-path probe accounting must not
+        // introduce fences; the tally synchronises nothing.
         self.probes.fetch_add(steps, Ordering::Relaxed);
     }
 

@@ -141,7 +141,11 @@ impl EventJournal {
 
     /// Appends an event, shedding the oldest entry when full.
     pub fn record(&self, event: EngineEvent) {
+        // lint: allow(atomic-ordering) — sequence/per-kind tallies are
+        // observability counters; the ring itself is mutex-guarded.
         let seq = self.recorded.fetch_add(1, Relaxed);
+        // lint: allow(atomic-ordering) — per-kind tally for the Prometheus
+        // exposition only; consistency with the ring is not promised.
         self.by_kind[event.kind() as usize].fetch_add(1, Relaxed);
         if self.capacity == 0 {
             return;
@@ -165,6 +169,8 @@ impl EventJournal {
 
     /// Total events ever recorded (retained or shed).
     pub fn recorded(&self) -> u64 {
+        // lint: allow(atomic-ordering) — monotonic tally read for stats
+        // exposition; no ordering with the mutex-guarded ring is needed.
         self.recorded.load(Relaxed)
     }
 
@@ -176,6 +182,8 @@ impl EventJournal {
 
     /// Total events of one kind ever recorded.
     pub fn count_of(&self, kind: EventKind) -> u64 {
+        // lint: allow(atomic-ordering) — monotonic tally read for stats
+        // exposition; no ordering with the mutex-guarded ring is needed.
         self.by_kind[kind as usize].load(Relaxed)
     }
 

@@ -232,12 +232,16 @@ impl TelemetryRegistry {
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
         if self.config.enabled {
+            // lint: allow(atomic-ordering) — counters are independent
+            // monotonic tallies for exposition; they synchronise nothing.
             self.counters[counter as usize].fetch_add(n, Relaxed);
         }
     }
 
     /// The current value of `counter`.
     pub fn counter(&self, counter: Counter) -> u64 {
+        // lint: allow(atomic-ordering) — exposition read of an independent
+        // tally; cross-counter consistency is not promised.
         self.counters[counter as usize].load(Relaxed)
     }
 
@@ -245,12 +249,16 @@ impl TelemetryRegistry {
     #[inline]
     pub fn set_gauge(&self, gauge: Gauge, value: u64) {
         if self.config.enabled {
+            // lint: allow(atomic-ordering) — last-writer-wins gauge for
+            // exposition; readers tolerate any interleaving.
             self.gauges[gauge as usize].store(value, Relaxed);
         }
     }
 
     /// The last value written to `gauge`.
     pub fn gauge(&self, gauge: Gauge) -> u64 {
+        // lint: allow(atomic-ordering) — exposition read of a last-writer-
+        // wins gauge; no ordering with other telemetry state is needed.
         self.gauges[gauge as usize].load(Relaxed)
     }
 

@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example link_prediction`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::{Clude, EvolvingMatrixSequence, LudemSolver, SolverConfig};
 use clude_graph::generators::{dblp_like, DblpLikeConfig};
 use clude_graph::MatrixKind;

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example pagerank_timeseries`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::{Clude, Incremental};
 use clude_graph::generators::{wiki_like, WikiLikeConfig};
 use clude_measures::MeasureSeries;

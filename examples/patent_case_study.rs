@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example patent_case_study`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::Clude;
 use clude_graph::generators::{patent_like, PatentLikeConfig};
 use clude_measures::MeasureSeries;

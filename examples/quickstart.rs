@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude::{
     evaluate_orderings, Clude, EvolvingMatrixSequence, LudemSolver, MarkowitzReference,
     SolverConfig,

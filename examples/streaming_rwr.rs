@@ -10,6 +10,9 @@
 //! cargo run --release --example streaming_rwr
 //! ```
 
+// CLI tool: printing the report is its entire purpose.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use clude_engine::{BatchPolicy, CludeEngine, EngineConfig, RefreshPolicy};
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_measures::MeasureQuery;

@@ -14,6 +14,8 @@
 //! * [`clude_measures`] — PageRank / PPR / RWR / SALSA measure series over an
 //!   EGS, answered through the decomposed factors.
 
+#![forbid(unsafe_code)]
+
 pub use clude;
 pub use clude_graph;
 pub use clude_lu;
