@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release --bin engine_throughput -- [n_pages] [n_query_threads] \
 //!     [--shards N] [--batch N] [--solver jacobi|gauss-seidel|woodbury] \
-//!     [--woodbury-rank K] [--repartition-budget N] [--smoke] \
+//!     [--woodbury-rank K] [--repartition-budget N] [--query-threads N] \
+//!     [--batch-window-us U] [--stale-budget K] [--smoke] \
 //!     [--metrics-out PATH] [--no-telemetry]
 //! ```
 //!
@@ -19,7 +20,14 @@
 //! coupling-solver strategy of sharded queries (default `gauss-seidel`;
 //! `--woodbury-rank` caps the cached correction, default 512), and
 //! `--repartition-budget` enables adaptive re-partitioning when the live
-//! coupling crosses the given entry count.  `--smoke` shrinks the replay
+//! coupling crosses the given entry count.  `--query-threads N` sets the
+//! reader thread count explicitly (same as the second positional), and the
+//! report breaks queries/sec down per thread.  `--batch-window-us U` makes
+//! the query batcher's leader dwell `U` microseconds so concurrent cache
+//! misses coalesce into wider multi-RHS panel solves (the batch-occupancy
+//! histogram is printed either way); `--stale-budget K` lets the cache serve
+//! results up to `K` snapshots behind the queried one.  `--smoke` shrinks
+//! the replay
 //! for CI so both code paths build and execute on every push.
 //! `--metrics-out PATH` dumps the engine's telemetry registry (per-stage
 //! latency histograms, counters, gauges, journal counts) in the Prometheus
@@ -34,6 +42,7 @@
 
 use clude_engine::{
     BatchPolicy, CludeEngine, CouplingConfig, CouplingSolver, EngineConfig, RefreshPolicy,
+    StalenessBudget,
 };
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_graph::EvolvingGraphSequence;
@@ -77,6 +86,8 @@ fn main() {
     let mut solver_name = String::from("gauss-seidel");
     let mut woodbury_rank: usize = CouplingSolver::DEFAULT_WOODBURY_RANK;
     let mut repartition_budget: Option<usize> = None;
+    let mut batch_window_us: u64 = 0;
+    let mut stale_budget: u64 = 0;
     let mut smoke = false;
     let mut metrics_out: Option<String> = None;
     let mut telemetry_enabled = true;
@@ -112,6 +123,26 @@ fn main() {
                         .and_then(|a| a.parse().ok())
                         .expect("--repartition-budget needs a non-negative integer"),
                 );
+            }
+            "--query-threads" => {
+                let threads: usize = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--query-threads needs a positive integer");
+                assert!(threads >= 1, "--query-threads needs a positive integer");
+                n_query_threads = Some(threads);
+            }
+            "--batch-window-us" => {
+                batch_window_us = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--batch-window-us needs a non-negative integer");
+            }
+            "--stale-budget" => {
+                stale_budget = args
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .expect("--stale-budget needs a non-negative integer");
             }
             "--smoke" => smoke = true,
             "--metrics-out" => {
@@ -224,6 +255,10 @@ fn main() {
                 } else {
                     TelemetryConfig::disabled()
                 },
+                staleness: StalenessBudget {
+                    max_lag: stale_budget,
+                },
+                batch_window_us,
                 ..EngineConfig::default()
             },
         )
@@ -245,6 +280,7 @@ fn main() {
             let latency_hist = Arc::clone(&latency_hist);
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let mut answered = 0u64;
                 // lint: allow(atomic-ordering) — stop flag: readers only
                 // need eventual visibility, not ordering with the workload.
                 while running.load(Ordering::Relaxed) {
@@ -267,10 +303,12 @@ fn main() {
                     let scores = engine.query(&query).expect("query succeeds");
                     latency_hist.record_duration(start.elapsed());
                     assert_eq!(scores.len(), n);
+                    answered += 1;
                     // Give the ingest thread a scheduling slot on small
                     // machines; a no-op when cores are plentiful.
                     std::thread::yield_now();
                 }
+                answered
             })
         })
         .collect();
@@ -289,9 +327,10 @@ fn main() {
     // synchronisation point, the flag only needs eventual visibility.
     running.store(false, Ordering::Relaxed);
 
-    for r in readers {
-        r.join().expect("query thread clean exit");
-    }
+    let per_thread: Vec<u64> = readers
+        .into_iter()
+        .map(|r| r.join().expect("query thread clean exit"))
+        .collect();
     let n_queries = latency_hist.count();
 
     let stats = engine.stats();
@@ -356,6 +395,25 @@ fn main() {
         latency_hist.duration_at_quantile(0.95),
         latency_hist.duration_at_quantile(0.99),
         latency_hist.max_duration()
+    );
+    println!("\n--- per-thread queries ---");
+    for (t, answered) in per_thread.iter().enumerate() {
+        println!(
+            "thread {t:>3} | {answered:>9} queries -> {:.0} queries/sec",
+            *answered as f64 / ingest_elapsed.as_secs_f64()
+        );
+    }
+    let occupancy = engine.batch_occupancy();
+    println!(
+        "\n--- batch occupancy (window {batch_window_us} us, stale budget {stale_budget}) ---"
+    );
+    println!(
+        "{} panel solves drained, occupancy mean {:.2}, p50 {}, p90 {}, max {}",
+        occupancy.count(),
+        occupancy.mean(),
+        occupancy.value_at_quantile(0.50),
+        occupancy.value_at_quantile(0.90),
+        occupancy.max()
     );
     println!("\n--- engine counters ---\n{stats}");
 

@@ -17,8 +17,9 @@ use crate::cluster::{cluster_union_pattern, Cluster};
 use crate::ems::EvolvingMatrixSequence;
 use crate::report::{RunReport, TimingBreakdown};
 use clude_lu::{
-    apply_delta_with, markowitz_ordering, solve_original_into, BennettWorkspace, DynamicLuFactors,
-    LuError, LuFactors, LuResult, LuStructure, SolveScratch,
+    apply_delta_with, markowitz_ordering, solve_original_into, solve_original_many_into,
+    BennettWorkspace, DynamicLuFactors, LuError, LuFactors, LuResult, LuStructure, PanelScratch,
+    SolveScratch,
 };
 use clude_sparse::{CsrMatrix, Ordering};
 use std::sync::Arc;
@@ -122,6 +123,32 @@ impl DecomposedMatrix {
         match factors {
             MatrixFactors::Static(f) => solve_original_into(f, &self.ordering, b, scratch, out),
             MatrixFactors::Dynamic(f) => solve_original_into(f, &self.ordering, b, scratch, out),
+        }
+    }
+
+    /// Panel variant of [`DecomposedMatrix::solve_into`]: solves `n_rhs`
+    /// systems whose right-hand sides are stacked column-major in `b`, one
+    /// factor traversal for the whole panel.  Every stripe of `out` is
+    /// bit-identical to a sequential [`DecomposedMatrix::solve_into`] call —
+    /// the contract the engine's query batcher relies on.
+    pub fn solve_many_into(
+        &self,
+        b: &[f64],
+        n_rhs: usize,
+        scratch: &mut PanelScratch,
+        out: &mut Vec<f64>,
+    ) -> LuResult<()> {
+        let factors = self.factors.as_ref().ok_or(LuError::DimensionMismatch {
+            expected: self.ordering.row().len(),
+            actual: 0,
+        })?;
+        match factors {
+            MatrixFactors::Static(f) => {
+                solve_original_many_into(f, &self.ordering, b, n_rhs, scratch, out)
+            }
+            MatrixFactors::Dynamic(f) => {
+                solve_original_many_into(f, &self.ordering, b, n_rhs, scratch, out)
+            }
         }
     }
 

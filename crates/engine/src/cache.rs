@@ -76,6 +76,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         victim
     }
 
+    /// Removes `key`, returning its value when present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (value, tick) = self.map.remove(key)?;
+        self.recency.remove(&tick);
+        Some(value)
+    }
+
+    /// The cached keys, in unspecified order (recency is not touched).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
     /// Drops every entry for which `predicate` returns `false`.
     pub fn retain(&mut self, mut predicate: impl FnMut(&K) -> bool) {
         let recency = &mut self.recency;

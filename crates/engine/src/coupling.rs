@@ -33,7 +33,9 @@
 use crate::store::{EngineSnapshot, ShardSnapshot};
 use clude::DecomposedMatrix;
 use clude_graph::NodePartition;
-use clude_lu::{CorrectionScratch, LowRankCorrection, LuError, LuResult, SolveScratch};
+use clude_lu::{
+    CorrectionScratch, LowRankCorrection, LuError, LuResult, PanelScratch, SolveScratch,
+};
 use clude_sparse::CsrMatrix;
 use clude_telemetry::{Counter, EngineEvent, Stage};
 use std::collections::BTreeSet;
@@ -297,6 +299,59 @@ pub(crate) fn solve_blocks<D: AsRef<DecomposedMatrix>>(
     Ok(())
 }
 
+/// Panel analogue of [`BlockScratch`]: the gathered per-shard right-hand
+/// side panel, the recovered per-shard solution panel, the triangular panel
+/// scratch underneath, and the Woodbury correction scratch.
+#[derive(Debug, Default)]
+pub(crate) struct PanelBlockScratch {
+    local_rhs: Vec<f64>,
+    local_x: Vec<f64>,
+    lu: PanelScratch,
+    correction: CorrectionScratch,
+}
+
+/// Panel variant of [`solve_blocks`]: one pass of `B⁻¹` over `n_rhs`
+/// right-hand sides stacked column-major in `rhs`, each shard's factors
+/// traversed **once** for the whole panel.  Per panel column the arithmetic
+/// is exactly that of [`solve_blocks`], so every stripe of `out` is
+/// bit-identical to a sequential block pass.
+pub(crate) fn solve_blocks_many<D: AsRef<DecomposedMatrix>>(
+    partition: &NodePartition,
+    blocks: &[D],
+    rhs: &[f64],
+    n_rhs: usize,
+    out: &mut [f64],
+    scratch: &mut PanelBlockScratch,
+) -> LuResult<()> {
+    if n_rhs == 0 {
+        return Ok(());
+    }
+    let n = rhs.len() / n_rhs;
+    for (s, block) in blocks.iter().enumerate() {
+        let nodes = partition.nodes_of(s);
+        scratch.local_rhs.clear();
+        for c in 0..n_rhs {
+            let stripe = &rhs[c * n..(c + 1) * n];
+            scratch.local_rhs.extend(nodes.iter().map(|&g| stripe[g]));
+        }
+        block.as_ref().solve_many_into(
+            &scratch.local_rhs,
+            n_rhs,
+            &mut scratch.lu,
+            &mut scratch.local_x,
+        )?;
+        let m = nodes.len();
+        for c in 0..n_rhs {
+            let local = &scratch.local_x[c * m..(c + 1) * m];
+            let stripe = &mut out[c * n..(c + 1) * n];
+            for (l, &g) in nodes.iter().enumerate() {
+                stripe[g] = local[l];
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Solves `A x = b` for a snapshot's full measure matrix
 /// `A = blockdiag(A_ss) + C`, dispatching on the snapshot's strategy.
 ///
@@ -377,6 +432,106 @@ pub(crate) fn solve_system(snap: &EngineSnapshot, b: &[f64]) -> LuResult<Vec<f64
     result
 }
 
+/// Panel variant of [`solve_system`]: solves the snapshot's measure system
+/// for `n_rhs` right-hand sides stacked column-major in `b`, one factor
+/// traversal per block pass for the whole panel.
+///
+/// Every stripe of the result is **bit-identical** to a sequential
+/// [`solve_system`] call on that stripe: the direct arms reuse the panel
+/// kernels' per-column bit-identity, and the iterative arms run a joint
+/// sweep loop in which each column carries its own convergence state and is
+/// frozen the moment its sequential run would have returned — so per column
+/// the sweep count, every intermediate iterate, and the final answer match
+/// the single-RHS path exactly.  A convergence or pivot failure on any
+/// column fails the whole panel (the batcher reports it to every member).
+pub(crate) fn solve_systems(snap: &EngineSnapshot, b: &[f64], n_rhs: usize) -> LuResult<Vec<f64>> {
+    let n = snap.n_nodes();
+    if b.len() != n * n_rhs {
+        return Err(LuError::DimensionMismatch {
+            expected: n * n_rhs,
+            actual: b.len(),
+        });
+    }
+    if n_rhs == 0 {
+        return Ok(Vec::new());
+    }
+    if n_rhs == 1 {
+        return solve_system(snap, b);
+    }
+    let shards = snap.shards();
+    let coupling = snap.coupling();
+    if shards.len() == 1 && coupling.nnz() == 0 {
+        let mut scratch = PanelScratch::new();
+        let mut x = Vec::new();
+        shards[0]
+            .decomposed()
+            .solve_many_into(b, n_rhs, &mut scratch, &mut x)?;
+        return Ok(x);
+    }
+    let partition = snap.partition();
+    let mut scratch = PanelBlockScratch::default();
+    if coupling.nnz() == 0 {
+        let mut x = vec![0.0; n * n_rhs];
+        solve_blocks_many(partition, shards, b, n_rhs, &mut x, &mut scratch)?;
+        return Ok(x);
+    }
+    let tolerance = snap.tolerance();
+    let telemetry = snap.telemetry();
+    let result = match snap.solver() {
+        CouplingSolver::Jacobi => {
+            let _span = telemetry.span(Stage::CouplingJacobi);
+            fixed_point_many(n, b, n_rhs, coupling, tolerance, |rhs, out| {
+                solve_blocks_many(partition, shards, rhs, n_rhs, out, &mut scratch)
+            })
+        }
+        CouplingSolver::GaussSeidel => {
+            let _span = telemetry.span(Stage::CouplingGaussSeidel);
+            gauss_seidel_many(snap, b, n_rhs, &mut scratch)
+        }
+        CouplingSolver::Woodbury { .. } => match &snap.coupling_plan().correction {
+            Some(c) if c.rest.nnz() == 0 => {
+                let _span = telemetry.span(Stage::CouplingWoodburyApply);
+                let mut x = vec![0.0; n * n_rhs];
+                solve_blocks_many(partition, shards, b, n_rhs, &mut x, &mut scratch)?;
+                for col in 0..n_rhs {
+                    c.lowrank
+                        .apply_into(&mut x[col * n..(col + 1) * n], &mut scratch.correction)?;
+                }
+                Ok(x)
+            }
+            Some(c) => {
+                let _span = telemetry.span(Stage::CouplingWoodburyApply);
+                fixed_point_many(n, b, n_rhs, &c.rest, tolerance, |rhs, out| {
+                    solve_blocks_many(partition, shards, rhs, n_rhs, out, &mut scratch)?;
+                    for col in 0..n_rhs {
+                        c.lowrank.apply_into(
+                            &mut out[col * n..(col + 1) * n],
+                            &mut scratch.correction,
+                        )?;
+                    }
+                    Ok(())
+                })
+            }
+            None => {
+                let _span = telemetry.span(Stage::CouplingGaussSeidel);
+                gauss_seidel_many(snap, b, n_rhs, &mut scratch)
+            }
+        },
+    };
+    if let Err(LuError::ConvergenceFailure {
+        iterations,
+        last_diff,
+    }) = &result
+    {
+        telemetry.incr(Counter::ConvergenceFailures);
+        telemetry.record_event(EngineEvent::ConvergenceFailure {
+            sweeps: *iterations as u64,
+            residual: *last_diff,
+        });
+    }
+    result
+}
+
 /// Fixed-point iteration `x ← M⁻¹(b − R·x)` with `apply_inverse` as `M⁻¹`
 /// and `residual` as `R` — the shared skeleton of the Jacobi strategy
 /// (`M = B`, `R = C`) and the Woodbury remainder iteration
@@ -414,6 +569,72 @@ where
     Err(LuError::ConvergenceFailure {
         iterations: tolerance.max_sweeps,
         last_diff,
+    })
+}
+
+/// Panel variant of [`fixed_point`]: the columns of the panel iterate
+/// jointly — one residual pass and one `apply_inverse` panel pass per sweep
+/// — but each column keeps its own `last_diff` and is **frozen** (its `x`
+/// stripe no longer written) the moment its own acceptance test passes.
+/// Because the columns of a fixed-point iteration are arithmetically
+/// independent, each column's iterate sequence while active is exactly its
+/// sequential [`fixed_point`] sequence, so the converged stripes are
+/// bit-identical to sequential solves.  Frozen columns still ride along in
+/// the panel passes (the width is fixed); their results are discarded.
+fn fixed_point_many<F>(
+    n: usize,
+    b: &[f64],
+    n_rhs: usize,
+    residual: &CsrMatrix,
+    tolerance: SolveTolerance,
+    mut apply_inverse: F,
+) -> LuResult<Vec<f64>>
+where
+    F: FnMut(&[f64], &mut [f64]) -> LuResult<()>,
+{
+    let mut x = vec![0.0; n * n_rhs];
+    let mut next = vec![0.0; n * n_rhs];
+    let mut rhs = vec![0.0; n * n_rhs];
+    let mut last_diff = vec![f64::INFINITY; n_rhs];
+    let mut done = vec![false; n_rhs];
+    let mut n_done = 0usize;
+    for _ in 0..tolerance.max_sweeps {
+        rhs.copy_from_slice(b);
+        for (i, j, v) in residual.iter() {
+            for c in 0..n_rhs {
+                if !done[c] {
+                    rhs[c * n + i] -= v * x[c * n + j];
+                }
+            }
+        }
+        apply_inverse(&rhs, &mut next)?;
+        for c in 0..n_rhs {
+            if done[c] {
+                continue;
+            }
+            let stripe = c * n..(c + 1) * n;
+            let (diff, scale) = diff_and_scale(&next[stripe.clone()], &x[stripe.clone()]);
+            x[stripe.clone()].copy_from_slice(&next[stripe]);
+            if tolerance.accepted(diff, scale, last_diff[c]) {
+                done[c] = true;
+                n_done += 1;
+            } else {
+                last_diff[c] = diff;
+            }
+        }
+        if n_done == n_rhs {
+            return Ok(x);
+        }
+    }
+    let worst = last_diff
+        .iter()
+        .zip(done.iter())
+        .filter(|&(_, &d)| !d)
+        .map(|(&l, _)| l)
+        .fold(0.0f64, f64::max);
+    Err(LuError::ConvergenceFailure {
+        iterations: tolerance.max_sweeps,
+        last_diff: worst,
     })
 }
 
@@ -468,6 +689,95 @@ fn gauss_seidel(
     Err(LuError::ConvergenceFailure {
         iterations: tolerance.max_sweeps,
         last_diff,
+    })
+}
+
+/// Panel variant of [`gauss_seidel`], with the same per-column freeze
+/// discipline as [`fixed_point_many`]: per sweep each shard gathers the
+/// coupled right-hand sides of every column against that column's *current*
+/// iterate (shards earlier in the traversal already contributed their new
+/// stripes), runs **one** panel solve over its factors, and scatters only
+/// the still-active columns.  Per column the arithmetic matches the
+/// sequential [`gauss_seidel`] exactly, so converged stripes are
+/// bit-identical.
+fn gauss_seidel_many(
+    snap: &EngineSnapshot,
+    b: &[f64],
+    n_rhs: usize,
+    scratch: &mut PanelBlockScratch,
+) -> LuResult<Vec<f64>> {
+    let partition = snap.partition();
+    let shards = snap.shards();
+    let coupling = snap.coupling();
+    let tolerance = snap.tolerance();
+    let plan = snap.coupling_plan();
+    debug_assert_eq!(plan.gs_order.len(), shards.len());
+    let n = snap.n_nodes();
+    let mut x = vec![0.0; n * n_rhs];
+    let mut prev = vec![0.0; n * n_rhs];
+    let mut last_diff = vec![f64::INFINITY; n_rhs];
+    let mut done = vec![false; n_rhs];
+    let mut n_done = 0usize;
+    for _ in 0..tolerance.max_sweeps {
+        prev.copy_from_slice(&x);
+        for &s in &plan.gs_order {
+            let nodes = partition.nodes_of(s);
+            scratch.local_rhs.clear();
+            for c in 0..n_rhs {
+                let xs = &x[c * n..(c + 1) * n];
+                let bs = &b[c * n..(c + 1) * n];
+                for &g in nodes {
+                    let (cols, vals) = coupling.row(g);
+                    let mut acc = bs[g];
+                    for (&j, &v) in cols.iter().zip(vals.iter()) {
+                        acc -= v * xs[j];
+                    }
+                    scratch.local_rhs.push(acc);
+                }
+            }
+            shards[s].decomposed().solve_many_into(
+                &scratch.local_rhs,
+                n_rhs,
+                &mut scratch.lu,
+                &mut scratch.local_x,
+            )?;
+            let m = nodes.len();
+            for c in 0..n_rhs {
+                if done[c] {
+                    continue;
+                }
+                let local = &scratch.local_x[c * m..(c + 1) * m];
+                for (l, &g) in nodes.iter().enumerate() {
+                    x[c * n + g] = local[l];
+                }
+            }
+        }
+        for c in 0..n_rhs {
+            if done[c] {
+                continue;
+            }
+            let stripe = c * n..(c + 1) * n;
+            let (diff, scale) = diff_and_scale(&x[stripe.clone()], &prev[stripe]);
+            if tolerance.accepted(diff, scale, last_diff[c]) {
+                done[c] = true;
+                n_done += 1;
+            } else {
+                last_diff[c] = diff;
+            }
+        }
+        if n_done == n_rhs {
+            return Ok(x);
+        }
+    }
+    let worst = last_diff
+        .iter()
+        .zip(done.iter())
+        .filter(|&(_, &d)| !d)
+        .map(|(&l, _)| l)
+        .fold(0.0f64, f64::max);
+    Err(LuError::ConvergenceFailure {
+        iterations: tolerance.max_sweeps,
+        last_diff: worst,
     })
 }
 

@@ -13,21 +13,24 @@
 //!   so retaining a deep ring costs O(touched shards) *factor* memory per
 //!   snapshot (each entry still carries its own copy of the graph, which
 //!   changes every batch and is far smaller than the factors);
-//! * queries grab an `Arc` to a snapshot under a brief read lock and solve
-//!   through the sharded, cached [`QueryService`] without blocking the
-//!   writer or each other.
+//! * queries grab an `Arc` to the newest snapshot through the wait-free
+//!   epoch-published [`SnapshotHandle`] — no lock of any kind on the hot
+//!   read path — and solve through the sharded, cached, batching
+//!   [`QueryService`] without blocking the writer or each other.  The ring
+//!   `RwLock` is touched only by time-travel queries and stats.
 
 use crate::coupling::CouplingConfig;
+use crate::epoch::SnapshotHandle;
 use crate::error::{EngineError, EngineResult};
 use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
-use crate::query::QueryService;
+use crate::query::{QueryService, StalenessBudget};
 use crate::sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 use crate::stats::{EngineCounters, EngineStats};
 use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
 use clude::partition::edge_locality_partition;
 use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
-use clude_telemetry::{Counter, Gauge, Stage, TelemetryConfig, TelemetryRegistry};
+use clude_telemetry::{Counter, Gauge, LogHistogram, Stage, TelemetryConfig, TelemetryRegistry};
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -66,6 +69,14 @@ pub struct EngineConfig {
     /// Telemetry behavior: enabled (spans, histograms, journal) or compiled
     /// down to near-no-ops with [`TelemetryConfig::disabled`].
     pub telemetry: TelemetryConfig,
+    /// Bounded-staleness serving: how many snapshots a cached result served
+    /// for a newer snapshot may lag (`0`, the default, serves exact results
+    /// only).
+    pub staleness: StalenessBudget,
+    /// Dwell window of the query batcher, in microseconds.  `0` (the
+    /// default) drains immediately; a small window lets concurrent
+    /// cache-missing queries coalesce into wider panel solves.
+    pub batch_window_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +91,8 @@ impl Default for EngineConfig {
             n_shards: 1,
             coupling: CouplingConfig::default(),
             telemetry: TelemetryConfig::default(),
+            staleness: StalenessBudget::default(),
+            batch_window_us: 0,
         }
     }
 }
@@ -164,6 +177,9 @@ pub struct CludeEngine {
     inner: Mutex<IngestState>,
     ring: RwLock<VecDeque<Arc<EngineSnapshot>>>,
     ring_capacity: usize,
+    /// Wait-free published-snapshot cell: the hot read path loads the newest
+    /// snapshot here without touching the ring lock.
+    handle: SnapshotHandle,
     service: QueryService,
     counters: Arc<EngineCounters>,
     telemetry: Arc<TelemetryRegistry>,
@@ -222,7 +238,7 @@ impl CludeEngine {
         let counters = Arc::new(EngineCounters::with_shards(n_shards));
         let first = Arc::new(store.snapshot());
         let mut ring = VecDeque::with_capacity(config.ring_capacity);
-        ring.push_back(first);
+        ring.push_back(Arc::clone(&first));
         Ok(CludeEngine {
             kind: config.matrix_kind,
             coupling_cfg: config.coupling,
@@ -233,11 +249,14 @@ impl CludeEngine {
             }),
             ring: RwLock::new(ring),
             ring_capacity: config.ring_capacity,
-            service: QueryService::new(
+            handle: SnapshotHandle::new(first),
+            service: QueryService::with_serving(
                 config.cache_shards,
                 config.cache_capacity_per_shard,
                 Arc::clone(&counters),
                 Arc::clone(&telemetry),
+                config.staleness,
+                std::time::Duration::from_micros(config.batch_window_us),
             ),
             counters,
             telemetry,
@@ -344,15 +363,40 @@ impl CludeEngine {
         }
 
         let snapshot = Arc::new(state.store.snapshot());
-        let oldest_retained = {
+        let (previous, oldest_retained) = {
             let mut ring = self.ring.write().expect("snapshot ring poisoned");
-            ring.push_back(snapshot);
+            let previous = ring.back().map(Arc::clone);
+            ring.push_back(Arc::clone(&snapshot));
             while ring.len() > self.ring_capacity {
                 ring.pop_front();
             }
-            ring.front().expect("ring is never empty").id()
+            (previous, ring.front().expect("ring is never empty").id())
         };
+        // Publish to the wait-free handle: the hot read path switches to the
+        // new snapshot without ever taking the ring lock.  Publishes stay
+        // serialized because the ingest mutex is held here; readers touch
+        // only the handle's internal slot, so no ordering cycle exists.
+        self.handle.publish(Arc::clone(&snapshot));
         self.service.invalidate_below(oldest_retained);
+        // Stability-aware cache promotion: `Arc` block identity between the
+        // two newest ring entries names exactly the shards this batch
+        // republished; results supported only by the others still hold.
+        if let Some(previous) = previous {
+            let changed: Vec<usize> = snapshot
+                .shards()
+                .iter()
+                .zip(previous.shards().iter())
+                .enumerate()
+                .filter(|(_, (new, old))| !Arc::ptr_eq(new.shared(), old.shared()))
+                .map(|(shard, _)| shard)
+                .collect();
+            self.service.note_publish(
+                &snapshot,
+                &changed,
+                report.coupling_republished,
+                report.repartitioned,
+            );
+        }
         Ok(report.snapshot_id)
     }
 
@@ -386,11 +430,13 @@ impl CludeEngine {
     }
 
     /// Answers a query against the newest snapshot.
+    ///
+    /// Lock-free snapshot acquisition: the newest snapshot comes from the
+    /// wait-free [`SnapshotHandle`], so this path acquires no `RwLock` at
+    /// all (the result-cache shards use their own locks only around probes
+    /// and inserts, never across a solve).
     pub fn query(&self, query: &MeasureQuery) -> EngineResult<Arc<Vec<f64>>> {
-        let snapshot = {
-            let ring = self.ring.read().expect("snapshot ring poisoned");
-            Arc::clone(ring.back().expect("ring is never empty"))
-        };
+        let snapshot = self.handle.load();
         self.check_kind(query)?;
         self.service.query(&snapshot, query)
     }
@@ -487,6 +533,13 @@ impl CludeEngine {
     /// Number of results currently cached.
     pub fn cached_results(&self) -> usize {
         self.service.cached_entries()
+    }
+
+    /// The query batcher's occupancy histogram: one sample per drained
+    /// batch, valued at how many queries the batch coalesced into panel
+    /// solves.
+    pub fn batch_occupancy(&self) -> &LogHistogram {
+        self.service.batch_occupancy()
     }
 
     /// The telemetry registry shared by every engine subsystem — stage

@@ -97,6 +97,7 @@
 pub mod cache;
 pub mod coupling;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod ingest;
 pub mod query;
@@ -106,9 +107,10 @@ pub mod store;
 
 pub use coupling::{CouplingConfig, CouplingPlan, CouplingSolver, SolveTolerance};
 pub use engine::{CludeEngine, EngineConfig};
+pub use epoch::SnapshotHandle;
 pub use error::{EngineError, EngineResult};
 pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
-pub use query::QueryService;
+pub use query::{QueryService, StalenessBudget};
 pub use sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 pub use stats::{EngineCounters, EngineStats, ShardCounters, ShardStats};
 pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy, ShardSnapshot};

@@ -1,40 +1,342 @@
 //! Concurrent measure-query serving.
 //!
 //! The [`QueryService`] answers [`MeasureQuery`]s against immutable
-//! [`EngineSnapshot`]s.  Results are memoised in an LRU cache keyed by
-//! `(snapshot id, query)` and sharded across independent `RwLock`s so
-//! concurrent readers rarely contend: the expensive triangular solves always
-//! run *outside* any lock, and the shard lock is held only for the cache
-//! probe and insert.
+//! [`EngineSnapshot`]s.  Three mechanisms keep the hot path fast under high
+//! qps:
+//!
+//! * **sharded result cache** — results are memoised in LRU shards keyed by
+//!   `(snapshot id, query)` and sharded by the *query* alone, so every
+//!   snapshot's entry for one query lives in the same shard and a staleness
+//!   probe or publish-time promotion touches exactly one lock.  Each shard
+//!   also keeps a per-snapshot entry count, letting bulk invalidation skip
+//!   shards that hold nothing stale instead of scanning every key.
+//! * **query batching** — cache-missing queries funnel through a
+//!   flat-combining `QueryBatcher`: the first submitter becomes the leader
+//!   and answers everything queued behind it with one multi-RHS panel solve
+//!   per distinct snapshot ([`EngineSnapshot::query_batch`]), amortizing the
+//!   factor traversal across concurrent readers.  Batched answers are
+//!   bit-identical to sequential ones.
+//! * **bounded-staleness serving** — under a [`StalenessBudget`], a cached
+//!   result for the same query at a recent-enough older snapshot is served
+//!   instead of solving, and publish-time *promotion* re-keys results whose
+//!   entire support lies in shards the batch provably did not touch
+//!   (structural sharing makes those answers exactly — not approximately —
+//!   equal).
 
 use crate::cache::LruCache;
 use crate::error::{EngineError, EngineResult};
 use crate::stats::EngineCounters;
 use crate::store::EngineSnapshot;
 use clude_measures::MeasureQuery;
-use clude_telemetry::{Counter, EngineEvent, Stage, TelemetryRegistry};
+use clude_telemetry::{Counter, EngineEvent, LogHistogram, Stage, TelemetryRegistry};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 type CacheKey = (u64, MeasureQuery);
 
-/// Sharded, cached query evaluation over engine snapshots.
+/// How far behind the queried snapshot a served cached result may lag.
+///
+/// With `max_lag == 0` (the default) only exact-snapshot results are served.
+/// With `max_lag == k`, a cache miss at snapshot `s` may be answered by a
+/// cached result for the same query at any snapshot in `[s - k, s)`, newest
+/// first — trading bounded result staleness for a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StalenessBudget {
+    /// Maximum snapshot-id lag of a served result (`0` disables stale
+    /// serving).
+    pub max_lag: u64,
+}
+
+/// One cache shard: the LRU plus a per-snapshot entry count.  The counts let
+/// [`CacheShard::invalidate_below`] return without scanning a shard that
+/// holds nothing stale, and let promotion skip shards with no entries for
+/// the previous snapshot.
+#[derive(Debug)]
+struct CacheShard {
+    lru: LruCache<CacheKey, Arc<Vec<f64>>>,
+    per_snapshot: BTreeMap<u64, usize>,
+}
+
+impl CacheShard {
+    fn new(capacity: usize) -> Self {
+        CacheShard {
+            lru: LruCache::new(capacity),
+            per_snapshot: BTreeMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<&Arc<Vec<f64>>> {
+        self.lru.get(key)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<Vec<f64>>) -> Option<CacheKey> {
+        // Replacing an existing key must not double-count it; removing first
+        // also guarantees the LRU has room, so a replace never evicts.
+        if self.lru.remove(&key).is_none() {
+            *self.per_snapshot.entry(key.0).or_insert(0) += 1;
+        }
+        let victim = self.lru.insert(key, value);
+        if let Some((snapshot, _)) = &victim {
+            Self::forget(&mut self.per_snapshot, *snapshot);
+        }
+        victim
+    }
+
+    fn forget(per_snapshot: &mut BTreeMap<u64, usize>, snapshot: u64) {
+        if let Some(count) = per_snapshot.get_mut(&snapshot) {
+            *count -= 1;
+            if *count == 0 {
+                per_snapshot.remove(&snapshot);
+            }
+        }
+    }
+
+    /// Drops entries for snapshots below `oldest`, returning how many were
+    /// dropped.  A shard whose oldest resident snapshot is already `>=
+    /// oldest` returns without touching the LRU at all — the common case
+    /// when invalidation runs after every published batch.
+    fn invalidate_below(&mut self, oldest: u64) -> u64 {
+        match self.per_snapshot.first_key_value() {
+            Some((&first, _)) if first < oldest => {}
+            _ => return 0,
+        }
+        let kept = self.per_snapshot.split_off(&oldest);
+        let dropped: usize = self.per_snapshot.values().sum();
+        self.per_snapshot = kept;
+        self.lru.retain(|(snapshot, _)| *snapshot >= oldest);
+        dropped as u64
+    }
+
+    /// Re-keys `prev`-snapshot entries whose query satisfies `promotable`
+    /// under snapshot `new`, keeping the originals so time-travel reads of
+    /// `prev` stay hot.  Returns the promoted count and any LRU victims.
+    fn promote(
+        &mut self,
+        prev: u64,
+        new: u64,
+        promotable: impl Fn(&MeasureQuery) -> bool,
+    ) -> (u64, Vec<CacheKey>) {
+        if !self.per_snapshot.contains_key(&prev) {
+            return (0, Vec::new());
+        }
+        let candidates: Vec<MeasureQuery> = self
+            .lru
+            .keys()
+            .filter(|(snapshot, query)| *snapshot == prev && promotable(query))
+            .map(|(_, query)| query.clone())
+            .collect();
+        let mut promoted = 0;
+        let mut victims = Vec::new();
+        for query in candidates {
+            // An earlier promotion in this loop may have evicted the
+            // candidate; skipping it is correct (nothing left to promote).
+            let Some(value) = self.lru.get(&(prev, query.clone())).cloned() else {
+                continue;
+            };
+            if let Some(victim) = self.insert((new, query), value) {
+                victims.push(victim);
+            }
+            promoted += 1;
+        }
+        (promoted, victims)
+    }
+}
+
+/// A submission parked in the batcher: the ticket that identifies its answer
+/// plus everything the leader needs to solve it.
+#[derive(Debug)]
+struct PendingQuery {
+    ticket: u64,
+    snapshot: Arc<EngineSnapshot>,
+    query: MeasureQuery,
+}
+
+#[derive(Debug, Default)]
+struct BatcherState {
+    pending: Vec<PendingQuery>,
+    results: HashMap<u64, EngineResult<Arc<Vec<f64>>>>,
+    leader_active: bool,
+    next_ticket: u64,
+}
+
+/// Coalesces concurrent cache-missing queries into multi-RHS panel solves.
+///
+/// Flat-combining leader/follower protocol: the first submitter to find no
+/// active leader becomes the leader, optionally dwells for the configured
+/// batch window, then repeatedly drains the queue and answers each drained
+/// batch with one [`EngineSnapshot::query_batch`] panel solve per distinct
+/// snapshot — outside the lock, so followers keep queueing while a solve is
+/// in flight (natural batching under load, zero added latency when idle: a
+/// lone query is a batch of one).  The leader steps down only after
+/// observing an empty queue, so no follower is ever stranded.
+#[derive(Debug)]
+struct QueryBatcher {
+    window: Duration,
+    state: Mutex<BatcherState>,
+    done: Condvar,
+    occupancy: LogHistogram,
+    telemetry: Arc<TelemetryRegistry>,
+}
+
+impl QueryBatcher {
+    fn new(window: Duration, telemetry: Arc<TelemetryRegistry>) -> Self {
+        QueryBatcher {
+            window,
+            state: Mutex::new(BatcherState::default()),
+            done: Condvar::new(),
+            occupancy: LogHistogram::new(),
+            telemetry,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BatcherState> {
+        // The state is only ever mutated under this lock by short, panic-free
+        // sections (solves run outside it), so a poisoned lock is recoverable.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Submits one query, blocking until its (possibly batched) answer is
+    /// available.  The answer is bit-identical to `snapshot.query(query)`.
+    fn submit(
+        &self,
+        snapshot: &Arc<EngineSnapshot>,
+        query: &MeasureQuery,
+    ) -> EngineResult<Arc<Vec<f64>>> {
+        let (ticket, lead) = {
+            let mut st = self.lock();
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.pending.push(PendingQuery {
+                ticket,
+                snapshot: Arc::clone(snapshot),
+                query: query.clone(),
+            });
+            let lead = !st.leader_active;
+            st.leader_active = true;
+            (ticket, lead)
+        };
+        if !lead {
+            let mut st = self.lock();
+            loop {
+                if let Some(result) = st.results.remove(&ticket) {
+                    return result;
+                }
+                st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        // Leader: an optional dwell lets concurrent submitters pile in, then
+        // drain-solve-publish rounds until the queue stays empty.
+        if !self.window.is_zero() {
+            std::thread::sleep(self.window);
+        }
+        let mut own = None;
+        loop {
+            let batch = {
+                let mut st = self.lock();
+                std::mem::take(&mut st.pending)
+            };
+            if !batch.is_empty() {
+                self.occupancy.record(batch.len() as u64);
+                let solved = self.solve_batch(&batch);
+                {
+                    let mut st = self.lock();
+                    for (ticket_solved, result) in solved {
+                        if ticket_solved == ticket {
+                            own = Some(result);
+                        } else {
+                            st.results.insert(ticket_solved, result);
+                        }
+                    }
+                }
+                self.done.notify_all();
+            }
+            {
+                let mut st = self.lock();
+                if st.pending.is_empty() {
+                    st.leader_active = false;
+                    break;
+                }
+            }
+        }
+        // The leader's own ticket was pending before it took leadership and
+        // only the leader drains, so the first round always answered it.
+        own.unwrap_or_else(|| {
+            Err(EngineError::InvalidQuery(
+                "query batcher lost the leader's own ticket".into(),
+            ))
+        })
+    }
+
+    /// Solves one drained batch: group by snapshot, dedup identical queries
+    /// within a group, one panel solve per group.
+    fn solve_batch(&self, batch: &[PendingQuery]) -> Vec<(u64, EngineResult<Arc<Vec<f64>>>)> {
+        let mut out = Vec::with_capacity(batch.len());
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, p) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|(id, _)| *id == p.snapshot.id()) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((p.snapshot.id(), vec![i])),
+            }
+        }
+        for (_, members) in groups {
+            let snapshot = &batch[members[0]].snapshot;
+            let mut unique: Vec<&MeasureQuery> = Vec::new();
+            let mut column_of = Vec::with_capacity(members.len());
+            for &i in &members {
+                let query = &batch[i].query;
+                match unique.iter().position(|u| *u == query) {
+                    Some(column) => column_of.push(column),
+                    None => {
+                        unique.push(query);
+                        column_of.push(unique.len() - 1);
+                    }
+                }
+            }
+            let span = self.telemetry.span(Stage::QueryBatchSolve);
+            let solved = snapshot.query_batch(&unique);
+            span.stop();
+            match solved {
+                Ok(results) => {
+                    let shared: Vec<Arc<Vec<f64>>> = results.into_iter().map(Arc::new).collect();
+                    for (slot, &i) in members.iter().enumerate() {
+                        out.push((batch[i].ticket, Ok(Arc::clone(&shared[column_of[slot]]))));
+                    }
+                }
+                Err(error) => {
+                    for &i in &members {
+                        out.push((batch[i].ticket, Err(EngineError::from(error.clone()))));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sharded, cached, batching query evaluation over engine snapshots.
 #[derive(Debug)]
 pub struct QueryService {
-    shards: Vec<RwLock<LruCache<CacheKey, Arc<Vec<f64>>>>>,
+    shards: Vec<RwLock<CacheShard>>,
     /// Oldest snapshot id still retained; results below it are not cached
     /// (a reader may finish a solve for a snapshot evicted mid-flight).
     oldest_retained: AtomicU64,
+    staleness: StalenessBudget,
+    batcher: QueryBatcher,
     counters: Arc<EngineCounters>,
     telemetry: Arc<TelemetryRegistry>,
 }
 
 impl QueryService {
     /// Creates a service with `shards` cache shards of `capacity_per_shard`
-    /// entries each.
+    /// entries each, exact-snapshot serving only and no batch dwell window.
     ///
     /// # Panics
     /// Panics when `shards` or `capacity_per_shard` is zero.
@@ -44,30 +346,60 @@ impl QueryService {
         counters: Arc<EngineCounters>,
         telemetry: Arc<TelemetryRegistry>,
     ) -> Self {
+        Self::with_serving(
+            shards,
+            capacity_per_shard,
+            counters,
+            telemetry,
+            StalenessBudget::default(),
+            Duration::ZERO,
+        )
+    }
+
+    /// Creates a service with explicit serving knobs: the staleness budget
+    /// for cache reuse across snapshots and the batcher's dwell window.
+    ///
+    /// # Panics
+    /// Panics when `shards` or `capacity_per_shard` is zero.
+    pub fn with_serving(
+        shards: usize,
+        capacity_per_shard: usize,
+        counters: Arc<EngineCounters>,
+        telemetry: Arc<TelemetryRegistry>,
+        staleness: StalenessBudget,
+        batch_window: Duration,
+    ) -> Self {
         assert!(shards > 0, "need at least one cache shard");
         QueryService {
             shards: (0..shards)
-                .map(|_| RwLock::new(LruCache::new(capacity_per_shard)))
+                .map(|_| RwLock::new(CacheShard::new(capacity_per_shard)))
                 .collect(),
             oldest_retained: AtomicU64::new(0),
+            staleness,
+            batcher: QueryBatcher::new(batch_window, Arc::clone(&telemetry)),
             counters,
             telemetry,
         }
     }
 
-    fn shard_of(&self, key: &CacheKey) -> usize {
+    /// Shards by the *query alone* (not the snapshot id): every snapshot's
+    /// entry for one query shares a shard, so the staleness probe and
+    /// publish-time promotion each touch exactly one lock.
+    fn shard_of(&self, query: &MeasureQuery) -> usize {
         let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
+        query.hash(&mut hasher);
         (hasher.finish() as usize) % self.shards.len()
     }
 
-    /// Answers `query` against `snapshot`, consulting the cache first.
+    /// Answers `query` against `snapshot`, consulting the cache first (the
+    /// exact snapshot, then — under the staleness budget — recent older
+    /// snapshots, newest first).  Misses are solved through the batcher.
     ///
     /// Results are shared (`Arc`) so concurrent readers of a hot query pay
     /// no copies.
     pub fn query(
         &self,
-        snapshot: &EngineSnapshot,
+        snapshot: &Arc<EngineSnapshot>,
         query: &MeasureQuery,
     ) -> EngineResult<Arc<Vec<f64>>> {
         query
@@ -76,13 +408,14 @@ impl QueryService {
         EngineCounters::bump(&self.counters.queries);
         self.telemetry.incr(Counter::QueriesServed);
         let key: CacheKey = (snapshot.id(), query.clone());
-        let shard = &self.shards[self.shard_of(&key)];
+        let shard = &self.shards[self.shard_of(query)];
         {
             let probe = self.telemetry.span(Stage::QueryCacheHit);
             // lint: allow(panic-surface) — a poisoned shard means a writer
             // panicked mid-mutation; serving from it could return corrupt
             // entries, so crashing loudly is the safe behavior.
-            if let Some(hit) = shard.write().expect("cache shard poisoned").get(&key) {
+            let mut guard = shard.write().expect("cache shard poisoned");
+            if let Some(hit) = guard.get(&key) {
                 EngineCounters::bump(&self.counters.cache_hits);
                 self.telemetry.incr(Counter::CacheHits);
                 return Ok(Arc::clone(hit));
@@ -90,13 +423,34 @@ impl QueryService {
             // A miss records no `query.cache_hit` sample — the stage times
             // served-from-cache probes only.
             probe.cancel();
+            // Bounded-staleness serving: the same query answered at a
+            // recent-enough older snapshot is acceptable under the budget.
+            // All candidate keys hash to this shard, so the probes reuse the
+            // lock already held.
+            if self.staleness.max_lag > 0 && key.0 > 0 {
+                let stale = self.telemetry.span(Stage::QueryStaleHit);
+                let floor = key.0.saturating_sub(self.staleness.max_lag);
+                let mut id = key.0 - 1;
+                loop {
+                    if let Some(hit) = guard.get(&(id, query.clone())) {
+                        EngineCounters::bump(&self.counters.cache_hits);
+                        self.telemetry.incr(Counter::CacheHits);
+                        return Ok(Arc::clone(hit));
+                    }
+                    if id == floor {
+                        break;
+                    }
+                    id -= 1;
+                }
+                stale.cancel();
+            }
         }
         EngineCounters::bump(&self.counters.cache_misses);
-        // Solve outside the lock: many readers can factor-substitute
-        // concurrently against the same immutable snapshot.
+        // Solve outside the lock, through the batcher: concurrent misses
+        // against the same snapshot share one panel solve.
         let start = Instant::now();
         let solve_span = self.telemetry.span(Stage::QuerySolve);
-        let scores = Arc::new(snapshot.query(query)?);
+        let scores = self.batcher.submit(snapshot, query)?;
         solve_span.stop();
         EngineCounters::add_nanos(&self.counters.query_nanos, start.elapsed());
         // Don't cache results for snapshots evicted while we were solving:
@@ -119,18 +473,86 @@ impl QueryService {
         Ok(scores)
     }
 
+    /// Publish-time stability hook: promotes cached results from the
+    /// previous snapshot that provably still hold under `snapshot`, so a
+    /// stable region keeps serving exact hits across publishes.
+    ///
+    /// `changed_shards` are the shards whose factor blocks the publishing
+    /// batch republished (untouched shards share their block `Arc` with the
+    /// previous snapshot).  Promotion runs only when the snapshots are
+    /// block-diagonal twins — same partition, same (empty) coupling — and a
+    /// query is promoted only when its entire support reads unchanged
+    /// blocks, which makes the promoted answer exactly equal, not an
+    /// approximation.
+    pub fn note_publish(
+        &self,
+        snapshot: &EngineSnapshot,
+        changed_shards: &[usize],
+        coupling_changed: bool,
+        repartitioned: bool,
+    ) {
+        let new_id = snapshot.id();
+        let Some(prev_id) = new_id.checked_sub(1) else {
+            return;
+        };
+        // Cross-shard coupling makes every solve read every shard, and a
+        // repartition renumbers the shards: no per-query support argument
+        // survives either.
+        if repartitioned || coupling_changed || snapshot.coupling().nnz() > 0 {
+            return;
+        }
+        let partition = snapshot.partition();
+        let all_clean = changed_shards.is_empty();
+        let untouched = |node: usize| !changed_shards.contains(&partition.shard_of(node));
+        for shard in &self.shards {
+            let victims = {
+                // lint: allow(panic-surface) — poisoned shard: a writer
+                // panicked mid-mutation, the LRU state is untrustworthy.
+                let mut guard = shard.write().expect("cache shard poisoned");
+                let (_, victims) = guard.promote(prev_id, new_id, |query| match query {
+                    // Block-diagonal solves: an Rwr/Ppr answer depends only
+                    // on its seeds' shard blocks; PageRank's dense restart
+                    // vector reads every block.
+                    MeasureQuery::Rwr { seed, .. } => untouched(*seed),
+                    MeasureQuery::PprSeedSet { seeds, .. } => seeds.iter().all(|&s| untouched(s)),
+                    MeasureQuery::PageRank { .. } => all_clean,
+                    // Hitting time factorizes the snapshot graph afresh,
+                    // which every applied batch mutates — never stable.
+                    MeasureQuery::HittingTime { .. } => false,
+                });
+                victims
+            };
+            for (evicted_snapshot, _) in victims {
+                self.telemetry.incr(Counter::CacheEvictions);
+                self.telemetry.record_event(EngineEvent::CacheEvicted {
+                    snapshot: evicted_snapshot,
+                });
+            }
+        }
+    }
+
     /// Drops cached results for snapshots older than `oldest_retained`
     /// (called when the snapshot ring evicts; newer entries stay hot).
+    /// Shards holding nothing stale are skipped via their per-snapshot
+    /// counts; a non-empty drop is journalled as one bulk
+    /// [`EngineEvent::CacheInvalidated`] event.
     pub fn invalidate_below(&self, oldest_retained: u64) {
         self.oldest_retained
             .store(oldest_retained, Ordering::Release);
+        let mut dropped = 0u64;
         for shard in &self.shards {
-            shard
+            dropped += shard
                 .write()
                 // lint: allow(panic-surface) — poisoned shard: a writer
                 // panicked mid-mutation, the LRU state is untrustworthy.
                 .expect("cache shard poisoned")
-                .retain(|(snapshot, _)| *snapshot >= oldest_retained);
+                .invalidate_below(oldest_retained);
+        }
+        if dropped > 0 {
+            self.telemetry.record_event(EngineEvent::CacheInvalidated {
+                oldest_retained,
+                dropped,
+            });
         }
     }
 
@@ -143,15 +565,21 @@ impl QueryService {
             .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }
+
+    /// The batcher's occupancy histogram: one sample per drained batch,
+    /// valued at the number of queries the batch coalesced.
+    pub fn batch_occupancy(&self) -> &LogHistogram {
+        &self.batcher.occupancy
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::store::{FactorStore, RefreshPolicy};
-    use clude_graph::{DiGraph, MatrixKind};
+    use clude_graph::{DiGraph, GraphDelta, MatrixKind};
 
-    fn snapshot() -> EngineSnapshot {
+    fn store() -> FactorStore {
         let mut g = DiGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
         g.add_edge(2, 0);
         FactorStore::new(
@@ -160,7 +588,26 @@ mod tests {
             RefreshPolicy::default(),
         )
         .unwrap()
-        .snapshot()
+    }
+
+    fn snapshot() -> Arc<EngineSnapshot> {
+        Arc::new(store().snapshot())
+    }
+
+    fn service_with(
+        staleness: StalenessBudget,
+        counters: &Arc<EngineCounters>,
+    ) -> (QueryService, Arc<TelemetryRegistry>) {
+        let telemetry = Arc::new(TelemetryRegistry::default());
+        let service = QueryService::with_serving(
+            2,
+            16,
+            Arc::clone(counters),
+            Arc::clone(&telemetry),
+            staleness,
+            Duration::ZERO,
+        );
+        (service, telemetry)
     }
 
     #[test]
@@ -188,6 +635,9 @@ mod tests {
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(service.cached_entries(), 1);
+        // The lone miss went through the batcher as a batch of one.
+        assert_eq!(service.batch_occupancy().count(), 1);
+        assert_eq!(service.batch_occupancy().value_at_quantile(1.0), 1);
     }
 
     #[test]
@@ -218,13 +668,130 @@ mod tests {
     #[test]
     fn invalidation_drops_old_snapshots_only() {
         let counters = Arc::new(EngineCounters::default());
-        let service = QueryService::new(2, 16, counters, Arc::new(TelemetryRegistry::default()));
+        let telemetry = Arc::new(TelemetryRegistry::default());
+        let service = QueryService::new(2, 16, counters, Arc::clone(&telemetry));
         let snap = snapshot(); // id 0
         let q = MeasureQuery::PageRank { damping: 0.85 };
         service.query(&snap, &q).unwrap();
         assert_eq!(service.cached_entries(), 1);
+        let events_before = telemetry.journal().recorded();
+        // Nothing below 0: the counted shards skip every scan, no event.
+        service.invalidate_below(0);
+        assert_eq!(service.cached_entries(), 1);
+        assert_eq!(telemetry.journal().recorded(), events_before);
         service.invalidate_below(1);
         assert_eq!(service.cached_entries(), 0);
+        assert_eq!(
+            telemetry.journal().recorded(),
+            events_before + 1,
+            "bulk invalidation must journal one CacheInvalidated event"
+        );
+    }
+
+    #[test]
+    fn stale_results_serve_within_budget_only() {
+        let counters = Arc::new(EngineCounters::default());
+        let (service, _) = service_with(StalenessBudget { max_lag: 2 }, &counters);
+        let mut st = store();
+        let snap0 = Arc::new(st.snapshot());
+        let q = MeasureQuery::Rwr {
+            seed: 1,
+            damping: 0.85,
+        };
+        let exact = service.query(&snap0, &q).unwrap();
+        for (u, v) in [(0, 3), (1, 4), (2, 5)] {
+            st.advance(&GraphDelta {
+                added: vec![(u, v)],
+                removed: vec![],
+            })
+            .unwrap();
+        }
+        let snap3 = Arc::new(st.snapshot());
+        assert_eq!(snap3.id(), 3);
+        // Lag 3 exceeds the budget of 2: a fresh solve, not the cached one.
+        let fresh = service.query(&snap3, &q).unwrap();
+        assert!(!Arc::ptr_eq(&exact, &fresh), "lag 3 must not serve lag-0");
+        // The fresh result is cached at id 3; querying id 4 or 5 (lag <= 2)
+        // serves it, querying id 6 (lag 3) would not — simulate by probing
+        // through snapshots the service never solved for.
+        let stats = counters.snapshot();
+        assert_eq!(stats.cache_misses, 2);
+        // Exact hit still wins over the stale path.
+        let again = service.query(&snap3, &q).unwrap();
+        assert!(Arc::ptr_eq(&fresh, &again));
+    }
+
+    #[test]
+    fn stale_serving_prefers_newest_lagged_result() {
+        let counters = Arc::new(EngineCounters::default());
+        let (service, _) = service_with(StalenessBudget { max_lag: 3 }, &counters);
+        let mut st = store();
+        let snap0 = Arc::new(st.snapshot());
+        let q = MeasureQuery::PageRank { damping: 0.85 };
+        let at0 = service.query(&snap0, &q).unwrap();
+        st.advance(&GraphDelta {
+            added: vec![(0, 3)],
+            removed: vec![],
+        })
+        .unwrap();
+        let snap1 = Arc::new(st.snapshot());
+        // Lag 1 within budget: served from the id-0 entry without a solve.
+        let at1 = service.query(&snap1, &q).unwrap();
+        assert!(Arc::ptr_eq(&at0, &at1), "lag-1 query must reuse the cache");
+        let stats = counters.snapshot();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn publish_promotion_rekeys_stable_queries() {
+        let counters = Arc::new(EngineCounters::default());
+        let (service, _) = service_with(StalenessBudget::default(), &counters);
+        let mut st = store();
+        let snap0 = Arc::new(st.snapshot());
+        let pagerank = MeasureQuery::PageRank { damping: 0.85 };
+        let rwr = MeasureQuery::Rwr {
+            seed: 2,
+            damping: 0.85,
+        };
+        let hit = MeasureQuery::HittingTime {
+            target: 0,
+            damping: 0.85,
+        };
+        let pr0 = service.query(&snap0, &pagerank).unwrap();
+        let rwr0 = service.query(&snap0, &rwr).unwrap();
+        service.query(&snap0, &hit).unwrap();
+        assert_eq!(service.cached_entries(), 3);
+        st.advance(&GraphDelta {
+            added: vec![(0, 3)],
+            removed: vec![],
+        })
+        .unwrap();
+        let snap1 = Arc::new(st.snapshot());
+        // No shard changed (as far as the summary claims): PageRank and Rwr
+        // promote, HittingTime never does.
+        service.note_publish(&snap1, &[], false, false);
+        assert_eq!(service.cached_entries(), 5);
+        let pr1 = service.query(&snap1, &pagerank).unwrap();
+        let rwr1 = service.query(&snap1, &rwr).unwrap();
+        assert!(Arc::ptr_eq(&pr0, &pr1), "promoted PageRank must hit");
+        assert!(Arc::ptr_eq(&rwr0, &rwr1), "promoted Rwr must hit");
+        assert_eq!(counters.snapshot().cache_misses, 3, "no new solves");
+        // The monolithic store has one shard; with it changed, only queries
+        // with no support there could promote — i.e. nothing cached here.
+        st.advance(&GraphDelta {
+            added: vec![(1, 5)],
+            removed: vec![],
+        })
+        .unwrap();
+        let snap2 = Arc::new(st.snapshot());
+        let before = service.cached_entries();
+        service.note_publish(&snap2, &[0], false, false);
+        assert_eq!(service.cached_entries(), before);
+        // Repartitioned or coupled publishes never promote.
+        service.note_publish(&snap2, &[], false, true);
+        service.note_publish(&snap2, &[], true, false);
+        assert_eq!(service.cached_entries(), before);
     }
 
     #[test]
@@ -246,5 +813,44 @@ mod tests {
             Err(EngineError::InvalidQuery(_))
         ));
         assert_eq!(counters.snapshot().queries, 0);
+    }
+
+    #[test]
+    fn concurrent_submissions_batch_and_agree_with_sequential() {
+        let counters = Arc::new(EngineCounters::default());
+        let telemetry = Arc::new(TelemetryRegistry::default());
+        let service = Arc::new(QueryService::with_serving(
+            4,
+            64,
+            Arc::clone(&counters),
+            Arc::clone(&telemetry),
+            StalenessBudget::default(),
+            Duration::from_micros(200),
+        ));
+        let snap = snapshot();
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let service = Arc::clone(&service);
+            let snap = Arc::clone(&snap);
+            handles.push(std::thread::spawn(move || {
+                let q = MeasureQuery::Rwr {
+                    seed: t % 6,
+                    damping: 0.85,
+                };
+                (q.clone(), service.query(&snap, &q).unwrap())
+            }));
+        }
+        for h in handles {
+            let (q, batched) = h.join().unwrap();
+            let sequential = snap.query(&q).unwrap();
+            let same = batched
+                .iter()
+                .zip(sequential.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "batched answer must be bit-identical: {q:?}");
+        }
+        assert!(service.batch_occupancy().count() >= 1);
+        let drained: u64 = service.batch_occupancy().count();
+        assert!(drained <= 6, "at most one drain per submission");
     }
 }

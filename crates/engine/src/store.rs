@@ -24,7 +24,7 @@ use clude_lu::{
     apply_delta_with, markowitz_ordering, BennettStats, BennettWorkspace, DynamicLuFactors,
     LuResult,
 };
-use clude_measures::{evaluate_query_with, MeasureQuery, MeasureSolver};
+use clude_measures::{evaluate_queries_with, evaluate_query_with, MeasureQuery, MeasureSolver};
 use clude_sparse::{CooMatrix, CsrMatrix};
 use clude_telemetry::{EngineEvent, Stage, TelemetryRegistry};
 use std::collections::{BTreeMap, BTreeSet};
@@ -230,6 +230,15 @@ impl EngineSnapshot {
     pub fn query(&self, query: &MeasureQuery) -> LuResult<Vec<f64>> {
         evaluate_query_with(self, &self.graph, query)
     }
+
+    /// Answers a batch of measure queries against this snapshot, coalescing
+    /// all panel-eligible queries into **one** factor traversal over a
+    /// column panel (hitting-time queries, which factorize a query-specific
+    /// matrix, are answered individually).  Result `i` is bit-identical to
+    /// `self.query(queries[i])`.
+    pub fn query_batch(&self, queries: &[&MeasureQuery]) -> LuResult<Vec<Vec<f64>>> {
+        evaluate_queries_with(self, &self.graph, queries)
+    }
 }
 
 impl MeasureSolver for EngineSnapshot {
@@ -239,6 +248,14 @@ impl MeasureSolver for EngineSnapshot {
     /// of substitutions, bit-identical to the pre-sharding solve.
     fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>> {
         coupling::solve_system(self, b)
+    }
+
+    /// Panel override: `n_rhs` stacked right-hand sides in one factor
+    /// traversal per block pass, every stripe bit-identical to a sequential
+    /// [`MeasureSolver::solve_measure_system`] call (see
+    /// `crate::coupling::solve_systems`).
+    fn solve_measure_systems(&self, b: &[f64], n_rhs: usize) -> LuResult<Vec<f64>> {
+        coupling::solve_systems(self, b, n_rhs)
     }
 }
 

@@ -165,6 +165,59 @@ impl DynamicLuFactors {
         Ok(())
     }
 
+    /// Panel variant of [`DynamicLuFactors::solve_into`]: solves `n_rhs`
+    /// systems stacked column-major in `b` (`n_rhs` stripes of length `n`),
+    /// writing the solutions into `x` in the same layout.  The adjacency
+    /// lists are traversed once per row for the whole panel; per column the
+    /// floating-point sequence matches the single-RHS path exactly, so every
+    /// stripe is bit-identical to a sequential solve.
+    pub fn solve_many_into(&self, b: &[f64], n_rhs: usize, x: &mut Vec<f64>) -> LuResult<()> {
+        let n = self.n;
+        if b.len() != n * n_rhs {
+            return Err(LuError::DimensionMismatch {
+                expected: n * n_rhs,
+                actual: b.len(),
+            });
+        }
+        x.clear();
+        x.extend_from_slice(b);
+        for i in 0..n {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                if j < i {
+                    for c in 0..n_rhs {
+                        x[c * n + i] -= v * x[c * n + j];
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        for i in (0..n).rev() {
+            let mut diag = 0.0;
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                if j > i {
+                    for c in 0..n_rhs {
+                        x[c * n + i] -= v * x[c * n + j];
+                    }
+                } else if j == i {
+                    diag = v;
+                }
+            }
+            if !diag.is_finite() || diag.abs() < SINGULAR_TOL {
+                return Err(LuError::SingularPivot {
+                    index: i,
+                    value: diag,
+                });
+            }
+            for c in 0..n_rhs {
+                x[c * n + i] /= diag;
+            }
+        }
+        Ok(())
+    }
+
     /// The lower factor `L` (with unit diagonal) as CSR.
     pub fn l_matrix(&self) -> CsrMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.nnz());

@@ -193,6 +193,61 @@ impl LuFactors {
         Ok(())
     }
 
+    /// Panel variant of [`LuFactors::solve_into`]: solves `n_rhs` systems
+    /// whose right-hand sides are stacked column-major in `b` (`n_rhs`
+    /// contiguous stripes of length `n`), writing the solutions into `x` in
+    /// the same layout.
+    ///
+    /// The factor structure is traversed **once** for the whole panel: the
+    /// loop order is rows outer, structural slots middle, panel columns
+    /// inner.  Per panel column the floating-point operation sequence is
+    /// exactly that of [`LuFactors::solve_into`], so each stripe of the
+    /// result is bit-identical to a sequential single-RHS solve.
+    pub fn solve_many_into(&self, b: &[f64], n_rhs: usize, x: &mut Vec<f64>) -> LuResult<()> {
+        let n = self.n();
+        if b.len() != n * n_rhs {
+            return Err(LuError::DimensionMismatch {
+                expected: n * n_rhs,
+                actual: b.len(),
+            });
+        }
+        x.clear();
+        x.extend_from_slice(b);
+        // Forward: L y = b (unit diagonal), all panel columns per slot.
+        for i in 0..n {
+            for slot in self.structure.lower_row_slots(i) {
+                let k = self.structure.col_of_slot(slot);
+                let v = self.values[slot];
+                for c in 0..n_rhs {
+                    x[c * n + i] -= v * x[c * n + k];
+                }
+            }
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let mut upper = self.structure.upper_row_slots(i);
+            let diag_slot = upper.next().expect("diagonal always present");
+            for slot in upper {
+                let j = self.structure.col_of_slot(slot);
+                let v = self.values[slot];
+                for c in 0..n_rhs {
+                    x[c * n + i] -= v * x[c * n + j];
+                }
+            }
+            let pivot = self.values[diag_slot];
+            if !pivot.is_finite() || pivot.abs() < SINGULAR_TOL {
+                return Err(LuError::SingularPivot {
+                    index: i,
+                    value: pivot,
+                });
+            }
+            for c in 0..n_rhs {
+                x[c * n + i] /= pivot;
+            }
+        }
+        Ok(())
+    }
+
     /// The lower factor `L` (with its unit diagonal) as a CSR matrix.
     pub fn l_matrix(&self) -> CsrMatrix {
         let n = self.n();

@@ -53,6 +53,9 @@ pub use ordering::{
     markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under,
     OrderingResult,
 };
-pub use solve::{solve_original, solve_original_into, SolveScratch, TriangularSolve};
+pub use solve::{
+    solve_original, solve_original_into, solve_original_many_into, PanelScratch, SolveScratch,
+    TriangularSolve,
+};
 pub use structure::LuStructure;
 pub use symbolic::{fill_in_pattern, symbolic_decomposition, symbolic_size, SymbolicDecomposition};

@@ -27,17 +27,46 @@ pub trait TriangularSolve {
         self.solve_factored_into(b, &mut x)?;
         Ok(x)
     }
+
+    /// Panel variant: solves `n_rhs` factored systems whose right-hand sides
+    /// are stacked column-major in `b` (`n_rhs` contiguous stripes), writing
+    /// the solutions into `x` in the same layout.  Implementations must keep
+    /// every stripe bit-identical to a sequential
+    /// [`TriangularSolve::solve_factored_into`] call; the default honours
+    /// that trivially by solving stripe by stripe,
+    /// while the in-tree factor types override it with single-traversal
+    /// panel kernels.
+    fn solve_many_factored_into(&self, b: &[f64], n_rhs: usize, x: &mut Vec<f64>) -> LuResult<()> {
+        let n = b.len().checked_div(n_rhs).unwrap_or(0);
+        // lint: allow(alloc-hot-path) — compatibility default for external
+        // impls only; both in-tree factor types override with panel kernels.
+        let mut column = Vec::new();
+        x.clear();
+        for c in 0..n_rhs {
+            self.solve_factored_into(&b[c * n..(c + 1) * n], &mut column)?;
+            x.extend_from_slice(&column);
+        }
+        Ok(())
+    }
 }
 
 impl TriangularSolve for LuFactors {
     fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
         self.solve_into(b, x)
     }
+
+    fn solve_many_factored_into(&self, b: &[f64], n_rhs: usize, x: &mut Vec<f64>) -> LuResult<()> {
+        self.solve_many_into(b, n_rhs, x)
+    }
 }
 
 impl TriangularSolve for DynamicLuFactors {
     fn solve_factored_into(&self, b: &[f64], x: &mut Vec<f64>) -> LuResult<()> {
         self.solve_into(b, x)
+    }
+
+    fn solve_many_factored_into(&self, b: &[f64], n_rhs: usize, x: &mut Vec<f64>) -> LuResult<()> {
+        self.solve_many_into(b, n_rhs, x)
     }
 }
 
@@ -69,6 +98,39 @@ impl SolveScratch {
             // lint: allow(alloc-hot-path) — constructor pre-sizing: this
             // one-time allocation is what keeps later solves allocation-free.
             factored: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Reusable buffers of [`solve_original_many_into`]: the permuted panel, the
+/// reordered solution panel, and a single-stripe staging column used while
+/// permuting one stripe at a time (the permutation helpers are single-RHS;
+/// permutation is pure data movement, so staging preserves bit-identity).
+#[derive(Debug, Clone, Default)]
+pub struct PanelScratch {
+    permuted: Vec<f64>,
+    factored: Vec<f64>,
+    column: Vec<f64>,
+}
+
+impl PanelScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PanelScratch::default()
+    }
+
+    /// A scratch pre-sized for panels of `n_rhs` systems of order `n`.
+    pub fn with_panel(n: usize, n_rhs: usize) -> Self {
+        PanelScratch {
+            // lint: allow(alloc-hot-path) — constructor pre-sizing: this
+            // one-time allocation keeps later panel solves allocation-free.
+            permuted: Vec::with_capacity(n * n_rhs),
+            // lint: allow(alloc-hot-path) — constructor pre-sizing: this
+            // one-time allocation keeps later panel solves allocation-free.
+            factored: Vec::with_capacity(n * n_rhs),
+            // lint: allow(alloc-hot-path) — constructor pre-sizing: this
+            // one-time allocation keeps later panel solves allocation-free.
+            column: Vec::with_capacity(n),
         }
     }
 }
@@ -112,6 +174,54 @@ pub fn solve_original_into<F: TriangularSolve>(
             expected: ordering.col().len(),
             actual: scratch.factored.len(),
         })
+}
+
+/// Panel variant of [`solve_original_into`]: solves `n_rhs` original systems
+/// whose right-hand sides are stacked column-major in `b`, writing the
+/// solutions into `out` in the same layout.
+///
+/// Each stripe is permuted through the scratch staging column (data movement
+/// only — no floating-point arithmetic), the whole panel runs through one
+/// [`TriangularSolve::solve_many_factored_into`] traversal, and each solution
+/// stripe is permuted back.  Every stripe of `out` is bit-identical to a
+/// sequential [`solve_original_into`] call on that stripe.
+pub fn solve_original_many_into<F: TriangularSolve>(
+    factors: &F,
+    ordering: &Ordering,
+    b: &[f64],
+    n_rhs: usize,
+    scratch: &mut PanelScratch,
+    out: &mut Vec<f64>,
+) -> LuResult<()> {
+    let n = ordering.row().len();
+    if b.len() != n * n_rhs {
+        return Err(crate::error::LuError::DimensionMismatch {
+            expected: n * n_rhs,
+            actual: b.len(),
+        });
+    }
+    scratch.permuted.clear();
+    for c in 0..n_rhs {
+        ordering
+            .permute_rhs_into(&b[c * n..(c + 1) * n], &mut scratch.column)
+            .map_err(|_| crate::error::LuError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            })?;
+        scratch.permuted.extend_from_slice(&scratch.column);
+    }
+    factors.solve_many_factored_into(&scratch.permuted, n_rhs, &mut scratch.factored)?;
+    out.clear();
+    for c in 0..n_rhs {
+        ordering
+            .recover_solution_into(&scratch.factored[c * n..(c + 1) * n], &mut scratch.column)
+            .map_err(|_| crate::error::LuError::DimensionMismatch {
+                expected: ordering.col().len(),
+                actual: scratch.factored.len(),
+            })?;
+        out.extend_from_slice(&scratch.column);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -186,11 +186,35 @@ impl MeasureQuery {
 pub trait MeasureSolver {
     /// Solves the snapshot's measure system for one right-hand side.
     fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>>;
+
+    /// Solves the measure system for `n_rhs` right-hand sides stacked
+    /// column-major in `b` (`n_rhs` contiguous stripes), returning the
+    /// solutions in the same layout.
+    ///
+    /// Implementations must keep every stripe bit-identical to a sequential
+    /// [`MeasureSolver::solve_measure_system`] call on that stripe; the
+    /// default honours that trivially, while panel-capable solvers override
+    /// it with a single factor traversal.
+    fn solve_measure_systems(&self, b: &[f64], n_rhs: usize) -> LuResult<Vec<f64>> {
+        let n = b.len().checked_div(n_rhs).unwrap_or(0);
+        let mut out = Vec::with_capacity(b.len());
+        for c in 0..n_rhs {
+            out.extend(self.solve_measure_system(&b[c * n..(c + 1) * n])?);
+        }
+        Ok(out)
+    }
 }
 
 impl MeasureSolver for DecomposedMatrix {
     fn solve_measure_system(&self, b: &[f64]) -> LuResult<Vec<f64>> {
         self.solve(b)
+    }
+
+    fn solve_measure_systems(&self, b: &[f64], n_rhs: usize) -> LuResult<Vec<f64>> {
+        let mut scratch = clude_lu::PanelScratch::new();
+        let mut out = Vec::new();
+        self.solve_many_into(b, n_rhs, &mut scratch, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -216,6 +240,56 @@ pub fn evaluate_query_with<S: MeasureSolver + ?Sized>(
             discounted_hitting_time(graph, *target, *damping)
         }
     }
+}
+
+/// The right-hand side of the query's measure system against the snapshot's
+/// `I − d·W` factors, or `None` for queries (hitting time) that factorize a
+/// query-specific matrix instead and therefore cannot join a shared panel.
+pub fn measure_rhs(query: &MeasureQuery, n: usize) -> Option<Vec<f64>> {
+    use crate::linear_system::{pagerank_rhs, ppr_rhs, rwr_rhs};
+    match query {
+        MeasureQuery::PageRank { damping } => Some(pagerank_rhs(n, *damping)),
+        MeasureQuery::Rwr { seed, damping } => Some(rwr_rhs(n, *seed, *damping)),
+        MeasureQuery::PprSeedSet { seeds, damping } => Some(ppr_rhs(n, seeds, *damping)),
+        MeasureQuery::HittingTime { .. } => None,
+    }
+}
+
+/// Evaluates a batch of queries through any [`MeasureSolver`], answering all
+/// panel-eligible queries (those with a [`measure_rhs`]) in **one**
+/// [`MeasureSolver::solve_measure_systems`] panel traversal and the rest
+/// (hitting time) individually.
+///
+/// Result `i` is bit-identical to `evaluate_query_with(solver, graph,
+/// queries[i])`: the right-hand sides, the per-stripe solve sequence, and
+/// the normalisation are exactly those of the single-query path.
+pub fn evaluate_queries_with<S: MeasureSolver + ?Sized>(
+    solver: &S,
+    graph: &DiGraph,
+    queries: &[&MeasureQuery],
+) -> LuResult<Vec<Vec<f64>>> {
+    use crate::linear_system::normalize_scores;
+    let n = graph.n_nodes();
+    let mut panel = Vec::new();
+    let mut panel_slots = Vec::new();
+    let mut results: Vec<Option<Vec<f64>>> = queries.iter().map(|_| None).collect();
+    for (i, query) in queries.iter().enumerate() {
+        match measure_rhs(query, n) {
+            Some(rhs) => {
+                panel.extend(rhs);
+                panel_slots.push(i);
+            }
+            None => results[i] = Some(evaluate_query_with(solver, graph, query)?),
+        }
+    }
+    if !panel_slots.is_empty() {
+        let solved = solver.solve_measure_systems(&panel, panel_slots.len())?;
+        for (c, &i) in panel_slots.iter().enumerate() {
+            let raw = solved[c * n..(c + 1) * n].to_vec();
+            results[i] = Some(normalize_scores(raw));
+        }
+    }
+    Ok(results.into_iter().flatten().collect())
 }
 
 /// Evaluates a query against one decomposed snapshot.

@@ -55,6 +55,14 @@ pub enum EngineEvent {
         /// Snapshot id of the evicted entry.
         snapshot: u64,
     },
+    /// A ring rollover bulk-invalidated every cached result older than the
+    /// retention horizon (the eviction analogue for whole snapshots).
+    CacheInvalidated {
+        /// Oldest snapshot id still retained after the invalidation.
+        oldest_retained: u64,
+        /// Number of cache entries dropped by this invalidation.
+        dropped: u64,
+    },
 }
 
 /// The event's kind, used for per-kind counts and exposition labels.
@@ -70,16 +78,19 @@ pub enum EventKind {
     ConvergenceFailure,
     /// [`EngineEvent::CacheEvicted`]
     CacheEvicted,
+    /// [`EngineEvent::CacheInvalidated`]
+    CacheInvalidated,
 }
 
 impl EventKind {
     /// Every kind, in exposition order.
-    pub const ALL: [EventKind; 5] = [
+    pub const ALL: [EventKind; 6] = [
         EventKind::Repartitioned,
         EventKind::RefreshTriggered,
         EventKind::WoodburyPlanRebuilt,
         EventKind::ConvergenceFailure,
         EventKind::CacheEvicted,
+        EventKind::CacheInvalidated,
     ];
 
     /// The snake_case label used in exposition.
@@ -90,6 +101,7 @@ impl EventKind {
             EventKind::WoodburyPlanRebuilt => "woodbury_plan_rebuilt",
             EventKind::ConvergenceFailure => "convergence_failure",
             EventKind::CacheEvicted => "cache_evicted",
+            EventKind::CacheInvalidated => "cache_invalidated",
         }
     }
 }
@@ -103,6 +115,7 @@ impl EngineEvent {
             EngineEvent::WoodburyPlanRebuilt { .. } => EventKind::WoodburyPlanRebuilt,
             EngineEvent::ConvergenceFailure { .. } => EventKind::ConvergenceFailure,
             EngineEvent::CacheEvicted { .. } => EventKind::CacheEvicted,
+            EngineEvent::CacheInvalidated { .. } => EventKind::CacheInvalidated,
         }
     }
 }

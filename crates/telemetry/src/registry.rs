@@ -456,6 +456,13 @@ fn event_json(seq: u64, event: &EngineEvent) -> String {
         EngineEvent::CacheEvicted { snapshot } => {
             format!("{{\"seq\": {seq}, \"kind\": \"{kind}\", \"snapshot\": {snapshot}}}")
         }
+        EngineEvent::CacheInvalidated {
+            oldest_retained,
+            dropped,
+        } => format!(
+            "{{\"seq\": {seq}, \"kind\": \"{kind}\", \"oldest_retained\": {oldest_retained}, \
+             \"dropped\": {dropped}}}"
+        ),
     }
 }
 

@@ -35,11 +35,17 @@ pub enum Stage {
     QuerySolve,
     /// A measure query answered from the LRU cache.
     QueryCacheHit,
+    /// One batched panel solve by the query batcher's leader: all coalesced
+    /// right-hand sides against one snapshot in a single factor traversal.
+    QueryBatchSolve,
+    /// A measure query answered from a bounded-staleness cache entry (an
+    /// older snapshot's exact result served under the staleness budget).
+    QueryStaleHit,
 }
 
 impl Stage {
     /// Every stage, in exposition order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::IngestMerge,
         Stage::IngestApply,
         Stage::ShardSweep,
@@ -51,6 +57,8 @@ impl Stage {
         Stage::SnapshotFreeze,
         Stage::QuerySolve,
         Stage::QueryCacheHit,
+        Stage::QueryBatchSolve,
+        Stage::QueryStaleHit,
     ];
 
     /// Number of stages (size of the per-stage histogram array).
@@ -76,6 +84,8 @@ impl Stage {
             Stage::SnapshotFreeze => "snapshot.freeze",
             Stage::QuerySolve => "query.solve",
             Stage::QueryCacheHit => "query.cache_hit",
+            Stage::QueryBatchSolve => "query.batch_solve",
+            Stage::QueryStaleHit => "query.stale_hit",
         }
     }
 
@@ -93,6 +103,8 @@ impl Stage {
             Stage::SnapshotFreeze => "clude_snapshot_freeze",
             Stage::QuerySolve => "clude_query_solve",
             Stage::QueryCacheHit => "clude_query_cache_hit",
+            Stage::QueryBatchSolve => "clude_query_batch_solve",
+            Stage::QueryStaleHit => "clude_query_stale_hit",
         }
     }
 }
