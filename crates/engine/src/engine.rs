@@ -20,17 +20,21 @@
 //!   `RwLock` is touched only by time-travel queries and stats.
 
 use crate::coupling::CouplingConfig;
+use crate::durability::{DurabilityConfig, Persistence};
 use crate::epoch::SnapshotHandle;
 use crate::error::{EngineError, EngineResult};
 use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 use crate::query::{QueryService, StalenessBudget};
+use crate::recovery::{self, RecoveryReport};
 use crate::sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 use crate::stats::{EngineCounters, EngineStats};
 use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
 use clude::partition::edge_locality_partition;
 use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
-use clude_telemetry::{Counter, Gauge, LogHistogram, Stage, TelemetryConfig, TelemetryRegistry};
+use clude_telemetry::{
+    Counter, EngineEvent, Gauge, LogHistogram, Stage, TelemetryConfig, TelemetryRegistry,
+};
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -127,6 +131,20 @@ impl StoreBackend {
         }
     }
 
+    fn snapshot_id(&self) -> u64 {
+        match self {
+            StoreBackend::Monolithic(s) => s.snapshot_id(),
+            StoreBackend::Sharded(s) => s.snapshot_id(),
+        }
+    }
+
+    fn durable_state(&self) -> crate::checkpoint::DurableState {
+        match self {
+            StoreBackend::Monolithic(s) => s.durable_state(),
+            StoreBackend::Sharded(s) => s.durable_state(),
+        }
+    }
+
     /// Advances the store, normalising both backends' reports to the
     /// per-shard shape (the monolithic store is one big shard).
     fn advance(&mut self, delta: &GraphDelta) -> EngineResult<ShardedAdvanceReport> {
@@ -158,10 +176,22 @@ impl StoreBackend {
     }
 }
 
-#[derive(Debug)]
 struct IngestState {
     ingestor: DeltaIngestor,
     store: StoreBackend,
+    /// Durability driver; `None` for in-memory engines.  Living inside the
+    /// ingest mutex makes the WAL single-writer by construction.
+    persistence: Option<Persistence>,
+}
+
+impl std::fmt::Debug for IngestState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestState")
+            .field("ingestor", &self.ingestor)
+            .field("store", &self.store)
+            .field("durable", &self.persistence.is_some())
+            .finish()
+    }
 }
 
 /// The streaming measure-serving engine.
@@ -225,6 +255,146 @@ impl CludeEngine {
         Self::from_backend(StoreBackend::Sharded(Box::new(store)), config, telemetry)
     }
 
+    /// Opens a durable engine over the spool in `durability.dir`.
+    ///
+    /// With no committed checkpoint the spool is cold: the engine is built
+    /// from `base` exactly like [`CludeEngine::new`] and the base image is
+    /// made durable (full checkpoint + fresh WAL segment) *before* any batch
+    /// is accepted.  Otherwise the newest loadable checkpoint is restored,
+    /// the WAL suffix is replayed through the normal batch path (identical
+    /// refresh/repartition decisions, so the recovered factors match the
+    /// uncrashed run bit-for-bit), and a fresh full checkpoint re-anchors
+    /// the spool.  `base` must describe the same node universe and
+    /// `config.matrix_kind` the same matrix as the spool; mismatches fail
+    /// loudly rather than answering queries from the wrong operator.
+    ///
+    /// Returns the engine plus a [`RecoveryReport`] describing what was
+    /// found and replayed.
+    pub fn open_durable(
+        base: DiGraph,
+        config: EngineConfig,
+        durability: DurabilityConfig,
+    ) -> EngineResult<(Self, RecoveryReport)> {
+        durability
+            .vfs
+            .create_dir_all(&durability.dir)
+            .map_err(|e| crate::wal::io_err("create_dir_all", &durability.dir, e))?;
+        let loaded = recovery::load_checkpoint(&*durability.vfs, &durability.dir)?;
+        let Some(loaded) = loaded else {
+            // Cold start: durably anchor the base image before any writes.
+            let engine = Self::new(base, config)?;
+            let mut state = engine.inner.lock().expect("ingest state poisoned");
+            let durable = state.store.durable_state();
+            state.persistence = Some(Persistence::bootstrap(
+                &durability,
+                Arc::clone(&engine.telemetry),
+                &durable,
+                0,
+            )?);
+            drop(state);
+            return Ok((engine, RecoveryReport::default()));
+        };
+        if loaded.state.kind != config.matrix_kind {
+            return Err(EngineError::Persistence(format!(
+                "checkpoint matrix kind {:?} does not match configured {:?}",
+                loaded.state.kind, config.matrix_kind
+            )));
+        }
+        if loaded.state.graph.n_nodes() != base.n_nodes() {
+            return Err(EngineError::Persistence(format!(
+                "checkpoint node universe ({} nodes) does not match base graph ({} nodes)",
+                loaded.state.graph.n_nodes(),
+                base.n_nodes()
+            )));
+        }
+        let checkpoint_snapshot = loaded.state.snapshot_id;
+        let checkpoint_gen = loaded.gen;
+        let max_committed_gen = loaded.max_committed_gen;
+        let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
+        let store = if loaded.state.partition.n_shards() <= 1 {
+            StoreBackend::Monolithic(Box::new(FactorStore::restore(
+                config.refresh,
+                config.coupling,
+                Arc::clone(&telemetry),
+                loaded.state,
+            )?))
+        } else {
+            StoreBackend::Sharded(Box::new(ShardedFactorStore::restore(
+                config.refresh,
+                config.coupling,
+                Arc::clone(&telemetry),
+                loaded.state,
+            )?))
+        };
+        let replay = recovery::read_wal(&*durability.vfs, &durability.dir, checkpoint_snapshot)?;
+        let engine = Self::from_backend(store, config, telemetry)?;
+        let mut report = RecoveryReport {
+            checkpoint_snapshot: Some(checkpoint_snapshot),
+            checkpoint_gen: Some(checkpoint_gen),
+            wal_records_replayed: 0,
+            wal_records_truncated: replay.dropped,
+            recovered_snapshot: None,
+        };
+        {
+            let mut state = engine.inner.lock().expect("ingest state poisoned");
+            for (id, delta) in replay.records {
+                let span = engine.telemetry.span(Stage::RecoveryReplay);
+                let applied = engine.apply_batch(&mut state, delta)?;
+                span.stop();
+                if applied != id {
+                    return Err(EngineError::Persistence(format!(
+                        "WAL replay produced snapshot {applied} where record {id} was expected"
+                    )));
+                }
+                report.wal_records_replayed += 1;
+            }
+            if replay.dropped > 0 {
+                engine.telemetry.record_event(EngineEvent::WalTruncated {
+                    records_dropped: replay.dropped,
+                });
+            }
+            // Re-anchor: a fresh full checkpoint above every committed
+            // generation, so the next crash replays only new work.
+            let durable = state.store.durable_state();
+            state.persistence = Some(Persistence::bootstrap(
+                &durability,
+                Arc::clone(&engine.telemetry),
+                &durable,
+                max_committed_gen + 1,
+            )?);
+            report.recovered_snapshot = Some(state.store.snapshot_id());
+        }
+        Ok((engine, report))
+    }
+
+    /// Forces a checkpoint generation now, regardless of the interval.
+    /// Returns `false` for in-memory (non-durable) engines.
+    pub fn checkpoint_now(&self) -> EngineResult<bool> {
+        let mut state = self.inner.lock().expect("ingest state poisoned");
+        let state = &mut *state;
+        match state.persistence.as_mut() {
+            Some(persistence) => {
+                let durable = state.store.durable_state();
+                persistence.checkpoint_state(&durable)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Forces the WAL durability barrier, closing an open group-commit
+    /// window early.  Returns `false` for in-memory engines.
+    pub fn sync_wal(&self) -> EngineResult<bool> {
+        let mut state = self.inner.lock().expect("ingest state poisoned");
+        match state.persistence.as_mut() {
+            Some(persistence) => {
+                persistence.sync_wal()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     fn from_backend(
         store: StoreBackend,
         config: EngineConfig,
@@ -246,6 +416,7 @@ impl CludeEngine {
             inner: Mutex::new(IngestState {
                 ingestor: DeltaIngestor::new(config.batch).with_telemetry(Arc::clone(&telemetry)),
                 store,
+                persistence: None,
             }),
             ring: RwLock::new(ring),
             ring_capacity: config.ring_capacity,
@@ -317,6 +488,14 @@ impl CludeEngine {
 
     fn apply_batch(&self, state: &mut IngestState, delta: GraphDelta) -> EngineResult<u64> {
         let start = Instant::now();
+        // Write-ahead invariant: the WAL record for the batch that will
+        // become snapshot `k` is appended (and synced per the group-commit
+        // window) before any in-memory state advances.  A failed append
+        // aborts the batch here, before the store, ring or handle see it, so
+        // no published snapshot can ever be ahead of the log.
+        if let Some(persistence) = state.persistence.as_mut() {
+            persistence.log_batch(state.store.snapshot_id() + 1, &delta)?;
+        }
         let apply_span = self.telemetry.span(Stage::IngestApply);
         let report = state.store.advance(&delta)?;
         apply_span.stop();
@@ -396,6 +575,15 @@ impl CludeEngine {
                 report.coupling_republished,
                 report.repartitioned,
             );
+        }
+        // Checkpoint after publication so the generation image matches a
+        // snapshot queries can already see.  The (expensive) durable-state
+        // capture happens only on the batches that actually checkpoint.
+        if let Some(persistence) = state.persistence.as_mut() {
+            if persistence.note_applied() {
+                let durable = state.store.durable_state();
+                persistence.checkpoint_state(&durable)?;
+            }
         }
         Ok(report.snapshot_id)
     }

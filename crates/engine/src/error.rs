@@ -27,6 +27,10 @@ pub enum EngineError {
         /// The number of nodes of the universe.
         n_nodes: usize,
     },
+    /// The durability layer failed: a WAL append, checkpoint write or
+    /// recovery step hit an I/O error, a corrupt file, or a format/version
+    /// mismatch.  The message carries the failing operation and path.
+    Persistence(String),
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +49,7 @@ impl fmt::Display for EngineError {
             EngineError::NodeOutOfRange { node, n_nodes } => {
                 write!(f, "node {node} outside the {n_nodes}-node universe")
             }
+            EngineError::Persistence(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

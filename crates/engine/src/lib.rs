@@ -95,22 +95,30 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod checkpoint;
 pub mod coupling;
+pub mod durability;
 pub mod engine;
 pub mod epoch;
 pub mod error;
 pub mod ingest;
 pub mod query;
+pub mod recovery;
 pub mod sharded;
 pub mod stats;
 pub mod store;
+pub mod vfs;
+mod wal;
 
 pub use coupling::{CouplingConfig, CouplingPlan, CouplingSolver, SolveTolerance};
+pub use durability::DurabilityConfig;
 pub use engine::{CludeEngine, EngineConfig};
 pub use epoch::SnapshotHandle;
 pub use error::{EngineError, EngineResult};
 pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 pub use query::{QueryService, StalenessBudget};
+pub use recovery::RecoveryReport;
 pub use sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 pub use stats::{EngineCounters, EngineStats, ShardCounters, ShardStats};
 pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy, ShardSnapshot};
+pub use vfs::{FailpointFs, Injection, StdFs, Vfs, VfsFile};

@@ -27,7 +27,7 @@
 //! monolithic store to well below 1e-9.
 
 use crate::coupling::{CouplingConfig, CouplingPlan};
-use crate::error::EngineResult;
+use crate::error::{EngineError, EngineResult};
 use crate::store::{
     affected_sources, global_matrix_delta, order_and_factorize, EngineSnapshot, OrderedFactors,
     RefreshPolicy, ShardSnapshot,
@@ -306,6 +306,115 @@ impl ShardedFactorStore {
             coupling_cfg,
             plan,
             telemetry: Arc::new(TelemetryRegistry::disabled()),
+        })
+    }
+
+    /// The durable slice of the store for the checkpoint writer.  Blocks
+    /// are the *published* per-shard `Arc`s — advances republish every shard
+    /// they touch, so the published content always equals the live factors —
+    /// plus each shard's `reference_nnz` quality anchor; the coupling comes
+    /// from the mutable store (identical in content to the frozen CSR).
+    pub(crate) fn durable_state(&self) -> crate::checkpoint::DurableState {
+        let coupling = self
+            .coupling
+            .rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cols)| cols.iter().map(move |(&j, &v)| (i, j, v)))
+            .collect();
+        crate::checkpoint::DurableState {
+            snapshot_id: self.snapshot_id,
+            kind: self.kind,
+            graph: self.graph.clone(),
+            partition: (*self.partition).clone(),
+            next_repartition_at: self.next_repartition_at,
+            coupling,
+            blocks: self
+                .published
+                .iter()
+                .zip(&self.shards)
+                .map(|(p, s)| (Arc::clone(p), s.of.reference_nnz))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a sharded store from a decoded checkpoint image.  Factors,
+    /// orderings, quality anchors, coupling entries, the partition and the
+    /// re-partition budget are restored bit-identically, so WAL replay from
+    /// here takes exactly the refresh/repartition decisions the original
+    /// took.
+    pub(crate) fn restore(
+        policy: RefreshPolicy,
+        coupling_cfg: CouplingConfig,
+        telemetry: Arc<TelemetryRegistry>,
+        state: crate::checkpoint::StoreState,
+    ) -> EngineResult<Self> {
+        let crate::checkpoint::StoreState {
+            snapshot_id,
+            kind,
+            graph,
+            partition,
+            next_repartition_at,
+            coupling,
+            blocks,
+        } = state;
+        if graph.n_nodes() != partition.n_nodes() {
+            return Err(EngineError::Persistence(format!(
+                "checkpoint partition covers {} nodes but the graph has {}",
+                partition.n_nodes(),
+                graph.n_nodes()
+            )));
+        }
+        let partition = Arc::new(partition);
+        let n = graph.n_nodes();
+        let mut coupling_store = CouplingStore {
+            rows: vec![BTreeMap::new(); n],
+            nnz: 0,
+        };
+        for &(i, j, v) in &coupling {
+            if i >= n || j >= n {
+                return Err(EngineError::Persistence(format!(
+                    "checkpoint coupling entry ({i}, {j}) outside the {n}-node universe"
+                )));
+            }
+            coupling_store.set(i, j, v);
+        }
+        let mut shards = Vec::with_capacity(blocks.len());
+        let mut published = Vec::with_capacity(blocks.len());
+        for block in blocks {
+            let of = OrderedFactors {
+                row_old_to_new: block.ordering.row().old_to_new(),
+                col_old_to_new: block.ordering.col().old_to_new(),
+                ordering: block.ordering,
+                factors: block.factors,
+                reference_nnz: block.reference_nnz,
+            };
+            published.push(of.publish(block.index));
+            shards.push(FactorShard { of });
+        }
+        let workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
+        let published_coupling = Arc::new(coupling_store.to_csr());
+        let plan = Arc::new(CouplingPlan::build(
+            &partition,
+            &published,
+            &published_coupling,
+            coupling_cfg.solver,
+        )?);
+        Ok(ShardedFactorStore {
+            kind,
+            policy,
+            partition,
+            graph,
+            shards,
+            workspaces,
+            coupling: coupling_store,
+            snapshot_id,
+            published,
+            published_coupling,
+            next_repartition_at,
+            coupling_cfg,
+            plan,
+            telemetry,
         })
     }
 

@@ -359,6 +359,79 @@ impl FactorStore {
         self.coupling_cfg
     }
 
+    /// The durable slice of the store for the checkpoint writer.  Serialises
+    /// from the *published* block: an advance republishes whenever it
+    /// touches the factors, so the published `Arc` content always equals the
+    /// live factors.
+    pub(crate) fn durable_state(&self) -> crate::checkpoint::DurableState {
+        crate::checkpoint::DurableState {
+            snapshot_id: self.snapshot_id,
+            kind: self.kind,
+            graph: self.graph.clone(),
+            partition: (*self.partition).clone(),
+            next_repartition_at: None,
+            coupling: Vec::new(),
+            blocks: vec![(Arc::clone(&self.published), self.of.reference_nnz)],
+        }
+    }
+
+    /// Rebuilds a monolithic store from a decoded checkpoint image —
+    /// bit-identical factors, ordering, quality anchor and snapshot id, so
+    /// WAL replay from here evolves exactly as the original did.
+    pub(crate) fn restore(
+        policy: RefreshPolicy,
+        coupling_cfg: CouplingConfig,
+        telemetry: Arc<TelemetryRegistry>,
+        state: crate::checkpoint::StoreState,
+    ) -> EngineResult<Self> {
+        let crate::checkpoint::StoreState {
+            snapshot_id,
+            kind,
+            graph,
+            blocks,
+            ..
+        } = state;
+        let n = graph.n_nodes();
+        let mut blocks = blocks;
+        let block = match (blocks.len(), blocks.pop()) {
+            (1, Some(b)) => b,
+            (k, _) => {
+                return Err(crate::error::EngineError::Persistence(format!(
+                    "monolithic store restore needs exactly one block, checkpoint has {k}"
+                )))
+            }
+        };
+        if block.factors.n() != n {
+            return Err(crate::error::EngineError::Persistence(format!(
+                "checkpoint block of order {} does not fit the {n}-node universe",
+                block.factors.n()
+            )));
+        }
+        let of = OrderedFactors {
+            row_old_to_new: block.ordering.row().old_to_new(),
+            col_old_to_new: block.ordering.col().old_to_new(),
+            ordering: block.ordering,
+            factors: block.factors,
+            reference_nnz: block.reference_nnz,
+        };
+        let workspace = BennettWorkspace::with_order(n);
+        let published = of.publish(block.index);
+        Ok(FactorStore {
+            kind,
+            policy,
+            partition: Arc::new(NodePartition::singleton(n)),
+            empty_coupling: Arc::new(CsrMatrix::from_coo(&CooMatrix::new(n, n))),
+            coupling_cfg,
+            trivial_plan: Arc::new(CouplingPlan::trivial(1)),
+            telemetry,
+            graph,
+            of,
+            workspace,
+            snapshot_id,
+            published,
+        })
+    }
+
     /// The matrix composition the factors are built for.
     pub fn matrix_kind(&self) -> MatrixKind {
         self.kind

@@ -13,6 +13,8 @@
 //!   streaming engine shards its factor store by.
 //! * [`generators`] — the paper's synthetic generator plus Wiki-like,
 //!   DBLP-like and patent-citation-like dataset simulators.
+//! * [`wire`] — the little-endian binary codec the engine's write-ahead log
+//!   and checkpoints persist deltas, graphs and partitions with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod egs;
 pub mod generators;
 pub mod matrix;
 pub mod partition;
+pub mod wire;
 
 pub use delta::GraphDelta;
 pub use digraph::DiGraph;
@@ -31,3 +34,4 @@ pub use matrix::{
     coupling_matrix, evolving_matrix_sequence, measure_matrix, shard_measure_matrix, MatrixKind,
 };
 pub use partition::NodePartition;
+pub use wire::{WireError, WireReader, WireResult, WireWriter};

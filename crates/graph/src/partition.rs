@@ -118,6 +118,13 @@ impl NodePartition {
         self.nodes[shard].len()
     }
 
+    /// The dense `node → shard` assignment vector the partition was built
+    /// from (the durable wire form: [`NodePartition::from_assignments`]
+    /// reconstructs the partition bit-identically from it).
+    pub fn assignments(&self) -> &[usize] {
+        &self.shard_of
+    }
+
     /// The sizes of all shards, in shard order.
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.nodes.iter().map(Vec::len).collect()

@@ -218,6 +218,56 @@ impl DynamicLuFactors {
         Ok(())
     }
 
+    /// Every stored list node as `(row, col, value)`, row-major with
+    /// ascending columns per row — **including explicitly stored zeros**.
+    ///
+    /// Bennett updates write through [`AdjacencyMatrix::set_or_drop_zero`],
+    /// which keeps a zero landing on a *present* position as a stored entry;
+    /// dropping those zeros on export would change `nnz()` (and with it the
+    /// quality-loss metric and every downstream refresh decision), so the
+    /// durable form must carry them.  Together with
+    /// [`DynamicLuFactors::from_sorted_entries`] this is a bit-identical
+    /// round trip: same structure, same values, same `nnz`.
+    pub fn export_entries(&self) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for i in 0..self.n {
+            let (cols, vals) = self.values.row(i);
+            for (&j, &v) in cols.iter().zip(vals.iter()) {
+                out.push((i, j, v));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds factors of order `n` from an [`export_entries`] list
+    /// (row-major, ascending columns, in-bounds).  The adjacency lists are
+    /// reconstructed node by node through the structural `set` path — zeros
+    /// included — so the result is bit-identical to the exported factors.
+    ///
+    /// Entries out of bounds or out of order are rejected (the input is a
+    /// decoded checkpoint payload, so the validation failure is a corrupt or
+    /// version-skewed file, never a programming error on the hot path).
+    ///
+    /// [`export_entries`]: DynamicLuFactors::export_entries
+    pub fn from_sorted_entries(n: usize, entries: &[(usize, usize, f64)]) -> LuResult<Self> {
+        let mut values = AdjacencyMatrix::zeros(n, n);
+        let mut last: Option<(usize, usize)> = None;
+        for &(i, j, v) in entries {
+            if i >= n || j >= n {
+                return Err(LuError::EntryOutsideStructure { row: i, col: j });
+            }
+            if let Some(prev) = last {
+                if (i, j) <= prev {
+                    return Err(LuError::EntryOutsideStructure { row: i, col: j });
+                }
+            }
+            last = Some((i, j));
+            values.set(i, j, v);
+        }
+        values.reset_stats();
+        Ok(DynamicLuFactors { n, values })
+    }
+
     /// The lower factor `L` (with unit diagonal) as CSR.
     pub fn l_matrix(&self) -> CsrMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.nnz());
@@ -288,6 +338,46 @@ mod tests {
             coo.push(i, j, v).unwrap();
         }
         CsrMatrix::from_coo(&coo)
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_identical() {
+        let a = sample_matrix();
+        let mut dynamic = DynamicLuFactors::factorize(&a).unwrap();
+        // Force an explicitly stored zero: writing 0.0 to a present position
+        // keeps the list node (the Bennett write path does this routinely).
+        dynamic.write(0, 2, 0.0);
+        let entries = dynamic.export_entries();
+        assert_eq!(entries.len(), dynamic.nnz());
+        assert!(entries
+            .iter()
+            .any(|&(i, j, v)| i == 0 && j == 2 && v == 0.0));
+        let rebuilt = DynamicLuFactors::from_sorted_entries(dynamic.n(), &entries).unwrap();
+        assert_eq!(rebuilt.n(), dynamic.n());
+        assert_eq!(rebuilt.nnz(), dynamic.nnz());
+        assert_eq!(rebuilt.export_entries(), entries);
+        // Same solves, bit for bit.
+        let b = vec![1.0, -2.0, 0.5, 3.0];
+        let x0 = dynamic.solve(&b).unwrap();
+        let x1 = rebuilt.solve(&b).unwrap();
+        for (a, b) in x0.iter().zip(x1.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_sorted_entries_rejects_bad_input() {
+        // Out of bounds.
+        let err = DynamicLuFactors::from_sorted_entries(2, &[(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(err, LuError::EntryOutsideStructure { col: 5, .. }));
+        // Out of order (decoded from a corrupt payload).
+        let err =
+            DynamicLuFactors::from_sorted_entries(3, &[(1, 1, 1.0), (0, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, LuError::EntryOutsideStructure { .. }));
+        // Duplicate position.
+        let err =
+            DynamicLuFactors::from_sorted_entries(3, &[(1, 1, 1.0), (1, 1, 2.0)]).unwrap_err();
+        assert!(matches!(err, LuError::EntryOutsideStructure { .. }));
     }
 
     #[test]

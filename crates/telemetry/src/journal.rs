@@ -63,6 +63,25 @@ pub enum EngineEvent {
         /// Number of cache entries dropped by this invalidation.
         dropped: u64,
     },
+    /// The durability layer wrote a checkpoint generation and chained it
+    /// into the manifest.
+    CheckpointWritten {
+        /// Factor blocks serialized into this generation (changed shards
+        /// only, unless the checkpoint was a full one).
+        blocks: u64,
+        /// Bytes of the generation file, manifest record included.
+        bytes: u64,
+        /// True when the generation reused at least one earlier generation's
+        /// block (an incremental checkpoint, not a full one).
+        incremental: bool,
+    },
+    /// Recovery found a torn or corrupt WAL tail and truncated it (the
+    /// dropped records were never durable — the batches they logged never
+    /// acknowledged as applied snapshots to a synced reader).
+    WalTruncated {
+        /// Records dropped with the torn tail.
+        records_dropped: u64,
+    },
 }
 
 /// The event's kind, used for per-kind counts and exposition labels.
@@ -80,17 +99,23 @@ pub enum EventKind {
     CacheEvicted,
     /// [`EngineEvent::CacheInvalidated`]
     CacheInvalidated,
+    /// [`EngineEvent::CheckpointWritten`]
+    CheckpointWritten,
+    /// [`EngineEvent::WalTruncated`]
+    WalTruncated,
 }
 
 impl EventKind {
     /// Every kind, in exposition order.
-    pub const ALL: [EventKind; 6] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::Repartitioned,
         EventKind::RefreshTriggered,
         EventKind::WoodburyPlanRebuilt,
         EventKind::ConvergenceFailure,
         EventKind::CacheEvicted,
         EventKind::CacheInvalidated,
+        EventKind::CheckpointWritten,
+        EventKind::WalTruncated,
     ];
 
     /// The snake_case label used in exposition.
@@ -102,6 +127,8 @@ impl EventKind {
             EventKind::ConvergenceFailure => "convergence_failure",
             EventKind::CacheEvicted => "cache_evicted",
             EventKind::CacheInvalidated => "cache_invalidated",
+            EventKind::CheckpointWritten => "checkpoint_written",
+            EventKind::WalTruncated => "wal_truncated",
         }
     }
 }
@@ -116,6 +143,8 @@ impl EngineEvent {
             EngineEvent::ConvergenceFailure { .. } => EventKind::ConvergenceFailure,
             EngineEvent::CacheEvicted { .. } => EventKind::CacheEvicted,
             EngineEvent::CacheInvalidated { .. } => EventKind::CacheInvalidated,
+            EngineEvent::CheckpointWritten { .. } => EventKind::CheckpointWritten,
+            EngineEvent::WalTruncated { .. } => EventKind::WalTruncated,
         }
     }
 }

@@ -41,11 +41,20 @@ pub enum Stage {
     /// A measure query answered from a bounded-staleness cache entry (an
     /// older snapshot's exact result served under the staleness budget).
     QueryStaleHit,
+    /// Appending (and group-committing) one delta batch's record to the
+    /// write-ahead log, before the batch reaches the factor store.
+    WalAppend,
+    /// Writing one incremental checkpoint: changed factor blocks, frozen
+    /// coupling, partition map, and the manifest record chaining it.
+    CheckpointWrite,
+    /// Replaying one logged delta batch through the factor store during
+    /// recovery (newest valid checkpoint + WAL replay).
+    RecoveryReplay,
 }
 
 impl Stage {
     /// Every stage, in exposition order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 16] = [
         Stage::IngestMerge,
         Stage::IngestApply,
         Stage::ShardSweep,
@@ -59,6 +68,9 @@ impl Stage {
         Stage::QueryCacheHit,
         Stage::QueryBatchSolve,
         Stage::QueryStaleHit,
+        Stage::WalAppend,
+        Stage::CheckpointWrite,
+        Stage::RecoveryReplay,
     ];
 
     /// Number of stages (size of the per-stage histogram array).
@@ -86,6 +98,9 @@ impl Stage {
             Stage::QueryCacheHit => "query.cache_hit",
             Stage::QueryBatchSolve => "query.batch_solve",
             Stage::QueryStaleHit => "query.stale_hit",
+            Stage::WalAppend => "wal.append",
+            Stage::CheckpointWrite => "checkpoint.write",
+            Stage::RecoveryReplay => "recovery.replay",
         }
     }
 
@@ -105,6 +120,9 @@ impl Stage {
             Stage::QueryCacheHit => "clude_query_cache_hit",
             Stage::QueryBatchSolve => "clude_query_batch_solve",
             Stage::QueryStaleHit => "clude_query_stale_hit",
+            Stage::WalAppend => "clude_wal_append",
+            Stage::CheckpointWrite => "clude_checkpoint_write",
+            Stage::RecoveryReplay => "clude_recovery_replay",
         }
     }
 }
