@@ -7,6 +7,7 @@
 //!     [--shards N] [--batch N] [--solver jacobi|gauss-seidel|woodbury] \
 //!     [--woodbury-rank K] [--repartition-budget N] [--query-threads N] \
 //!     [--batch-window-us U] [--stale-budget K] [--smoke] \
+//!     [--churn value|structure|mixed] [--no-refactor] \
 //!     [--metrics-out PATH] [--no-telemetry] \
 //!     [--wal-dir PATH] [--checkpoint-every N] [--group-commit W]
 //! ```
@@ -35,6 +36,16 @@
 //! text format after the replay, and `--no-telemetry` runs the engine with
 //! recording compiled down to no-ops (the overhead baseline).
 //!
+//! `--churn` shapes the replayed stream: `structure` (default) replays the
+//! wiki-like growth stream as before; `value` toggles a stable pool of
+//! base-snapshot edges in alternating remove/re-insert rounds, so every
+//! batch stays inside the frozen factor pattern and exercises the
+//! pattern-frozen refactorization fast path; `mixed` interleaves the two.
+//! `--no-refactor` disables that fast path (every batch goes through the
+//! Bennett sweep), which is the baseline for the refactor speedup numbers.
+//! After the replay the final engine answers are checked against a fresh
+//! monolithic factorization of the final graph to 1e-9.
+//!
 //! `--wal-dir PATH` opens the engine durably over a spool directory: every
 //! batch is written ahead to a checksummed WAL and a checkpoint generation
 //! is cut every `--checkpoint-every N` batches (default 64); `--group-commit
@@ -53,12 +64,12 @@
 
 use clude_engine::{
     BatchPolicy, CludeEngine, CouplingConfig, CouplingSolver, DurabilityConfig, EngineConfig,
-    RefreshPolicy, StalenessBudget,
+    FactorStore, RefreshPolicy, StalenessBudget,
 };
 use clude_graph::generators::wiki_like::{self, WikiLikeConfig};
 use clude_graph::EvolvingGraphSequence;
 use clude_measures::MeasureQuery;
-use clude_telemetry::{LogHistogram, TelemetryConfig};
+use clude_telemetry::{LogHistogram, Stage, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -89,6 +100,74 @@ fn op_stream(egs: &EvolvingGraphSequence) -> Vec<Op> {
     ops
 }
 
+/// The shape of the replayed delta stream.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Churn {
+    /// Remove/re-insert rounds over a stable pool of base-snapshot edges:
+    /// every touched position keeps its frozen factor slot, so with the
+    /// refactor path on each batch redoes numerics down the frozen pattern.
+    Value,
+    /// The wiki-like growth stream — mostly new edges, mostly structural.
+    Structure,
+    /// The two streams interleaved one-for-one.
+    Mixed,
+}
+
+impl Churn {
+    fn name(self) -> &'static str {
+        match self {
+            Churn::Value => "value",
+            Churn::Structure => "structure",
+            Churn::Mixed => "mixed",
+        }
+    }
+}
+
+/// Alternating full-pool remove and re-insert rounds over `pool_size` edges
+/// of the base snapshot.  The pool is at least one batch wide, so each cut
+/// batch is homogeneous — all removals or all in-pattern re-insertions — and
+/// classifies as value-only against the frozen factor pattern.  Edges in
+/// `exclude` (touched by an interleaved structural stream) are skipped so the
+/// toggle presence invariant survives interleaving.
+fn value_toggle_stream(
+    egs: &EvolvingGraphSequence,
+    target: usize,
+    pool_size: usize,
+    exclude: &std::collections::HashSet<(usize, usize)>,
+) -> Vec<Op> {
+    let base = egs.snapshot(0);
+    // Prefer edges whose source has a high out-degree — the hot-page regime:
+    // each toggle rescales the source's whole column, so the per-entry
+    // Bennett cost is maximal while the frozen-pattern refactor pass stays
+    // one sweep regardless.
+    let mut candidates: Vec<(usize, usize)> =
+        base.edges().filter(|e| !exclude.contains(e)).collect();
+    candidates.sort_by_key(|&(u, v)| (std::cmp::Reverse(base.out_degree(u)), u, v));
+    let pool: Vec<(usize, usize)> = candidates.into_iter().take(pool_size).collect();
+    assert!(!pool.is_empty(), "base snapshot has no edges to toggle");
+    let mut ops = Vec::with_capacity(target + 2 * pool.len());
+    let mut removing = true;
+    while ops.len() < target {
+        for &(u, v) in &pool {
+            ops.push(if removing {
+                Op::Remove(u, v)
+            } else {
+                Op::Insert(u, v)
+            });
+        }
+        removing = !removing;
+    }
+    // `removing` now names the round that would come next; if it is a
+    // re-insert round the pool is currently absent — run it, so the final
+    // graph returns to the base topology.
+    if !removing {
+        for &(u, v) in &pool {
+            ops.push(Op::Insert(u, v));
+        }
+    }
+    ops
+}
+
 fn main() {
     let mut n_pages: Option<usize> = None;
     let mut n_query_threads: Option<usize> = None;
@@ -100,6 +179,8 @@ fn main() {
     let mut batch_window_us: u64 = 0;
     let mut stale_budget: u64 = 0;
     let mut smoke = false;
+    let mut churn = Churn::Structure;
+    let mut refactor = true;
     let mut metrics_out: Option<String> = None;
     let mut telemetry_enabled = true;
     let mut wal_dir: Option<String> = None;
@@ -159,6 +240,17 @@ fn main() {
                     .expect("--stale-budget needs a non-negative integer");
             }
             "--smoke" => smoke = true,
+            "--churn" => {
+                churn = match args.next().as_deref() {
+                    Some("value") => Churn::Value,
+                    Some("structure") => Churn::Structure,
+                    Some("mixed") => Churn::Mixed,
+                    other => {
+                        panic!("unknown --churn {other:?} (expected value, structure or mixed)")
+                    }
+                };
+            }
+            "--no-refactor" => refactor = false,
             "--metrics-out" => {
                 metrics_out = Some(args.next().expect("--metrics-out needs a file path"));
             }
@@ -242,17 +334,48 @@ fn main() {
         }
     };
     let egs = wiki_like::generate(&config, &mut StdRng::seed_from_u64(7));
-    let ops = op_stream(&egs);
+    let structural = op_stream(&egs);
+    // The toggle pool must be at least one batch wide, or a batch would
+    // contain an edge's remove *and* re-insert and merge them away.
+    let toggle_pool = batch_size.max(512);
+    let ops = match churn {
+        Churn::Structure => structural,
+        Churn::Value => value_toggle_stream(
+            &egs,
+            structural.len(),
+            toggle_pool,
+            &std::collections::HashSet::new(),
+        ),
+        Churn::Mixed => {
+            // Toggle only edges the structural stream never touches, so each
+            // toggled edge keeps its strict remove/insert alternation.
+            let touched: std::collections::HashSet<(usize, usize)> = structural
+                .iter()
+                .map(|op| match *op {
+                    Op::Insert(u, v) | Op::Remove(u, v) => (u, v),
+                })
+                .collect();
+            let toggles = value_toggle_stream(&egs, structural.len(), toggle_pool, &touched);
+            structural
+                .iter()
+                .copied()
+                .zip(toggles)
+                .flat_map(|(s, t)| [s, t])
+                .collect()
+        }
+    };
     assert!(
         smoke || ops.len() >= MIN_DELTAS,
         "replay too small: {} ops (need >= {MIN_DELTAS})",
         ops.len()
     );
     println!(
-        "replay: {} pages, {} snapshots archived, {} edge operations, {} query threads, {} factor shard(s), batch {}, solver {}{}{}",
+        "replay: {} pages, {} snapshots archived, {} edge operations ({} churn{}), {} query threads, {} factor shard(s), batch {}, solver {}{}{}",
         egs.n_nodes(),
         egs.len(),
         ops.len(),
+        churn.name(),
+        if refactor { "" } else { ", refactor off" },
         n_query_threads,
         n_shards,
         batch_size,
@@ -290,8 +413,62 @@ fn main() {
             max_lag: stale_budget,
         },
         batch_window_us,
+        refactor,
         ..EngineConfig::default()
     };
+    let matrix_kind = engine_config.matrix_kind;
+    // The fill-reducing ordering contest every shard build runs, shown here
+    // on the whole base measure matrix: predicted factor size `|s̃p(A^O)|`
+    // and ordering cost per pivot for the paper's Markowitz rule vs AMD.
+    {
+        let pattern = clude_graph::measure_matrix(&egs.snapshot(0), matrix_kind).pattern();
+        let n = pattern.n_rows();
+        let t = Instant::now();
+        let markowitz = clude_lu::markowitz_ordering(&pattern);
+        let t_markowitz = t.elapsed();
+        let t = Instant::now();
+        let amd = clude_lu::amd_ordering(&pattern);
+        let t_amd = t.elapsed();
+        println!(
+            "ordering contest on the base matrix ({n} pivots): markowitz fill {} ({:.3?}, {:.2} us/pivot), amd fill {} ({:.3?}, {:.2} us/pivot)",
+            markowitz.symbolic_size,
+            t_markowitz,
+            t_markowitz.as_micros() as f64 / n as f64,
+            amd.symbolic_size,
+            t_amd,
+            t_amd.as_micros() as f64 / n as f64,
+        );
+        // Same contest on the shard matrices the engine actually refreshes at
+        // the end of the replay: the densified end-state is where the
+        // deficiency tie-break separates the two orderings.
+        if n_shards > 1 {
+            let last = egs.len() - 1;
+            let final_graph = egs.snapshot(last);
+            let partition = clude::partition::edge_locality_partition(&egs.snapshot(0), n_shards);
+            let (mut fills, mut times) = ((0usize, 0usize), (0f64, 0f64));
+            let mut pivots = 0usize;
+            for shard in 0..partition.n_shards() {
+                let m =
+                    clude_graph::shard_measure_matrix(&final_graph, matrix_kind, &partition, shard);
+                let p = m.pattern();
+                pivots += p.n_rows();
+                let t = Instant::now();
+                fills.0 += clude_lu::markowitz_ordering(&p).symbolic_size;
+                times.0 += t.elapsed().as_micros() as f64;
+                let t = Instant::now();
+                fills.1 += clude_lu::amd_ordering(&p).symbolic_size;
+                times.1 += t.elapsed().as_micros() as f64;
+            }
+            println!(
+                "ordering contest on final-state shard matrices ({} shards, {pivots} pivots): markowitz fill {} ({:.2} us/pivot), amd fill {} ({:.2} us/pivot)",
+                partition.n_shards(),
+                fills.0,
+                times.0 / pivots as f64,
+                fills.1,
+                times.1 / pivots as f64,
+            );
+        }
+    }
     let engine = Arc::new(match &wal_dir {
         Some(dir) => {
             let durability = DurabilityConfig::new(dir)
@@ -384,9 +561,13 @@ fn main() {
     let stats = engine.stats();
     let qps = n_queries as f64 / ingest_elapsed.as_secs_f64();
     let dps = ops.len() as f64 / ingest_elapsed.as_secs_f64();
+    let refactor_passes = engine
+        .telemetry()
+        .stage_histogram(Stage::ShardRefactor)
+        .count();
     println!("\n--- ingest ---");
     println!(
-        "replayed {} ops in {:.3?} -> {:.0} {} deltas/sec ({} batches, {} refreshes, final snapshot {})",
+        "replayed {} ops in {:.3?} -> {:.0} {} deltas/sec ({} batches, {} refreshes, {} refactor passes, final snapshot {})",
         ops.len(),
         ingest_elapsed,
         dps,
@@ -397,8 +578,31 @@ fn main() {
         },
         stats.batches_applied,
         stats.refreshes,
+        refactor_passes,
         engine.current_snapshot_id()
     );
+    // The maintenance stage in isolation: time spent keeping factor values
+    // current (Bennett sweeps + pattern-frozen refactor passes + refreshes),
+    // excluding the shared pipeline around it (merge, routing, coupling
+    // republish, snapshot freeze).  This is the direct refactor-vs-sweep
+    // comparison; the end-to-end rate above dilutes it with the shared work.
+    let telemetry = engine.telemetry();
+    let maintenance_ns: u64 = [Stage::ShardSweep, Stage::ShardRefactor, Stage::ShardRefresh]
+        .iter()
+        .map(|&s| telemetry.stage_histogram(s).sum())
+        .sum();
+    if maintenance_ns > 0 {
+        println!(
+            "factor maintenance stage: {:.3?} total -> {:.0} deltas/sec through {}",
+            std::time::Duration::from_nanos(maintenance_ns),
+            ops.len() as f64 * 1e9 / maintenance_ns as f64,
+            if refactor_passes > 0 {
+                "refactor passes"
+            } else {
+                "Bennett sweeps"
+            },
+        );
+    }
     if stats.per_shard.len() > 1 {
         println!("\n--- per-shard ingest breakdown ---");
         for s in &stats.per_shard {
@@ -469,6 +673,51 @@ fn main() {
         occupancy.max()
     );
     println!("\n--- engine counters ---\n{stats}");
+
+    // Exactness gate: whatever path the batches took (Bennett sweeps,
+    // pattern-frozen refactorizations, refreshes), the served answers must
+    // match a fresh monolithic factorization of the final graph to 1e-9.
+    let mut final_graph = egs.snapshot(0);
+    for op in &ops {
+        match *op {
+            Op::Insert(u, v) => {
+                final_graph.add_edge(u, v);
+            }
+            Op::Remove(u, v) => {
+                final_graph.remove_edge(u, v);
+            }
+        }
+    }
+    let oracle = FactorStore::new(final_graph, matrix_kind, RefreshPolicy::Incremental)
+        .expect("final graph factorizes");
+    let oracle_snap = oracle.snapshot();
+    let mut max_diff = 0.0f64;
+    for q in [
+        MeasureQuery::PageRank { damping: 0.85 },
+        MeasureQuery::Rwr {
+            seed: 0,
+            damping: 0.85,
+        },
+        MeasureQuery::Rwr {
+            seed: n - 1,
+            damping: 0.85,
+        },
+        MeasureQuery::PprSeedSet {
+            seeds: vec![1, n / 2],
+            damping: 0.85,
+        },
+    ] {
+        let served = engine.query(&q).expect("verification query succeeds");
+        let exact = oracle_snap.query(&q).expect("oracle query succeeds");
+        for (a, b) in served.iter().zip(exact.iter()) {
+            max_diff = max_diff.max((a - b).abs());
+        }
+    }
+    assert!(
+        max_diff <= 1e-9,
+        "served answers drifted from the monolithic oracle: max |diff| {max_diff:.3e}"
+    );
+    println!("\nexactness vs monolithic oracle: max |diff| {max_diff:.3e} (gate 1e-9)");
 
     if let Some(path) = metrics_out {
         let dump = engine.render_prometheus();

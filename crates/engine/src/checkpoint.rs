@@ -649,7 +649,8 @@ mod tests {
     fn state_for(graph: DiGraph, snapshot_id: u64) -> DurableState {
         let kind = MatrixKind::random_walk_default();
         let matrix = measure_matrix(&graph, kind);
-        let of = order_and_factorize(&matrix).unwrap();
+        let of = order_and_factorize(&matrix, &clude_telemetry::TelemetryRegistry::disabled(), 0)
+            .unwrap();
         let published = of.publish(snapshot_id);
         let n = graph.n_nodes();
         DurableState {

@@ -190,6 +190,13 @@ struct PlanCorrection {
 pub struct CouplingPlan {
     /// Gauss–Seidel shard traversal order, least-dependent shard first.
     gs_order: Vec<usize>,
+    /// Whether the shard dependency digraph is acyclic and `gs_order` is a
+    /// topological order of it — block triangular form.  When set, one
+    /// Gauss–Seidel sweep in `gs_order` is the *exact* solve (every coupling
+    /// entry a shard reads was updated earlier in the same sweep), so the
+    /// iterative arms return after a single sweep and the Woodbury
+    /// correction is never built.
+    triangular: bool,
     correction: Option<PlanCorrection>,
 }
 
@@ -199,6 +206,9 @@ impl CouplingPlan {
     pub(crate) fn trivial(n_shards: usize) -> Self {
         CouplingPlan {
             gs_order: (0..n_shards).collect(),
+            // No coupling: vacuously triangular (never consulted — empty
+            // couplings short-circuit before the iterative arms).
+            triangular: true,
             correction: None,
         }
     }
@@ -213,15 +223,33 @@ impl CouplingPlan {
         coupling: &CsrMatrix,
         solver: CouplingSolver,
     ) -> LuResult<Self> {
-        let gs_order = gauss_seidel_order(partition, coupling);
+        let k = partition.n_shards();
+        let (gs_order, triangular) = if k <= 1 || coupling.nnz() == 0 {
+            ((0..k).collect(), true)
+        } else {
+            let w = shard_dependency_weights(k, partition, coupling);
+            // Triangularity is detected from the *actual* frozen coupling, so
+            // it never depends on where the partition came from: a BTF
+            // partition gets its one-sweep guarantee verified here, and any
+            // partition whose cross-structure happens to be acyclic gets the
+            // same direct solve for free.
+            match topological_shard_order(k, &w) {
+                Some(topo) => (topo, true),
+                None => (greedy_order_from_weights(k, &w), false),
+            }
+        };
         let correction = match solver {
-            CouplingSolver::Woodbury { max_rank } if coupling.nnz() > 0 => {
+            // A triangular coupling never builds the correction: one
+            // Gauss–Seidel sweep is already the exact direct solve, cheaper
+            // than a block pass plus the dense k×k substitution.
+            CouplingSolver::Woodbury { max_rank } if coupling.nnz() > 0 && !triangular => {
                 build_correction(partition, blocks, coupling, max_rank)?
             }
             _ => None,
         };
         Ok(CouplingPlan {
             gs_order,
+            triangular,
             correction,
         })
     }
@@ -229,6 +257,13 @@ impl CouplingPlan {
     /// The Gauss–Seidel shard traversal order.
     pub fn gs_order(&self) -> &[usize] {
         &self.gs_order
+    }
+
+    /// Whether the cross-shard structure is block triangular under
+    /// `gs_order` — when true, Gauss–Seidel solves are direct (one sweep,
+    /// exact).
+    pub fn is_triangular(&self) -> bool {
+        self.triangular
     }
 
     /// Rank of the cached Woodbury correction (`None` when the plan carries
@@ -680,6 +715,11 @@ fn gauss_seidel(
                 x[g] = scratch.local_x[l];
             }
         }
+        if plan.triangular {
+            // Block triangular coupling: every entry a shard read was
+            // already final, so the first sweep IS the exact solve.
+            return Ok(x);
+        }
         let (diff, scale) = diff_and_scale(&x, &prev);
         if tolerance.accepted(diff, scale, last_diff) {
             return Ok(x);
@@ -752,6 +792,10 @@ fn gauss_seidel_many(
                 }
             }
         }
+        if plan.triangular {
+            // Block triangular coupling: one sweep is exact for every column.
+            return Ok(x);
+        }
         for c in 0..n_rhs {
             if done[c] {
                 continue;
@@ -793,16 +837,25 @@ fn diff_and_scale(new: &[f64], old: &[f64]) -> (f64, f64) {
 }
 
 /// Derives the Gauss–Seidel shard traversal order from the coupling's
-/// shard-to-shard dependency weights `w[s][t] = Σ |C[i,j]|` over `i ∈ s`,
-/// `j ∈ t`: greedily pick the shard with the least remaining dependency
-/// weight on shards not yet updated this sweep, so by the time a
-/// heavily-dependent shard solves, most of what it reads is already
-/// current-iterate.  Ties break toward the lower shard id (deterministic).
+/// shard-to-shard dependency weights: a topological order of the dependency
+/// digraph when it is acyclic (the block-triangular case — one sweep in that
+/// order is the exact solve), else the greedy least-pending-weight order of
+/// [`greedy_order_from_weights`].  [`CouplingPlan::build`] inlines the same
+/// derivation (it also needs the triangularity verdict); this standalone form
+/// is kept for direct unit testing of the order.
+#[cfg(test)]
 fn gauss_seidel_order(partition: &NodePartition, coupling: &CsrMatrix) -> Vec<usize> {
     let k = partition.n_shards();
     if k <= 1 || coupling.nnz() == 0 {
         return (0..k).collect();
     }
+    let w = shard_dependency_weights(k, partition, coupling);
+    topological_shard_order(k, &w).unwrap_or_else(|| greedy_order_from_weights(k, &w))
+}
+
+/// The shard-to-shard dependency weights `w[s][t] = Σ |C[i,j]|` over `i ∈ s`,
+/// `j ∈ t`, `s ≠ t`: how much shard `s`'s rows read shard `t`'s solution.
+fn shard_dependency_weights(k: usize, partition: &NodePartition, coupling: &CsrMatrix) -> Vec<f64> {
     let mut w = vec![0.0f64; k * k];
     for (i, j, v) in coupling.iter() {
         let (s, t) = (partition.shard_of(i), partition.shard_of(j));
@@ -810,6 +863,42 @@ fn gauss_seidel_order(partition: &NodePartition, coupling: &CsrMatrix) -> Vec<us
             w[s * k + t] += v.abs();
         }
     }
+    w
+}
+
+/// Kahn's algorithm over the shard dependency digraph (`s` depends on `t`
+/// when `w[s][t] > 0`): `Some(order)` with dependencies first when the
+/// digraph is acyclic — block triangular form — else `None`.  Among ready
+/// shards the lowest id goes first, so the order is deterministic.
+fn topological_shard_order(k: usize, w: &[f64]) -> Option<Vec<usize>> {
+    let mut indegree = vec![0usize; k];
+    for s in 0..k {
+        for t in 0..k {
+            if s != t && w[s * k + t] > 0.0 {
+                indegree[s] += 1;
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(k);
+    let mut placed = vec![false; k];
+    for _ in 0..k {
+        let s = (0..k).find(|&s| !placed[s] && indegree[s] == 0)?;
+        placed[s] = true;
+        order.push(s);
+        for r in 0..k {
+            if !placed[r] && r != s && w[r * k + s] > 0.0 {
+                indegree[r] -= 1;
+            }
+        }
+    }
+    Some(order)
+}
+
+/// The cyclic-coupling fallback order: greedily pick the shard with the
+/// least remaining dependency weight on shards not yet updated this sweep,
+/// so by the time a heavily-dependent shard solves, most of what it reads is
+/// already current-iterate.  Ties break toward the lower shard id.
+fn greedy_order_from_weights(k: usize, w: &[f64]) -> Vec<usize> {
     let mut remaining: Vec<usize> = (0..k).collect();
     let mut order = Vec::with_capacity(k);
     while !remaining.is_empty() {

@@ -26,11 +26,11 @@ use crate::error::{EngineError, EngineResult};
 use crate::ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 use crate::query::{QueryService, StalenessBudget};
 use crate::recovery::{self, RecoveryReport};
-use crate::sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
+use crate::sharded::{PartitionStrategy, ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 use crate::stats::{EngineCounters, EngineStats};
 use crate::store::{EngineSnapshot, FactorStore, RefreshPolicy};
 use clude::partition::edge_locality_partition;
-use clude_graph::{DiGraph, GraphDelta, MatrixKind, NodePartition};
+use clude_graph::{btf_partition, DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_measures::MeasureQuery;
 use clude_telemetry::{
     Counter, EngineEvent, Gauge, LogHistogram, Stage, TelemetryConfig, TelemetryRegistry,
@@ -70,6 +70,17 @@ pub struct EngineConfig {
     /// [`crate::coupling::SolveTolerance`] stopping rule, and the optional
     /// coupling-size budget that triggers adaptive re-partitioning.
     pub coupling: CouplingConfig,
+    /// Whether value-only delta batches (every changed matrix position
+    /// already on a stored factor slot) are absorbed by a pattern-frozen
+    /// refactorization — one pass down the frozen symbolic pattern — instead
+    /// of per-entry Bennett sweeps.  On by default; turn off to A/B the
+    /// Bennett path.
+    pub refactor: bool,
+    /// How the initial partition of a sharded engine is derived, and how the
+    /// adaptive re-partitioner derives replacements: greedy edge locality,
+    /// or BTF (SCC) structure whose cross-shard coupling is
+    /// block-triangular (one-sweep Gauss–Seidel).
+    pub partition_strategy: PartitionStrategy,
     /// Telemetry behavior: enabled (spans, histograms, journal) or compiled
     /// down to near-no-ops with [`TelemetryConfig::disabled`].
     pub telemetry: TelemetryConfig,
@@ -94,6 +105,8 @@ impl Default for EngineConfig {
             cache_capacity_per_shard: 128,
             n_shards: 1,
             coupling: CouplingConfig::default(),
+            refactor: true,
+            partition_strategy: PartitionStrategy::default(),
             telemetry: TelemetryConfig::default(),
             staleness: StalenessBudget::default(),
             batch_window_us: 0,
@@ -160,9 +173,12 @@ impl StoreBackend {
                         sweeps: r.bennett.rank_one_updates as u64,
                         cross_edges_seen: 0,
                         refreshed: r.refreshed,
+                        value_only: r.value_only,
+                        refactored: r.refactored,
                         quality_loss: r.quality_loss,
                     }],
                     refreshed: r.refreshed,
+                    shards_refactored: r.refactored as u64,
                     quality_loss: r.quality_loss,
                     coupling_writes: 0,
                     shards_republished: r.republished as u64,
@@ -231,12 +247,20 @@ impl CludeEngine {
         let n_shards = config.n_shards.min(base.n_nodes().max(1));
         if n_shards <= 1 {
             let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
-            let store = FactorStore::new(base, config.matrix_kind, config.refresh)?
-                .with_coupling_config(config.coupling)
-                .with_telemetry(Arc::clone(&telemetry));
+            let store = FactorStore::with_registry(
+                base,
+                config.matrix_kind,
+                config.refresh,
+                Arc::clone(&telemetry),
+            )?
+            .with_coupling_config(config.coupling)
+            .with_refactor(config.refactor);
             Self::from_backend(StoreBackend::Monolithic(Box::new(store)), config, telemetry)
         } else {
-            let partition = edge_locality_partition(&base, n_shards);
+            let partition = match config.partition_strategy {
+                PartitionStrategy::EdgeLocality => edge_locality_partition(&base, n_shards),
+                PartitionStrategy::Btf => btf_partition(&base, config.matrix_kind, n_shards).0,
+            };
             Self::with_partition(base, config, partition)
         }
     }
@@ -249,9 +273,16 @@ impl CludeEngine {
         partition: NodePartition,
     ) -> EngineResult<Self> {
         let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
-        let store = ShardedFactorStore::new(base, config.matrix_kind, config.refresh, partition)?
-            .with_telemetry(Arc::clone(&telemetry))
-            .with_coupling_config(config.coupling)?;
+        let store = ShardedFactorStore::with_registry(
+            base,
+            config.matrix_kind,
+            config.refresh,
+            partition,
+            Arc::clone(&telemetry),
+        )?
+        .with_refactor(config.refactor)
+        .with_partition_strategy(config.partition_strategy)
+        .with_coupling_config(config.coupling)?;
         Self::from_backend(StoreBackend::Sharded(Box::new(store)), config, telemetry)
     }
 
@@ -312,19 +343,26 @@ impl CludeEngine {
         let max_committed_gen = loaded.max_committed_gen;
         let telemetry = Arc::new(TelemetryRegistry::new(config.telemetry));
         let store = if loaded.state.partition.n_shards() <= 1 {
-            StoreBackend::Monolithic(Box::new(FactorStore::restore(
-                config.refresh,
-                config.coupling,
-                Arc::clone(&telemetry),
-                loaded.state,
-            )?))
+            StoreBackend::Monolithic(Box::new(
+                FactorStore::restore(
+                    config.refresh,
+                    config.coupling,
+                    Arc::clone(&telemetry),
+                    loaded.state,
+                )?
+                .with_refactor(config.refactor),
+            ))
         } else {
-            StoreBackend::Sharded(Box::new(ShardedFactorStore::restore(
-                config.refresh,
-                config.coupling,
-                Arc::clone(&telemetry),
-                loaded.state,
-            )?))
+            StoreBackend::Sharded(Box::new(
+                ShardedFactorStore::restore(
+                    config.refresh,
+                    config.coupling,
+                    Arc::clone(&telemetry),
+                    loaded.state,
+                )?
+                .with_refactor(config.refactor)
+                .with_partition_strategy(config.partition_strategy),
+            ))
         };
         let replay = recovery::read_wal(&*durability.vfs, &durability.dir, checkpoint_snapshot)?;
         let engine = Self::from_backend(store, config, telemetry)?;

@@ -118,7 +118,7 @@ pub use error::{EngineError, EngineResult};
 pub use ingest::{BatchPolicy, DeltaIngestor, EdgeOp, IngestOutcome};
 pub use query::{QueryService, StalenessBudget};
 pub use recovery::RecoveryReport;
-pub use sharded::{ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
+pub use sharded::{PartitionStrategy, ShardAdvance, ShardedAdvanceReport, ShardedFactorStore};
 pub use stats::{EngineCounters, EngineStats, ShardCounters, ShardStats};
 pub use store::{AdvanceReport, EngineSnapshot, FactorStore, RefreshPolicy, ShardSnapshot};
 pub use vfs::{FailpointFs, Injection, StdFs, Vfs, VfsFile};

@@ -34,13 +34,30 @@ use crate::store::{
 };
 use clude::{partition::edge_locality_partition, DecomposedMatrix};
 use clude_graph::{
-    coupling_matrix, shard_measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition,
+    btf_partition, coupling_matrix, shard_measure_matrix, DeltaClass, DiGraph, GraphDelta,
+    MatrixKind, NodePartition,
 };
-use clude_lu::{BennettStats, BennettWorkspace, LuError, ShardWorkspaces};
+use clude_lu::{BennettStats, BennettWorkspace, LuError, RefactorWorkspace, ShardWorkspaces};
 use clude_sparse::{CooMatrix, CsrMatrix};
 use clude_telemetry::{EngineEvent, Stage, TelemetryRegistry, Timer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// How the store derives a node partition when it repartitions (and how the
+/// engine derives the initial one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Greedy edge-locality growth: minimizes the coupling size without
+    /// constraining its shape (`clude::partition::edge_locality_partition`).
+    #[default]
+    EdgeLocality,
+    /// BTF structure: maximum transversal + Tarjan SCCs, coarsened so the
+    /// cross-shard coupling is block-triangular — one Gauss–Seidel sweep in
+    /// SCC topological order is then exact (`clude_graph::btf_partition`).
+    /// May produce fewer shards than requested when the graph's SCCs are
+    /// coarse.
+    Btf,
+}
 
 /// One shard's factors under its own ordering (local coordinates
 /// throughout; refreshes replace the whole [`OrderedFactors`]).
@@ -55,10 +72,11 @@ impl FactorShard {
         kind: MatrixKind,
         partition: &NodePartition,
         shard: usize,
+        telemetry: &TelemetryRegistry,
     ) -> EngineResult<Self> {
         let matrix = shard_measure_matrix(graph, kind, partition, shard);
         Ok(FactorShard {
-            of: order_and_factorize(&matrix)?,
+            of: order_and_factorize(&matrix, telemetry, shard)?,
         })
     }
 
@@ -69,10 +87,17 @@ impl FactorShard {
     /// Applies one shard-local entry list (local coordinates) through the
     /// shard's ordering, refreshing on numeric failure or when the policy
     /// trips.  Runs on a worker thread during parallel advances.
+    ///
+    /// Value-only batches (every changed position already on a stored factor
+    /// slot) take the pattern-frozen refactor fast path when the store has it
+    /// enabled: one pass down the frozen symbolic pattern instead of a
+    /// Bennett sweep per entry.
     fn apply(
         &mut self,
         ws: &mut BennettWorkspace,
+        rws: &mut RefactorWorkspace,
         entries: &[(usize, usize, f64, f64)],
+        value_only: bool,
         ctx: SweepContext<'_>,
         shard: usize,
     ) -> Result<ShardOutcome, LuError> {
@@ -87,12 +112,28 @@ impl FactorShard {
                 )
             })
             .collect();
+        if ctx.refactor && value_only && !entries.is_empty() {
+            let (_stats, refreshed) =
+                self.of
+                    .refactor_or_refresh(rws, &mapped, ctx.telemetry, shard, || {
+                        shard_measure_matrix(ctx.graph, ctx.kind, ctx.partition, shard)
+                    })?;
+            return Ok(ShardOutcome {
+                bennett: BennettStats::default(),
+                refreshed,
+                refactored: !refreshed,
+            });
+        }
         let (bennett, refreshed) =
             self.of
                 .apply_or_refresh(ws, &mapped, ctx.policy, ctx.telemetry, shard, || {
                     shard_measure_matrix(ctx.graph, ctx.kind, ctx.partition, shard)
                 })?;
-        Ok(ShardOutcome { bennett, refreshed })
+        Ok(ShardOutcome {
+            bennett,
+            refreshed,
+            refactored: false,
+        })
     }
 }
 
@@ -103,6 +144,8 @@ struct SweepContext<'a> {
     partition: &'a NodePartition,
     kind: MatrixKind,
     policy: RefreshPolicy,
+    /// Whether value-only batches take the pattern-frozen refactor path.
+    refactor: bool,
     /// Shared sink for per-shard sweep/refresh spans (worker threads record
     /// concurrently through relaxed atomics).
     telemetry: &'a TelemetryRegistry,
@@ -113,6 +156,7 @@ struct SweepContext<'a> {
 struct ShardOutcome {
     bennett: BennettStats,
     refreshed: bool,
+    refactored: bool,
 }
 
 /// The cross-shard entries of the measure matrix, mutable form.
@@ -182,6 +226,12 @@ pub struct ShardAdvance {
     pub cross_edges_seen: u64,
     /// Whether this shard's block was re-ordered and re-factorized.
     pub refreshed: bool,
+    /// Whether this shard's slice of the batch was value-only against its
+    /// frozen factor pattern.
+    pub value_only: bool,
+    /// Whether this shard absorbed the batch by a pattern-frozen
+    /// refactorization instead of per-entry Bennett sweeps.
+    pub refactored: bool,
     /// The shard's quality-loss after the advance.
     pub quality_loss: f64,
 }
@@ -198,6 +248,8 @@ pub struct ShardedAdvanceReport {
     pub per_shard: Vec<ShardAdvance>,
     /// Whether any shard refreshed.
     pub refreshed: bool,
+    /// Shards that absorbed the batch by pattern-frozen refactorization.
+    pub shards_refactored: u64,
     /// Worst per-shard quality-loss after the advance.
     pub quality_loss: f64,
     /// Cross-shard coupling entries written by this batch.
@@ -235,6 +287,14 @@ pub struct ShardedFactorStore {
     graph: DiGraph,
     shards: Vec<FactorShard>,
     workspaces: ShardWorkspaces,
+    /// Reused per-shard refactorization scratch (stamped dense accumulator),
+    /// rebuilt alongside `workspaces` on repartition/restore.
+    refactor_workspaces: Vec<RefactorWorkspace>,
+    /// Whether value-only batches take the pattern-frozen refactor fast path
+    /// instead of per-entry Bennett sweeps.
+    refactor: bool,
+    /// How repartitions derive the replacement partition.
+    partition_strategy: PartitionStrategy,
     coupling: CouplingStore,
     snapshot_id: u64,
     /// Per-shard shared factor handles snapshots serve from, re-frozen only
@@ -270,6 +330,27 @@ impl ShardedFactorStore {
         policy: RefreshPolicy,
         partition: NodePartition,
     ) -> EngineResult<Self> {
+        Self::with_registry(
+            graph,
+            kind,
+            policy,
+            partition,
+            Arc::new(TelemetryRegistry::disabled()),
+        )
+    }
+
+    /// Like [`ShardedFactorStore::new`], but with the telemetry registry
+    /// present *during* construction, so every shard's build-time ordering
+    /// contest lands in the journal (`ordering_selected`) instead of going
+    /// to a disabled stub.  [`ShardedFactorStore::with_telemetry`] only
+    /// swaps the sink for later spans.
+    pub fn with_registry(
+        graph: DiGraph,
+        kind: MatrixKind,
+        policy: RefreshPolicy,
+        partition: NodePartition,
+        telemetry: Arc<TelemetryRegistry>,
+    ) -> EngineResult<Self> {
         assert_eq!(
             graph.n_nodes(),
             partition.n_nodes(),
@@ -277,9 +358,10 @@ impl ShardedFactorStore {
         );
         let partition = Arc::new(partition);
         let shards: Vec<FactorShard> = (0..partition.n_shards())
-            .map(|s| FactorShard::build(&graph, kind, &partition, s))
+            .map(|s| FactorShard::build(&graph, kind, &partition, s, &telemetry))
             .collect::<EngineResult<_>>()?;
         let workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
+        let refactor_workspaces = refactor_workspaces_for(&partition);
         let coupling = CouplingStore::from_matrix(&coupling_matrix(&graph, kind, &partition));
         let published: Vec<Arc<DecomposedMatrix>> =
             shards.iter().map(|s| s.of.publish(0)).collect();
@@ -298,6 +380,9 @@ impl ShardedFactorStore {
             graph,
             shards,
             workspaces,
+            refactor_workspaces,
+            refactor: true,
+            partition_strategy: PartitionStrategy::default(),
             coupling,
             snapshot_id: 0,
             published,
@@ -305,8 +390,30 @@ impl ShardedFactorStore {
             next_repartition_at: coupling_cfg.repartition_budget,
             coupling_cfg,
             plan,
-            telemetry: Arc::new(TelemetryRegistry::disabled()),
+            telemetry,
         })
+    }
+
+    /// Enables or disables the pattern-frozen refactor fast path for
+    /// value-only batches (builder style; on by default).  Disabled, every
+    /// batch goes through per-entry Bennett sweeps — the A/B lever of the
+    /// `--no-refactor` benchmark flag.
+    pub fn with_refactor(mut self, refactor: bool) -> Self {
+        self.refactor = refactor;
+        self
+    }
+
+    /// Sets how adaptive repartitions derive the replacement partition
+    /// (builder style; edge locality by default).  The *current* partition is
+    /// untouched — the strategy takes effect at the next repartition trigger.
+    pub fn with_partition_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition_strategy = strategy;
+        self
+    }
+
+    /// The partition strategy repartitions will use.
+    pub fn partition_strategy(&self) -> PartitionStrategy {
+        self.partition_strategy
     }
 
     /// The durable slice of the store for the checkpoint writer.  Blocks
@@ -388,11 +495,15 @@ impl ShardedFactorStore {
                 ordering: block.ordering,
                 factors: block.factors,
                 reference_nnz: block.reference_nnz,
+                // Rebuilt lazily by the first refactor pass; a checkpoint
+                // block carries no matrix.
+                reordered: None,
             };
             published.push(of.publish(block.index));
             shards.push(FactorShard { of });
         }
         let workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
+        let refactor_workspaces = refactor_workspaces_for(&partition);
         let published_coupling = Arc::new(coupling_store.to_csr());
         let plan = Arc::new(CouplingPlan::build(
             &partition,
@@ -407,6 +518,9 @@ impl ShardedFactorStore {
             graph,
             shards,
             workspaces,
+            refactor_workspaces,
+            refactor: true,
+            partition_strategy: PartitionStrategy::default(),
             coupling: coupling_store,
             snapshot_id,
             published,
@@ -567,6 +681,28 @@ impl ShardedFactorStore {
             }
         }
 
+        // Classify each shard's slice of the batch against its frozen factor
+        // pattern (pattern-only, so the order against the graph mutation
+        // below is immaterial).  Only intra-shard edges can introduce a new
+        // intra-block matrix position; a cross edge contributes nothing but
+        // rescales of existing intra entries to a shard's list — so a shard
+        // whose intra slice is value-only can absorb the whole batch down its
+        // frozen pattern.
+        let (intra_deltas, _cross) = delta.split_by(&self.partition);
+        let value_only: Vec<bool> = intra_deltas
+            .iter()
+            .zip(&self.shards)
+            .map(|(d, shard)| {
+                let of = &shard.of;
+                d.classify_with(self.kind, |i, j| {
+                    of.factors.has_entry(
+                        of.row_old_to_new[self.partition.local_of(i)],
+                        of.col_old_to_new[self.partition.local_of(j)],
+                    )
+                }) == DeltaClass::ValueOnly
+            })
+            .collect();
+
         // Capture pre-delta adjacency of the affected sources, then mutate.
         let affected = affected_sources(delta);
         let old_info: BTreeMap<usize, Vec<usize>> = affected
@@ -595,6 +731,7 @@ impl ShardedFactorStore {
         }
         for (s, entries) in shard_entries.iter().enumerate() {
             per_shard[s].entries_applied = entries.len() as u64;
+            per_shard[s].value_only = value_only[s];
         }
 
         // Fan the disjoint per-shard sweeps out across scoped threads (the
@@ -605,6 +742,7 @@ impl ShardedFactorStore {
             partition: &self.partition,
             kind: self.kind,
             policy: self.policy,
+            refactor: self.refactor,
             telemetry: &self.telemetry,
         };
         let mut outcomes: Vec<Option<Result<ShardOutcome, LuError>>> =
@@ -613,7 +751,9 @@ impl ShardedFactorStore {
             for &s in &active {
                 outcomes[s] = Some(self.shards[s].apply(
                     self.workspaces.get_mut(s),
+                    &mut self.refactor_workspaces[s],
                     &shard_entries[s],
+                    value_only[s],
                     ctx,
                     s,
                 ));
@@ -621,17 +761,22 @@ impl ShardedFactorStore {
         } else {
             let results = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(active.len());
-                for ((s, shard), ws) in self
+                for (((s, shard), ws), rws) in self
                     .shards
                     .iter_mut()
                     .enumerate()
                     .zip(self.workspaces.iter_mut())
+                    .zip(self.refactor_workspaces.iter_mut())
                 {
                     let entries = &shard_entries[s];
                     if entries.is_empty() {
                         continue;
                     }
-                    handles.push((s, scope.spawn(move || shard.apply(ws, entries, ctx, s))));
+                    let vo = value_only[s];
+                    handles.push((
+                        s,
+                        scope.spawn(move || shard.apply(ws, rws, entries, vo, ctx, s)),
+                    ));
                 }
                 handles
                     .into_iter()
@@ -659,7 +804,9 @@ impl ShardedFactorStore {
             report.bennett.merge(&outcome.bennett);
             report.per_shard[s].sweeps = outcome.bennett.rank_one_updates as u64;
             report.per_shard[s].refreshed = outcome.refreshed;
+            report.per_shard[s].refactored = outcome.refactored;
             report.refreshed |= outcome.refreshed;
+            report.shards_refactored += outcome.refactored as u64;
             // Copy-on-write: only the shards this batch swept (or refreshed)
             // re-freeze their shared handle; every other shard keeps serving
             // the handle older snapshots already hold.
@@ -742,18 +889,26 @@ impl ShardedFactorStore {
         Ok(report)
     }
 
-    /// Re-runs the edge-locality partition on the current graph and rebuilds
-    /// the store around it: fresh shard orderings and factorizations, fresh
+    /// Re-runs the partition strategy on the current graph and rebuilds the
+    /// store around it: fresh shard orderings and factorizations, fresh
     /// workspaces, re-collected coupling, all handles re-frozen.  The next
     /// trigger backs off to `max(budget, 2 × surviving coupling size)` so
     /// repeated triggers on a genuinely dense graph stay amortized.
+    ///
+    /// The BTF strategy may coarsen to fewer shards than the store had when
+    /// the graph's SCC structure is coarse; the store's shard count follows
+    /// the partition.
     fn repartition(&mut self) -> EngineResult<()> {
         let k = self.shards.len();
-        let partition = Arc::new(edge_locality_partition(&self.graph, k));
-        let shards: Vec<FactorShard> = (0..k)
-            .map(|s| FactorShard::build(&self.graph, self.kind, &partition, s))
+        let partition = Arc::new(match self.partition_strategy {
+            PartitionStrategy::EdgeLocality => edge_locality_partition(&self.graph, k),
+            PartitionStrategy::Btf => btf_partition(&self.graph, self.kind, k).0,
+        });
+        let shards: Vec<FactorShard> = (0..partition.n_shards())
+            .map(|s| FactorShard::build(&self.graph, self.kind, &partition, s, &self.telemetry))
             .collect::<EngineResult<_>>()?;
         self.workspaces = ShardWorkspaces::for_orders(&partition.shard_sizes());
+        self.refactor_workspaces = refactor_workspaces_for(&partition);
         self.coupling =
             CouplingStore::from_matrix(&coupling_matrix(&self.graph, self.kind, &partition));
         self.published = shards
@@ -800,6 +955,15 @@ impl ShardedFactorStore {
         let diff = reassembled.max_abs_diff(&full).unwrap();
         assert!(diff <= tol, "sharded state drifted from A: {diff:e}");
     }
+}
+
+/// One refactorization scratch per shard, sized to the shard's order.
+fn refactor_workspaces_for(partition: &NodePartition) -> Vec<RefactorWorkspace> {
+    partition
+        .shard_sizes()
+        .iter()
+        .map(|&n| RefactorWorkspace::with_order(n))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1160,8 +1324,12 @@ mod tests {
 
     #[test]
     fn woodbury_plan_is_shared_until_coupling_or_support_changes() {
-        // Three shard-local rings plus one cross edge 0 -> 4: the coupling
-        // holds the single column 0 with support only in shard 1.
+        // Three shard-local rings plus opposing cross edges 0 -> 4 and
+        // 5 -> 1: shards 0 and 1 depend on each other, so the coupling is
+        // *not* block-triangular and the Woodbury plan actually caches a
+        // correction (an acyclic coupling would be solved by one triangular
+        // Gauss–Seidel sweep instead — see `coupling.rs`).  The captured
+        // columns 0 and 5 have support only in shards 1 and 0.
         let n = 12;
         let mut g = DiGraph::new(n);
         for s in 0..3 {
@@ -1170,6 +1338,7 @@ mod tests {
             }
         }
         g.add_edge(0, 4);
+        g.add_edge(5, 1);
         let mut store = ShardedFactorStore::new(
             g,
             MatrixKind::random_walk_default(),
@@ -1183,7 +1352,7 @@ mod tests {
         })
         .unwrap();
         let snap0 = store.snapshot();
-        assert_eq!(snap0.coupling_plan().correction_rank(), Some(1));
+        assert_eq!(snap0.coupling_plan().correction_rank(), Some(2));
 
         // Intra-shard-2 batch: outside the correction's support — the next
         // snapshot shares the cached plan (and the frozen coupling).
@@ -1226,6 +1395,45 @@ mod tests {
         let q = MeasureQuery::PageRank { damping: 0.85 };
         assert!(snap0.query(&q).is_ok());
         store.assert_consistent(1e-9);
+    }
+
+    #[test]
+    fn sharded_value_only_batches_refactor_and_stay_exact() {
+        let n = 12;
+        let g = base_graph(n);
+        let kind = MatrixKind::random_walk_default();
+        let partition = NodePartition::contiguous(n, 3);
+        let mut sharded =
+            ShardedFactorStore::new(g.clone(), kind, RefreshPolicy::Incremental, partition)
+                .unwrap();
+        let mut mono = FactorStore::new(g, kind, RefreshPolicy::Incremental).unwrap();
+        // Removing an intra-shard edge is always value-only: shard 0 absorbs
+        // it by a pattern-frozen refactorization, the other shards stay idle.
+        let delta = GraphDelta {
+            added: vec![],
+            removed: vec![(2, 0)],
+        };
+        let report = sharded.advance(&delta).unwrap();
+        mono.advance(&delta).unwrap();
+        assert!(report.per_shard[0].value_only);
+        assert!(report.per_shard[0].refactored);
+        assert!(!report.per_shard[0].refreshed);
+        assert_eq!(report.per_shard[0].sweeps, 0);
+        assert!(report.per_shard[0].entries_applied > 0);
+        assert_eq!(report.shards_refactored, 1);
+        assert!(!report.per_shard[1].refactored);
+        sharded.assert_consistent(1e-9);
+        assert_queries_match(&sharded, &mono, n);
+        // A structural intra-shard addition must not refactor.
+        let delta = GraphDelta {
+            added: vec![(1, 3)],
+            removed: vec![],
+        };
+        let report = sharded.advance(&delta).unwrap();
+        mono.advance(&delta).unwrap();
+        assert!(!report.per_shard[0].refactored || report.per_shard[0].value_only);
+        sharded.assert_consistent(1e-9);
+        assert_queries_match(&sharded, &mono, n);
     }
 
     #[test]
@@ -1359,5 +1567,55 @@ mod tests {
         assert_eq!(snap.n_shards(), 2);
         assert_eq!(snap.id(), 0);
         assert_eq!(snap.coupling().nnz(), store.coupling_nnz());
+    }
+
+    #[test]
+    fn btf_partition_makes_gauss_seidel_one_sweep_exact() {
+        // Three 4-node cycles bridged 0 → 1 → 2 in one direction only: the
+        // SCCs are the cycles and the cross-shard coupling is block
+        // triangular in SCC topological order.  Under a one-sweep budget —
+        // which makes cyclic coupling fail loudly (see
+        // `exhausted_sweep_budget_fails_loudly`) — the BTF-partitioned
+        // Gauss–Seidel solve must still be exact.
+        let n = 12;
+        let mut g = DiGraph::new(n);
+        for s in 0..3 {
+            for i in 0..4 {
+                g.add_edge(s * 4 + i, s * 4 + (i + 1) % 4);
+            }
+        }
+        g.add_edge(3, 4);
+        g.add_edge(7, 8);
+        let kind = MatrixKind::random_walk_default();
+        let (partition, report) = btf_partition(&g, kind, 3);
+        assert_eq!(report.n_sccs, 3);
+        assert!(report.transversal_full);
+        let mut store =
+            ShardedFactorStore::new(g.clone(), kind, RefreshPolicy::Incremental, partition)
+                .unwrap()
+                .with_coupling_config(CouplingConfig {
+                    solver: CouplingSolver::GaussSeidel,
+                    tolerance: SolveTolerance {
+                        tol: 1e-13,
+                        max_sweeps: 1,
+                    },
+                    ..CouplingConfig::default()
+                })
+                .unwrap();
+        assert!(store.coupling_nnz() > 0, "bridges cross the shards");
+        assert!(store.snapshot().coupling_plan().is_triangular());
+        let mut mono = FactorStore::new(g, kind, RefreshPolicy::Incremental).unwrap();
+        assert_queries_match(&store, &mono, n);
+
+        // Evolve the graph without breaking the DAG shape: the rebuilt plan
+        // must stay triangular and one-sweep exact.
+        let delta = GraphDelta {
+            added: vec![(2, 5)],
+            removed: vec![(3, 4)],
+        };
+        store.advance(&delta).unwrap();
+        mono.advance(&delta).unwrap();
+        assert!(store.snapshot().coupling_plan().is_triangular());
+        assert_queries_match(&store, &mono, n);
     }
 }

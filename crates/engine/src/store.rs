@@ -19,14 +19,14 @@
 use crate::coupling::{self, CouplingConfig, CouplingPlan, CouplingSolver, SolveTolerance};
 use crate::error::EngineResult;
 use clude::{refresh_decision, DecomposedMatrix, MatrixFactors};
-use clude_graph::{measure_matrix, DiGraph, GraphDelta, MatrixKind, NodePartition};
+use clude_graph::{measure_matrix, DeltaClass, DiGraph, GraphDelta, MatrixKind, NodePartition};
 use clude_lu::{
-    apply_delta_with, markowitz_ordering, BennettStats, BennettWorkspace, DynamicLuFactors,
-    LuResult,
+    amd_ordering, apply_delta_with, markowitz_ordering, refactor_frozen, BennettStats,
+    BennettWorkspace, DynamicLuFactors, LuError, LuResult, RefactorStats, RefactorWorkspace,
 };
 use clude_measures::{evaluate_queries_with, evaluate_query_with, MeasureQuery, MeasureSolver};
 use clude_sparse::{CooMatrix, CsrMatrix};
-use clude_telemetry::{EngineEvent, Stage, TelemetryRegistry};
+use clude_telemetry::{EngineEvent, FallbackReason, OrderingMethod, Stage, TelemetryRegistry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -278,6 +278,13 @@ pub struct AdvanceReport {
     /// `false` means the next snapshot shares the previous one's factors —
     /// the copy-on-write case.
     pub republished: bool,
+    /// Whether the batch was classified value-only against the frozen factor
+    /// pattern (every changed entry landed on a stored slot).
+    pub value_only: bool,
+    /// Whether the batch was absorbed by a pattern-frozen refactorization
+    /// (one pass down the frozen symbolic pattern) instead of per-entry
+    /// Bennett sweeps.
+    pub refactored: bool,
 }
 
 /// The current snapshot's factors, maintained under a fixed ordering until
@@ -292,6 +299,11 @@ pub struct FactorStore {
     of: OrderedFactors,
     /// Reused Bennett scratch: advances allocate nothing per pivot.
     workspace: BennettWorkspace,
+    /// Reused refactorization scratch (stamped dense accumulator).
+    refactor_ws: RefactorWorkspace,
+    /// Whether value-only batches take the pattern-frozen refactor fast path
+    /// instead of per-entry Bennett sweeps.
+    refactor: bool,
     snapshot_id: u64,
     /// The shared factor handle snapshots serve from, re-frozen only by
     /// batches that change the factors; snapshots between which no factor
@@ -313,11 +325,25 @@ pub struct FactorStore {
 }
 
 impl FactorStore {
-    /// Builds the store for a base graph: derives the measure matrix,
-    /// computes its Markowitz ordering, and factorizes it fully.
+    /// Builds the store for a base graph: derives the measure matrix, runs
+    /// the Markowitz-vs-AMD ordering contest, and factorizes it fully.
     pub fn new(graph: DiGraph, kind: MatrixKind, policy: RefreshPolicy) -> EngineResult<Self> {
+        Self::with_registry(graph, kind, policy, Arc::new(TelemetryRegistry::disabled()))
+    }
+
+    /// Like [`FactorStore::new`], but with the telemetry registry present
+    /// *during* construction, so the build-time ordering contest lands in
+    /// the journal (`ordering_selected`) instead of going to a disabled
+    /// stub.  [`FactorStore::with_telemetry`] only swaps the sink for
+    /// later spans.
+    pub fn with_registry(
+        graph: DiGraph,
+        kind: MatrixKind,
+        policy: RefreshPolicy,
+        telemetry: Arc<TelemetryRegistry>,
+    ) -> EngineResult<Self> {
         let matrix = measure_matrix(&graph, kind);
-        let of = order_and_factorize(&matrix)?;
+        let of = order_and_factorize(&matrix, &telemetry, 0)?;
         let workspace = BennettWorkspace::with_order(of.factors.n());
         let n = graph.n_nodes();
         let published = of.publish(0);
@@ -328,13 +354,24 @@ impl FactorStore {
             empty_coupling: Arc::new(CsrMatrix::from_coo(&CooMatrix::new(n, n))),
             coupling_cfg: CouplingConfig::default(),
             trivial_plan: Arc::new(CouplingPlan::trivial(1)),
-            telemetry: Arc::new(TelemetryRegistry::disabled()),
+            telemetry,
             graph,
             of,
             workspace,
+            refactor_ws: RefactorWorkspace::with_order(n),
+            refactor: true,
             snapshot_id: 0,
             published,
         })
+    }
+
+    /// Enables or disables the pattern-frozen refactor fast path for
+    /// value-only batches (builder style; on by default).  Disabled, every
+    /// batch goes through per-entry Bennett sweeps — the A/B lever of the
+    /// `--no-refactor` benchmark flag.
+    pub fn with_refactor(mut self, refactor: bool) -> Self {
+        self.refactor = refactor;
+        self
     }
 
     /// Sets the telemetry registry sweep/refresh/freeze spans and refresh
@@ -413,6 +450,9 @@ impl FactorStore {
             ordering: block.ordering,
             factors: block.factors,
             reference_nnz: block.reference_nnz,
+            // Rebuilt lazily by the first refactor pass; a checkpoint block
+            // carries no matrix.
+            reordered: None,
         };
         let workspace = BennettWorkspace::with_order(n);
         let published = of.publish(block.index);
@@ -427,6 +467,8 @@ impl FactorStore {
             graph,
             of,
             workspace,
+            refactor_ws: RefactorWorkspace::with_order(n),
+            refactor: true,
             snapshot_id,
             published,
         })
@@ -524,15 +566,37 @@ impl FactorStore {
         let matrix_delta = self.matrix_delta(&old_info);
         let entries_applied = matrix_delta.len();
 
+        // Classify against the frozen factor pattern: a batch whose every
+        // changed off-diagonal position already has a stored slot can redo
+        // the numerics down the frozen symbolic pattern in one pass instead
+        // of per-entry Bennett sweeps.
+        let value_only = entries_applied > 0
+            && delta.classify_with(self.kind, |i, j| {
+                self.of
+                    .factors
+                    .has_entry(self.of.row_old_to_new[i], self.of.col_old_to_new[j])
+            }) == DeltaClass::ValueOnly;
         let (graph, kind) = (&self.graph, self.kind);
-        let (bennett, refreshed) = self.of.apply_or_refresh(
-            &mut self.workspace,
-            &matrix_delta,
-            self.policy,
-            &self.telemetry,
-            0,
-            || measure_matrix(graph, kind),
-        )?;
+        let (bennett, refactored, refreshed) = if self.refactor && value_only {
+            let (_stats, refreshed) = self.of.refactor_or_refresh(
+                &mut self.refactor_ws,
+                &matrix_delta,
+                &self.telemetry,
+                0,
+                || measure_matrix(graph, kind),
+            )?;
+            (BennettStats::default(), !refreshed, refreshed)
+        } else {
+            let (bennett, refreshed) = self.of.apply_or_refresh(
+                &mut self.workspace,
+                &matrix_delta,
+                self.policy,
+                &self.telemetry,
+                0,
+                || measure_matrix(graph, kind),
+            )?;
+            (bennett, false, refreshed)
+        };
         // Copy-on-write: re-freeze the shared factor handle only when this
         // batch actually touched the factors; a no-entry batch keeps serving
         // (and sharing) the previous handle.
@@ -548,6 +612,8 @@ impl FactorStore {
             quality_loss: self.quality_loss(),
             entries_applied,
             republished,
+            value_only,
+            refactored,
         })
     }
 
@@ -583,6 +649,11 @@ pub(crate) struct OrderedFactors {
     pub col_old_to_new: Vec<usize>,
     pub factors: DynamicLuFactors,
     pub reference_nnz: usize,
+    /// The reordered measure matrix the factors were computed from, kept in
+    /// sync by value-only batches so the refactor fast path never rebuilds
+    /// it from the graph.  Invalidated (`None`) when a structural Bennett
+    /// pass changes the pattern underneath it.
+    pub reordered: Option<CsrMatrix>,
 }
 
 impl OrderedFactors {
@@ -620,6 +691,14 @@ impl OrderedFactors {
         shard: usize,
         rebuild_matrix: impl Fn() -> CsrMatrix,
     ) -> LuResult<(BennettStats, bool)> {
+        // Keep the refactor path's reordered-matrix cache current: overwrite
+        // stored positions in place, and invalidate it the moment the batch
+        // lands outside the stored pattern (a structural insert).
+        if let Some(cached) = self.reordered.as_mut() {
+            if !delta.iter().all(|&(i, j, _, new)| cached.set(i, j, new)) {
+                self.reordered = None;
+            }
+        }
         let mut refreshed = false;
         let sweep = telemetry.span(Stage::ShardSweep);
         let bennett = match apply_delta_with(&mut self.factors, ws, delta) {
@@ -631,7 +710,7 @@ impl OrderedFactors {
                 sweep.stop();
                 // Numeric fallback: rebuild under a fresh ordering.
                 let refresh = telemetry.span(Stage::ShardRefresh);
-                *self = order_and_factorize(&rebuild_matrix())?;
+                *self = order_and_factorize(&rebuild_matrix(), telemetry, shard)?;
                 refresh.stop();
                 telemetry.record_event(EngineEvent::RefreshTriggered {
                     shard: shard as u32,
@@ -649,7 +728,7 @@ impl OrderedFactors {
                     refresh_decision(self.factors.nnz(), self.reference_nnz, max_quality_loss);
                 if decision.should_refresh {
                     let refresh = telemetry.span(Stage::ShardRefresh);
-                    *self = order_and_factorize(&rebuild_matrix())?;
+                    *self = order_and_factorize(&rebuild_matrix(), telemetry, shard)?;
                     refresh.stop();
                     telemetry.record_event(EngineEvent::RefreshTriggered {
                         shard: shard as u32,
@@ -662,13 +741,108 @@ impl OrderedFactors {
         }
         Ok((bennett, refreshed))
     }
+
+    /// Absorbs a value-only batch by recomputing the factor values down the
+    /// frozen symbolic pattern in one pass (`clude_lu::refactor_frozen`) —
+    /// the KLU refactorization fast path — recording a `shard.refactor`
+    /// span.  A failed refactorization leaves the factors partially
+    /// rewritten, so the only sound fallback is a full refresh (fresh
+    /// ordering + factorization), announced by an
+    /// [`EngineEvent::RefactorFallback`]; Bennett is not an option at that
+    /// point.  Returns the refactor work done and whether the fallback
+    /// refresh happened; an `Ok` return always leaves servable factors.
+    ///
+    /// The quality policy is *not* consulted: a frozen-pattern pass cannot
+    /// change the factor size, so the quality-loss is exactly what it was
+    /// before the batch.
+    pub(crate) fn refactor_or_refresh(
+        &mut self,
+        ws: &mut RefactorWorkspace,
+        delta: &[(usize, usize, f64, f64)],
+        telemetry: &TelemetryRegistry,
+        shard: usize,
+        rebuild_matrix: impl Fn() -> CsrMatrix,
+    ) -> LuResult<(RefactorStats, bool)> {
+        // Bring the cached reordered matrix up to date in place — the whole
+        // point of the fast path is to not touch the graph.  For a value-only
+        // batch every position is stored, so `set` only fails when the cache
+        // was invalidated by an earlier structural pass or the delta lands on
+        // a fill-only position; then (and only then) rebuild it once.
+        let up_to_date = match self.reordered.as_mut() {
+            Some(cached) => delta.iter().all(|&(i, j, _, new)| cached.set(i, j, new)),
+            None => false,
+        };
+        if !up_to_date {
+            let rebuilt = rebuild_matrix()
+                .reorder(&self.ordering)
+                // lint: allow(panic-surface) — the frozen ordering was
+                // computed for a matrix over the same fixed node universe;
+                // its dimensions cannot disagree.
+                .expect("frozen ordering fits the rebuilt matrix");
+            self.reordered = Some(rebuilt);
+        }
+        let span = telemetry.span(Stage::ShardRefactor);
+        let cached = self
+            .reordered
+            .as_ref()
+            // lint: allow(panic-surface) — ensured two branches up.
+            .expect("reordered-matrix cache was just ensured");
+        match refactor_frozen(&mut self.factors, cached, ws) {
+            Ok(stats) => {
+                span.stop();
+                Ok((stats, false))
+            }
+            Err(err) => {
+                span.stop();
+                let reason = match err {
+                    LuError::SingularPivot { .. } => FallbackReason::Pivot,
+                    _ => FallbackReason::Structure,
+                };
+                telemetry.record_event(EngineEvent::RefactorFallback {
+                    shard: shard as u32,
+                    reason,
+                });
+                let refresh = telemetry.span(Stage::ShardRefresh);
+                *self = order_and_factorize(&rebuild_matrix(), telemetry, shard)?;
+                refresh.stop();
+                telemetry.record_event(EngineEvent::RefreshTriggered {
+                    shard: shard as u32,
+                    numeric: true,
+                    quality_loss: 0.0,
+                });
+                Ok((RefactorStats::default(), true))
+            }
+        }
+    }
 }
 
-/// Markowitz-orders `matrix`, factorizes it, and packages the bookkeeping —
-/// the one construction path shared by initial builds and refreshes of both
-/// the monolithic and the sharded store.
-pub(crate) fn order_and_factorize(matrix: &CsrMatrix) -> LuResult<OrderedFactors> {
-    let ordering = markowitz_ordering(&matrix.pattern()).ordering;
+/// Orders `matrix`, factorizes it, and packages the bookkeeping — the one
+/// construction path shared by initial builds and refreshes of both the
+/// monolithic and the sharded store.
+///
+/// Two fill-reducing orderings compete on the pattern: the paper's Markowitz
+/// product rule (the incumbent) and AMD over `A + Aᵀ`.  AMD wins only when
+/// its predicted factor size `|s̃p(A^O)|` is strictly smaller; the choice is
+/// announced with an [`EngineEvent::OrderingSelected`] journal event.
+pub(crate) fn order_and_factorize(
+    matrix: &CsrMatrix,
+    telemetry: &TelemetryRegistry,
+    shard: usize,
+) -> LuResult<OrderedFactors> {
+    let pattern = matrix.pattern();
+    let markowitz = markowitz_ordering(&pattern);
+    let amd = amd_ordering(&pattern);
+    let (chosen, method) = if amd.symbolic_size < markowitz.symbolic_size {
+        (amd, OrderingMethod::Amd)
+    } else {
+        (markowitz, OrderingMethod::Markowitz)
+    };
+    telemetry.record_event(EngineEvent::OrderingSelected {
+        shard: shard as u32,
+        method,
+        fill: chosen.symbolic_size as u64,
+    });
+    let ordering = chosen.ordering;
     let reordered = matrix
         .reorder(&ordering)
         // lint: allow(panic-surface) — the ordering was computed from this
@@ -682,6 +856,7 @@ pub(crate) fn order_and_factorize(matrix: &CsrMatrix) -> LuResult<OrderedFactors
         ordering,
         factors,
         reference_nnz,
+        reordered: Some(reordered),
     })
 }
 
@@ -927,6 +1102,59 @@ mod tests {
             snap2.shards()[0].shared()
         ));
         assert_eq!(snap2.shards()[0].decomposed().index, 2);
+    }
+
+    #[test]
+    fn value_only_batches_take_the_refactor_fast_path() {
+        let telemetry = Arc::new(TelemetryRegistry::new(
+            clude_telemetry::TelemetryConfig::default(),
+        ));
+        let mut store = FactorStore::new(
+            base_graph(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap()
+        .with_telemetry(Arc::clone(&telemetry));
+        // Removals are always value-only: the removed edge's position zeroes
+        // and the source's surviving column entries rescale in place.
+        let delta = GraphDelta {
+            added: vec![],
+            removed: vec![(2, 0)],
+        };
+        let report = store.advance(&delta).unwrap();
+        assert!(report.value_only);
+        assert!(report.refactored);
+        assert!(!report.refreshed);
+        assert_eq!(report.bennett.rank_one_updates, 0);
+        assert!(report.entries_applied > 0);
+        assert!(telemetry.stage_histogram(Stage::ShardRefactor).count() > 0);
+        // The refactored factors are exact: they match a fresh factorization
+        // of the updated graph to solver precision.
+        let got = store
+            .snapshot()
+            .query(&MeasureQuery::Rwr {
+                seed: 3,
+                damping: 0.85,
+            })
+            .unwrap();
+        let mut expected = rwr_scores(store.graph(), 3, 0.85);
+        clude_sparse::vector::normalize_l1(&mut expected);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // The A/B lever: with the fast path off, the same batch Bennett-sweeps.
+        let mut bennett_store = FactorStore::new(
+            base_graph(),
+            MatrixKind::random_walk_default(),
+            RefreshPolicy::Incremental,
+        )
+        .unwrap()
+        .with_refactor(false);
+        let report = bennett_store.advance(&delta).unwrap();
+        assert!(report.value_only);
+        assert!(!report.refactored);
+        assert!(report.bennett.rank_one_updates > 0);
     }
 
     #[test]

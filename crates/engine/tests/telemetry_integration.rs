@@ -28,6 +28,10 @@ fn instrumented_engine(telemetry: TelemetryConfig) -> CludeEngine {
                 repartition_budget: Some(4),
                 ..CouplingConfig::default()
             },
+            // This replay's batches are value-only (cross-edge rescales), so
+            // with the refactor fast path on they would never Bennett-sweep;
+            // force the sweep path — the refactor stage has its own tests.
+            refactor: false,
             telemetry,
             ..EngineConfig::default()
         },
@@ -80,6 +84,9 @@ fn replay_populates_spans_journal_and_exposition() {
     let journal = telemetry.journal();
     assert!(journal.count_of(EventKind::Repartitioned) >= 1);
     assert!(journal.count_of(EventKind::WoodburyPlanRebuilt) >= 1);
+    // The repartition rebuilt every shard, and each rebuild ran the
+    // Markowitz-vs-AMD ordering contest.
+    assert!(journal.count_of(EventKind::OrderingSelected) >= 1);
     assert!(journal
         .entries()
         .iter()

@@ -11,6 +11,9 @@
 //!   consumes, plus the sharded block/coupling split of that composition.
 //! * [`partition`] — [`partition::NodePartition`], the node→shard map the
 //!   streaming engine shards its factor store by.
+//! * [`btf`] — block-triangular-form analysis (maximum transversal + SCC
+//!   blocks, the KLU/BTF idea) producing partitions whose cross-shard
+//!   coupling is triangular, so block Gauss–Seidel solves them in one sweep.
 //! * [`generators`] — the paper's synthetic generator plus Wiki-like,
 //!   DBLP-like and patent-citation-like dataset simulators.
 //! * [`wire`] — the little-endian binary codec the engine's write-ahead log
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod btf;
 pub mod delta;
 pub mod digraph;
 pub mod egs;
@@ -27,7 +31,8 @@ pub mod matrix;
 pub mod partition;
 pub mod wire;
 
-pub use delta::GraphDelta;
+pub use btf::{btf_partition, maximum_transversal, scc_blocks, BtfReport};
+pub use delta::{DeltaClass, GraphDelta};
 pub use digraph::DiGraph;
 pub use egs::EvolvingGraphSequence;
 pub use matrix::{

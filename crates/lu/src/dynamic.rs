@@ -93,6 +93,29 @@ impl DynamicLuFactors {
         self.values.peek(i, j)
     }
 
+    /// Whether position `(i, j)` is structurally present in the factors —
+    /// explicitly stored zeros count as present, values merely implied (the
+    /// unit diagonal of `L`, anything outside the lists) do not.
+    ///
+    /// This is the membership test the engine's value-only/structural delta
+    /// classification runs against: an update whose every entry lands on a
+    /// present position can be refactored down the frozen pattern.
+    pub fn has_entry(&self, i: usize, j: usize) -> bool {
+        self.values.contains(i, j)
+    }
+
+    /// Sorted `(columns, values)` slices of combined-factor row `i`
+    /// (`L` strictly left of the diagonal, `U` from it rightwards).
+    pub(crate) fn row_entries(&self, i: usize) -> (&[usize], &[f64]) {
+        self.values.row(i)
+    }
+
+    /// Mutable values of row `i` alongside its (immutable) sorted columns:
+    /// numeric rewrites only, the structure cannot change through this view.
+    pub(crate) fn row_entries_mut(&mut self, i: usize) -> (&[usize], &mut [f64]) {
+        self.values.row_mut(i)
+    }
+
     pub(crate) fn write(&mut self, i: usize, j: usize, v: f64) {
         // A single-search upsert; writing an exact zero to an absent position
         // is a no-op so the dynamic lists only grow when a genuine fill-in

@@ -12,6 +12,12 @@
 //!   sparsity pattern `s̃p(A)` (Eq. 2–3 of the paper).
 //! * [`ordering`] — fill-reducing Markowitz / minimum-degree orderings and
 //!   the `|s̃p(A^O)|` accounting used by the quality-loss metric.
+//! * [`amd`] — the quotient-graph minimum-degree ordering over `A + Aᵀ`
+//!   (the SuiteSparse-AMD idea), selected against Markowitz per shard by
+//!   predicted symbolic size.
+//! * [`refactor`] — pattern-frozen refactorization: redo the numerics down
+//!   the existing symbolic pattern in one pass (the KLU `refactor` idea),
+//!   the bulk alternative to per-entry Bennett sweeps for value-only deltas.
 //! * [`structure`] — static slot layouts (`LuStructure`), including the
 //!   universal structures CLUDE shares across a cluster.
 //! * [`factors`] — the ND-phase: numeric factorization over a static
@@ -31,15 +37,19 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod amd;
 pub mod bennett;
 pub mod dynamic;
 pub mod error;
 pub mod factors;
 pub mod lowrank;
 pub mod ordering;
+pub mod refactor;
 pub mod solve;
 pub mod structure;
 pub mod symbolic;
+
+pub use amd::amd_ordering;
 
 pub use bennett::{
     apply_delta, apply_delta_with, rank_one_update, rank_one_update_with, BennettStats,
@@ -53,6 +63,7 @@ pub use ordering::{
     markowitz_ordering, natural_order_symbolic_size, reorder_pattern, symbolic_size_under,
     OrderingResult,
 };
+pub use refactor::{refactor_frozen, RefactorStats, RefactorWorkspace, PIVOT_DEGRADE_TOL};
 pub use solve::{
     solve_original, solve_original_into, solve_original_many_into, PanelScratch, SolveScratch,
     TriangularSolve,

@@ -3,8 +3,9 @@
 //! of the two storage back-ends.
 
 use clude_lu::{
-    apply_delta, apply_delta_with, factorize_fresh, markowitz_ordering, solve_original,
-    symbolic_decomposition, BennettWorkspace, DynamicLuFactors, LuFactors, LuStructure,
+    amd_ordering, apply_delta, apply_delta_with, factorize_fresh, markowitz_ordering,
+    refactor_frozen, solve_original, symbolic_decomposition, BennettWorkspace, DynamicLuFactors,
+    LuFactors, LuStructure, RefactorWorkspace,
 };
 use clude_sparse::{CooMatrix, CsrMatrix};
 use proptest::prelude::*;
@@ -228,6 +229,76 @@ proptest! {
         let x2 = tight.solve(&b).unwrap();
         for (u, v) in x1.iter().zip(x2.iter()) {
             prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn amd_ordering_is_a_valid_permutation_and_solves_exactly(
+        a in diag_dominant(10, 30),
+        rhs in proptest::collection::vec(-2.0f64..2.0, 10),
+    ) {
+        let result = amd_ordering(&a.pattern());
+        let ord = &result.ordering;
+        // Both permutations must be bijections on 0..n.
+        for perm in [ord.row(), ord.col()] {
+            prop_assert_eq!(perm.len(), 10);
+            let mut seen = [false; 10];
+            for i in 0..10 {
+                let old = perm.new_to_old(i);
+                prop_assert!(old < 10 && !seen[old], "duplicate image {}", old);
+                seen[old] = true;
+            }
+        }
+        // Factorizing through the AMD order solves the original system to
+        // the same answer as the unordered fresh factorization.
+        let reordered = a.reorder(ord).unwrap();
+        let structure = LuStructure::from_pattern(&reordered.pattern())
+            .unwrap()
+            .into_shared();
+        let factors = LuFactors::factorize(structure, &reordered).unwrap();
+        let x = solve_original(&factors, ord, &rhs).unwrap();
+        let fresh = factorize_fresh(&a).unwrap().solve(&rhs).unwrap();
+        for (u, v) in x.iter().zip(fresh.iter()) {
+            prop_assert!((u - v).abs() < 1e-9, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn refactor_matches_bennett_on_value_only_streams(
+        a in diag_dominant(9, 24),
+        // One bump per potential off-diagonal; zip truncates to the actual
+        // count, which is at most the 24 generated entries.
+        bumps in proptest::collection::vec(-0.15f64..0.15, 24),
+    ) {
+        let offdiag: Vec<(usize, usize, f64)> =
+            a.iter().filter(|&(i, j, _)| i != j).collect();
+        if offdiag.is_empty() {
+            return Ok(());
+        }
+        // A value-only delta: every touched position already exists, so the
+        // frozen-pattern refactorization and the Bennett sweep must agree.
+        let delta: Vec<(usize, usize, f64, f64)> = offdiag
+            .iter()
+            .zip(&bumps)
+            .map(|(&(i, j, v), &d)| (i, j, v, v + d))
+            .collect();
+        let mut bennett = DynamicLuFactors::factorize(&a).unwrap();
+        let mut frozen = DynamicLuFactors::factorize(&a).unwrap();
+        let mut ws = BennettWorkspace::new();
+        if apply_delta_with(&mut bennett, &mut ws, &delta).is_err() {
+            // A singular intermediate pivot: nothing to compare.
+            return Ok(());
+        }
+        let updated = updated_matrix(&a, &delta);
+        let mut rws = RefactorWorkspace::with_order(9);
+        if refactor_frozen(&mut frozen, &updated, &mut rws).is_err() {
+            return Ok(());
+        }
+        let b: Vec<f64> = (0..9).map(|i| 1.0 + 0.2 * i as f64).collect();
+        let x1 = bennett.solve(&b).unwrap();
+        let x2 = frozen.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            prop_assert!((u - v).abs() < 1e-9, "{} vs {}", u, v);
         }
     }
 }

@@ -286,6 +286,15 @@ impl AdjacencyMatrix {
         (&self.row_cols[i], &self.row_vals[i])
     }
 
+    /// Sorted columns of row `i` together with a *mutable* view of its
+    /// values.  Rewriting values through this slice is a purely numeric
+    /// operation: the structure (and with it `nnz` and the structural
+    /// counters) cannot change, which is exactly the contract a
+    /// pattern-frozen refactorization needs.
+    pub fn row_mut(&mut self, i: usize) -> (&[usize], &mut [f64]) {
+        (&self.row_cols[i], &mut self.row_vals[i])
+    }
+
     /// Sorted column indices of row `i`.
     pub fn row_cols(&self, i: usize) -> &[usize] {
         &self.row_cols[i]

@@ -142,6 +142,23 @@ impl CsrMatrix {
         }
     }
 
+    /// Overwrites the value of the stored entry at `(i, j)` in place.
+    /// Returns `false` (and changes nothing) when the position is not part
+    /// of the stored pattern — the pattern itself never changes.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> bool {
+        if i >= self.n_rows {
+            return false;
+        }
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => {
+                self.values[lo + pos] = value;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// The stored entries of row `i` as parallel slices `(columns, values)`.
     pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);

@@ -41,7 +41,9 @@ mod registry;
 mod stage;
 
 pub use hist::{HistogramSnapshot, LogHistogram};
-pub use journal::{EngineEvent, EventJournal, EventKind, JournalEntry};
+pub use journal::{
+    EngineEvent, EventJournal, EventKind, FallbackReason, JournalEntry, OrderingMethod,
+};
 pub use registry::{
     validate_prometheus, Counter, Gauge, Span, TelemetryConfig, TelemetryRegistry, Timer,
 };

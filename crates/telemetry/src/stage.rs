@@ -50,11 +50,15 @@ pub enum Stage {
     /// Replaying one logged delta batch through the factor store during
     /// recovery (newest valid checkpoint + WAL replay).
     RecoveryReplay,
+    /// One pattern-frozen refactorization of a shard: value-only batch redone
+    /// down the frozen symbolic pattern in a single pass (the KLU
+    /// `refactor` idea), instead of per-entry Bennett sweeps.
+    ShardRefactor,
 }
 
 impl Stage {
     /// Every stage, in exposition order.
-    pub const ALL: [Stage; 16] = [
+    pub const ALL: [Stage; 17] = [
         Stage::IngestMerge,
         Stage::IngestApply,
         Stage::ShardSweep,
@@ -71,6 +75,7 @@ impl Stage {
         Stage::WalAppend,
         Stage::CheckpointWrite,
         Stage::RecoveryReplay,
+        Stage::ShardRefactor,
     ];
 
     /// Number of stages (size of the per-stage histogram array).
@@ -101,6 +106,7 @@ impl Stage {
             Stage::WalAppend => "wal.append",
             Stage::CheckpointWrite => "checkpoint.write",
             Stage::RecoveryReplay => "recovery.replay",
+            Stage::ShardRefactor => "shard.refactor",
         }
     }
 
@@ -123,6 +129,7 @@ impl Stage {
             Stage::WalAppend => "clude_wal_append",
             Stage::CheckpointWrite => "clude_checkpoint_write",
             Stage::RecoveryReplay => "clude_recovery_replay",
+            Stage::ShardRefactor => "clude_shard_refactor",
         }
     }
 }
